@@ -1,0 +1,115 @@
+// Command rottnest-bench regenerates the paper's evaluation figures
+// (Section VII) on the simulated substrate. Each experiment prints
+// the same series the paper plots; absolute numbers differ (the
+// substrate is a simulator), but the shapes — who wins, where the
+// knees and crossovers fall — are the reproduction targets recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rottnest-bench [-quick] [-seed N] <experiment|all>
+//
+// Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rottnest/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(bench.Options) error
+}{
+	{"fig7", "TCO phase diagrams: substring and UUID search", func(o bench.Options) error {
+		_, err := bench.Fig7PhaseDiagrams(o)
+		return err
+	}},
+	{"fig8", "brute-force and Rottnest scaling with cluster size", func(o bench.Options) error {
+		_, err := bench.Fig8Scaling(o)
+		return err
+	}},
+	{"fig9", "vector phase diagrams at recall 0.87/0.92/0.97", func(o bench.Options) error {
+		_, err := bench.Fig9VectorPhases(o)
+		return err
+	}},
+	{"fig10", "read granularity and page-read overhead", func(o bench.Options) error {
+		_, err := bench.Fig10ReadGranularity(o)
+		return err
+	}},
+	{"fig11", "in-situ querying ablation", func(o bench.Options) error {
+		_, err := bench.Fig11InSitu(o)
+		return err
+	}},
+	{"fig12", "TCO parameter sensitivity", func(o bench.Options) error {
+		_, err := bench.Fig12Sensitivity(o)
+		return err
+	}},
+	{"fig13", "compaction vs search latency", func(o bench.Options) error {
+		_, err := bench.Fig13Compaction(o)
+		return err
+	}},
+	{"latency", "minimum latency thresholds (VII-A)", func(o bench.Options) error {
+		_, err := bench.MinimumLatency(o)
+		return err
+	}},
+	{"lance", "in-situ Parquet vs ideal custom format (VII-C)", func(o bench.Options) error {
+		_, err := bench.CustomFormatComparison(o)
+		return err
+	}},
+	{"throughput", "QPS caps from the per-prefix GET limit (VII-D3)", func(o bench.Options) error {
+		_, err := bench.Throughput(o)
+		return err
+	}},
+	{"ablation", "design-choice ablations (componentization, block/page sizes, PQ M)", func(o bench.Options) error {
+		_, err := bench.Ablations(o)
+		return err
+	}},
+	{"distribution", "data-distribution sensitivity: text entropy vs phase boundary (VII-D2)", func(o bench.Options) error {
+		_, err := bench.DistributionSensitivity(o)
+		return err
+	}},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rottnest-bench [-quick] [-seed N] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "\nexperiments:")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+	opts := bench.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
+	ran := false
+	for _, e := range experiments {
+		if target != "all" && target != e.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		start := time.Now()
+		if err := e.run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "rottnest-bench: unknown experiment %q\n\n", target)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,538 @@
+// Command rottnest is a CLI for operating Rottnest indices over a
+// directory-backed lake: create a table, generate or ingest data,
+// build and maintain indices, and search — the four protocol APIs
+// plus table management, persisted under a local directory that
+// stands in for an object-storage bucket.
+//
+// Typical session:
+//
+//	rottnest create  -store /tmp/bucket -table lake -schema "id:uuid,msg:text"
+//	rottnest gen     -store /tmp/bucket -table lake -rows 10000 -batches 3
+//	rottnest index   -store /tmp/bucket -table lake -column id -kind trie
+//	rottnest search  -store /tmp/bucket -table lake -column msg -substring "error 17"
+//	rottnest compact -store /tmp/bucket -table lake -column id -kind trie
+//	rottnest vacuum  -store /tmp/bucket -table lake
+//	rottnest status  -store /tmp/bucket -table lake
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rottnest"
+	"rottnest/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "create":
+		err = cmdCreate(args)
+	case "gen":
+		err = cmdGen(args)
+	case "index":
+		err = cmdIndex(args)
+	case "search":
+		err = cmdSearch(args)
+	case "compact":
+		err = cmdCompact(args)
+	case "vacuum":
+		err = cmdVacuum(args)
+	case "maintain":
+		err = cmdMaintain(args)
+	case "lake-compact":
+		err = cmdLakeCompact(args)
+	case "status":
+		err = cmdStatus(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rottnest: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rottnest %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rottnest <command> [flags]
+
+commands:
+  create        create a lake table (-schema "id:uuid,msg:text,emb:vec:64")
+  gen           append synthetic rows matching the table schema
+  index         bring one (column, kind) index up to date
+  search        query (-uuid HEX | -substring S | -vector "0.1,0.2,...")
+  compact       merge small index files
+  vacuum        garbage-collect index files
+  maintain      one pass of index + compact-if-fragmented + vacuum
+  lake-compact  compact the lake's own data files
+  status        show table, snapshot, and index state
+
+common flags: -store DIR  -table PREFIX  [-index-dir PREFIX]`)
+}
+
+// common holds the flags every subcommand shares.
+type common struct {
+	fs       *flag.FlagSet
+	storeDir *string
+	table    *string
+	indexDir *string
+}
+
+func newCommon(name string) *common {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &common{
+		fs:       fs,
+		storeDir: fs.String("store", "", "store directory (required)"),
+		table:    fs.String("table", "lake", "table key prefix"),
+		indexDir: fs.String("index-dir", "", "index key prefix (default <table>-index)"),
+	}
+}
+
+func (c *common) parse(args []string) error {
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	if *c.storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if *c.indexDir == "" {
+		*c.indexDir = *c.table + "-index"
+	}
+	return nil
+}
+
+func (c *common) open(ctx context.Context) (rottnest.Store, *rottnest.Table, *rottnest.Client, error) {
+	store, err := rottnest.NewDirStore(*c.storeDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	table, err := rottnest.OpenTable(ctx, store, *c.table)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: *c.indexDir})
+	return store, table, client, nil
+}
+
+// parseSchema parses "name:type[,name:type...]" where type is one of
+// uuid, text, int, double, bool, vec:<dim>.
+func parseSchema(spec string) (*rottnest.Schema, error) {
+	var cols []rottnest.Column
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bad column spec %q", part)
+		}
+		col := rottnest.Column{Name: fields[0]}
+		switch fields[1] {
+		case "uuid":
+			col.Type, col.TypeLen = rottnest.TypeFixedLenByteArray, 16
+		case "text":
+			col.Type = rottnest.TypeByteArray
+		case "int":
+			col.Type = rottnest.TypeInt64
+		case "double":
+			col.Type = rottnest.TypeDouble
+		case "bool":
+			col.Type = rottnest.TypeBool
+		case "vec":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("vec needs a dimension: %q", part)
+			}
+			dim, err := strconv.Atoi(fields[2])
+			if err != nil || dim <= 0 {
+				return nil, fmt.Errorf("bad vec dimension in %q", part)
+			}
+			col.Type, col.TypeLen = rottnest.TypeFixedLenByteArray, 4*dim
+		default:
+			return nil, fmt.Errorf("unknown type %q (uuid|text|int|double|bool|vec:<dim>)", fields[1])
+		}
+		cols = append(cols, col)
+	}
+	return rottnest.NewSchema(cols...)
+}
+
+func cmdCreate(args []string) error {
+	c := newCommon("create")
+	schemaSpec := c.fs.String("schema", "", `schema, e.g. "id:uuid,msg:text,emb:vec:64" (required)`)
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	if *schemaSpec == "" {
+		return fmt.Errorf("-schema is required")
+	}
+	schema, err := parseSchema(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	store, err := rottnest.NewDirStore(*c.storeDir)
+	if err != nil {
+		return err
+	}
+	if _, err := rottnest.CreateTable(context.Background(), store, *c.table, schema); err != nil {
+		return err
+	}
+	fmt.Printf("created table %s with %d columns under %s\n", *c.table, len(schema.Columns), *c.storeDir)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	c := newCommon("gen")
+	rows := c.fs.Int("rows", 10000, "rows per batch")
+	batches := c.fs.Int("batches", 1, "number of batches (data files)")
+	seed := c.fs.Int64("seed", time.Now().UnixNano(), "generator seed")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, table, _, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	snap, err := table.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	uuids := workload.NewUUIDGen(*seed)
+	text := workload.NewTextGen(workload.DefaultTextConfig(*seed))
+	vecGens := map[int]*workload.VectorGen{}
+	for b := 0; b < *batches; b++ {
+		batch := rottnest.NewBatch(snap.Schema)
+		for ci, col := range snap.Schema.Columns {
+			switch {
+			case col.Type == rottnest.TypeFixedLenByteArray && col.TypeLen == 16:
+				vals := make([][]byte, *rows)
+				for i := range vals {
+					k := uuids.Next()
+					vals[i] = append([]byte(nil), k[:]...)
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Bytes: vals}
+			case col.Type == rottnest.TypeFixedLenByteArray:
+				dim := col.TypeLen / 4
+				g := vecGens[dim]
+				if g == nil {
+					g = workload.NewVectorGen(workload.VectorConfig{Seed: *seed, Dim: dim, Clusters: 64})
+					vecGens[dim] = g
+				}
+				vals := make([][]byte, *rows)
+				for i := range vals {
+					vals[i] = workload.Float32sToBytes(g.Next())
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Bytes: vals}
+			case col.Type == rottnest.TypeByteArray:
+				vals := make([][]byte, *rows)
+				for i := range vals {
+					vals[i] = []byte(text.Doc())
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Bytes: vals}
+			case col.Type == rottnest.TypeInt64:
+				vals := make([]int64, *rows)
+				base := time.Now().Unix()
+				for i := range vals {
+					vals[i] = base + int64(b**rows+i)
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Ints: vals}
+			case col.Type == rottnest.TypeDouble:
+				vals := make([]float64, *rows)
+				for i := range vals {
+					vals[i] = float64(i)
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Doubles: vals}
+			case col.Type == rottnest.TypeBool:
+				vals := make([]bool, *rows)
+				for i := range vals {
+					vals[i] = i%2 == 0
+				}
+				batch.Cols[ci] = rottnest.ColumnValues{Bools: vals}
+			}
+		}
+		path, err := table.Append(ctx, batch, rottnest.WriterOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("appended %d rows -> %s\n", *rows, path)
+	}
+	return nil
+}
+
+func parseKind(s string) (rottnest.IndexKind, error) {
+	switch s {
+	case "trie", "uuid":
+		return rottnest.KindTrie, nil
+	case "fm", "substring":
+		return rottnest.KindFM, nil
+	case "ivfpq", "vector":
+		return rottnest.KindIVFPQ, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q (trie|fm|ivfpq)", s)
+	}
+}
+
+func cmdIndex(args []string) error {
+	c := newCommon("index")
+	column := c.fs.String("column", "", "column to index (required)")
+	kindName := c.fs.String("kind", "", "index kind: trie|fm|ivfpq (required)")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	if *column == "" || *kindName == "" {
+		return fmt.Errorf("-column and -kind are required")
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, _, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	entry, err := client.Index(ctx, *column, kind)
+	if err != nil {
+		return err
+	}
+	if entry == nil {
+		fmt.Println("index already up to date")
+		return nil
+	}
+	fmt.Printf("indexed %d files (%d rows) -> %s (%d bytes)\n",
+		len(entry.Files), entry.Rows, entry.IndexKey, entry.SizeBytes)
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	c := newCommon("search")
+	column := c.fs.String("column", "", "column to search (required)")
+	uuidHex := c.fs.String("uuid", "", "exact 32-hex-digit UUID key")
+	substring := c.fs.String("substring", "", "substring pattern")
+	regex := c.fs.String("regex", "", "regular expression (driven by its required literal)")
+	vector := c.fs.String("vector", "", "comma-separated floats")
+	k := c.fs.Int("k", 10, "max results")
+	nprobe := c.fs.Int("nprobe", 8, "vector: coarse lists to probe")
+	refine := c.fs.Int("refine", 0, "vector: candidates to rerank (default 4k)")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	if *column == "" {
+		return fmt.Errorf("-column is required")
+	}
+	q := rottnest.Query{Column: *column, K: *k, Snapshot: -1, NProbe: *nprobe, Refine: *refine}
+	switch {
+	case *uuidHex != "":
+		raw, err := hex.DecodeString(strings.ReplaceAll(*uuidHex, "-", ""))
+		if err != nil || len(raw) != 16 {
+			return fmt.Errorf("bad -uuid: want 32 hex digits")
+		}
+		var key [16]byte
+		copy(key[:], raw)
+		q.UUID = &key
+	case *substring != "":
+		q.Substring = []byte(*substring)
+	case *regex != "":
+		q.Regex = *regex
+	case *vector != "":
+		parts := strings.Split(*vector, ",")
+		vec := make([]float32, len(parts))
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+			if err != nil {
+				return fmt.Errorf("bad -vector element %q", p)
+			}
+			vec[i] = float32(f)
+		}
+		q.Vector = vec
+	default:
+		return fmt.Errorf("one of -uuid, -substring, -regex, -vector is required")
+	}
+	ctx := context.Background()
+	_, _, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := client.Search(ctx, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d match(es) in %v (index files: %d, pages probed: %d, files scanned: %d)\n",
+		len(res.Matches), time.Since(start).Round(time.Millisecond),
+		res.Stats.IndexFiles, res.Stats.PagesProbed, res.Stats.FilesScanned)
+	for i, m := range res.Matches {
+		val := m.Value
+		if len(val) > 80 {
+			val = val[:80]
+		}
+		if q.Vector != nil {
+			fmt.Printf("%3d. %s row %d  dist=%.4f\n", i+1, m.Path, m.Row, m.Score)
+		} else {
+			fmt.Printf("%3d. %s row %d  %q\n", i+1, m.Path, m.Row, val)
+		}
+	}
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	c := newCommon("compact")
+	column := c.fs.String("column", "", "column (required)")
+	kindName := c.fs.String("kind", "", "index kind (required)")
+	smaller := c.fs.Int64("smaller-than", 0, "only merge index files below this size in bytes (0 = all)")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	if *column == "" || *kindName == "" {
+		return fmt.Errorf("-column and -kind are required")
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, _, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	merged, err := client.Compact(ctx, *column, kind, rottnest.CompactOptions{SmallerThanBytes: *smaller})
+	if err != nil {
+		return err
+	}
+	if len(merged) == 0 {
+		fmt.Println("nothing to compact")
+		return nil
+	}
+	for _, e := range merged {
+		fmt.Printf("merged -> %s covering %d files (%d bytes)\n", e.IndexKey, len(e.Files), e.SizeBytes)
+	}
+	return nil
+}
+
+func cmdVacuum(args []string) error {
+	c := newCommon("vacuum")
+	keep := c.fs.Int64("keep-snapshot", -1, "oldest lake snapshot version to keep searchable")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, _, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	report, err := client.Vacuum(ctx, rottnest.VacuumOptions{KeepSnapshot: *keep})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dropped %d metadata entries, removed %d objects, kept %d entries\n",
+		len(report.DroppedEntries), len(report.RemovedObjects), report.KeptEntries)
+	return nil
+}
+
+func cmdLakeCompact(args []string) error {
+	c := newCommon("lake-compact")
+	smaller := c.fs.Int64("smaller-than", 1<<40, "merge data files below this size in bytes")
+	targetRows := c.fs.Int64("target-rows", 1<<20, "rows per output file")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, table, _, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	paths, err := table.Compact(ctx, *smaller, *targetRows)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		fmt.Println("nothing to compact")
+		return nil
+	}
+	fmt.Printf("rewrote lake into %d file(s): %v\n", len(paths), paths)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	c := newCommon("status")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, table, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	snap, err := table.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("table %s @ version %d: %d files, %d live rows\n",
+		*c.table, snap.Version, len(snap.Files), snap.LiveRows())
+	var bytes int64
+	for _, f := range snap.Files {
+		bytes += f.Size
+	}
+	fmt.Printf("  data: %.2f MB\n", float64(bytes)/1e6)
+	statuses, err := client.Status(ctx)
+	if err != nil {
+		return err
+	}
+	if len(statuses) == 0 {
+		fmt.Println("  no indices")
+		return nil
+	}
+	for _, st := range statuses {
+		fmt.Printf("  index column=%s kind=%d: %d files (%.1f KB), covers %d/%d lake files, %d stale refs, %d redundant\n",
+			st.Column, st.Kind, st.Entries, float64(st.IndexBytes)/1024,
+			st.CoveredFiles, st.CoveredFiles+st.UnindexedFiles, st.StaleRefs, st.RedundantEntries)
+	}
+	return nil
+}
+
+// cmdMaintain runs one automated maintenance pass: index new files,
+// compact when fragmented, vacuum when stale.
+func cmdMaintain(args []string) error {
+	c := newCommon("maintain")
+	column := c.fs.String("column", "", "column (required)")
+	kindName := c.fs.String("kind", "", "index kind (required)")
+	threshold := c.fs.Int("compact-at", 8, "compact once this many index files accumulate")
+	if err := c.parse(args); err != nil {
+		return err
+	}
+	if *column == "" || *kindName == "" {
+		return fmt.Errorf("-column and -kind are required")
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	_, _, client, err := c.open(ctx)
+	if err != nil {
+		return err
+	}
+	report, err := client.Maintain(ctx, rottnest.MaintainPolicy{CompactWhenEntries: *threshold},
+		rottnest.IndexSpec{Column: *column, Kind: kind})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d, compacted %d", len(report.Indexed), report.Compacted)
+	if report.Vacuum != nil {
+		fmt.Printf(", vacuum dropped %d entries / removed %d objects",
+			len(report.Vacuum.DroppedEntries), len(report.Vacuum.RemovedObjects))
+	}
+	fmt.Println()
+	return nil
+}

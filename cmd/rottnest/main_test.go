@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rottnest"
+)
+
+func TestParseSchema(t *testing.T) {
+	schema, err := parseSchema("id:uuid, msg:text,ts:int,score:double,ok:bool,emb:vec:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema.Columns) != 6 {
+		t.Fatalf("columns = %d", len(schema.Columns))
+	}
+	if schema.Columns[0].Type != rottnest.TypeFixedLenByteArray || schema.Columns[0].TypeLen != 16 {
+		t.Fatalf("uuid column = %+v", schema.Columns[0])
+	}
+	if schema.Columns[5].TypeLen != 32 {
+		t.Fatalf("vec column = %+v", schema.Columns[5])
+	}
+	for _, bad := range []string{"", "noname", "x:unknown", "v:vec", "v:vec:zero", "v:vec:-1"} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]rottnest.IndexKind{
+		"trie": rottnest.KindTrie, "uuid": rottnest.KindTrie,
+		"fm": rottnest.KindFM, "substring": rottnest.KindFM,
+		"ivfpq": rottnest.KindIVFPQ, "vector": rottnest.KindIVFPQ,
+	}
+	for in, want := range cases {
+		got, err := parseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("parseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseKind("btree"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestCLIWorkflow drives the subcommand functions end to end against
+// a temp directory store, exactly as the CLI would.
+func TestCLIWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	run := func(fn func([]string) error, args ...string) {
+		t.Helper()
+		if err := fn(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	run(cmdCreate, "-store", dir, "-table", "lake", "-schema", "id:uuid,msg:text")
+	run(cmdGen, "-store", dir, "-table", "lake", "-rows", "500", "-batches", "2", "-seed", "7")
+	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
+	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "msg", "-kind", "fm")
+	run(cmdSearch, "-store", dir, "-table", "lake", "-column", "msg", "-substring", "a", "-k", "3")
+	run(cmdCompact, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
+	run(cmdLakeCompact, "-store", dir, "-table", "lake")
+	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
+	run(cmdVacuum, "-store", dir, "-table", "lake")
+	run(cmdStatus, "-store", dir, "-table", "lake")
+
+	// The store really is a directory tree.
+	entries, err := os.ReadDir(filepath.Join(dir, "lake"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("store dir empty: %v", err)
+	}
+
+	// Error paths.
+	if err := cmdCreate([]string{"-store", dir, "-table", "lake", "-schema", "id:uuid"}); err == nil {
+		t.Fatal("double create accepted")
+	}
+	if err := cmdSearch([]string{"-store", dir, "-table", "lake", "-column", "msg"}); err == nil {
+		t.Fatal("search without predicate accepted")
+	}
+	if err := cmdSearch([]string{"-store", dir, "-table", "lake", "-column", "id", "-uuid", "nothex"}); err == nil {
+		t.Fatal("bad uuid accepted")
+	}
+	if err := cmdIndex([]string{"-store", dir, "-table", "lake", "-column", "id", "-kind", "wat"}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if err := cmdGen([]string{"-table", "lake"}); err == nil {
+		t.Fatal("missing -store accepted")
+	}
+}
+
+// TestCLIPersistenceAcrossProcesses simulates two separate process
+// invocations sharing only the directory store: one indexes, the
+// other searches.
+func TestCLIPersistenceAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdCreate([]string{"-store", dir, "-schema", "msg:text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-store", dir, "-rows", "300", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdIndex([]string{"-store", dir, "-column", "msg", "-kind", "fm"}); err != nil {
+		t.Fatal(err)
+	}
+	// "Another process": fresh handles via the search command.
+	if err := cmdSearch([]string{"-store", dir, "-column", "msg", "-substring", "the", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIMaintain(t *testing.T) {
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-store", dir, "-schema", "id:uuid"},
+	} {
+		if err := cmdCreate(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := cmdGen([]string{"-store", dir, "-rows", "200", "-seed", "9"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmdMaintain([]string{"-store", dir, "-column", "id", "-kind", "trie", "-compact-at", "3"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmdStatus([]string{"-store", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMaintain([]string{"-store", dir, "-column", "id"}); err == nil {
+		t.Fatal("missing -kind accepted")
+	}
+}

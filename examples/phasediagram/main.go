@@ -1,0 +1,57 @@
+// Command phasediagram builds a total-cost-of-ownership phase diagram
+// (the paper's Section VI methodology) for a UUID-search workload:
+// which of brute-force scanning, Rottnest, or a dedicated copy-data
+// system is cheapest at each (operating months, total queries) point.
+// Edit the Measurement fields to model your own workload.
+package main
+
+import (
+	"fmt"
+
+	"rottnest/internal/tco"
+)
+
+func main() {
+	// Measured (or estimated) resources for a ~300 GB dataset — the
+	// scale of the paper's substring corpus. Swap in your own
+	// measurements from the rottnest-bench harness.
+	m := tco.Measurement{
+		Pricing:                tco.DefaultPricing(),
+		RawBytes:               300e9,
+		IndexBytes:             20e9, // UUID tries are small
+		CopyBytes:              320e9,
+		IndexSeconds:           4 * 3600, // one instance, index + compact
+		RottnestQuerySeconds:   1.7,      // paper's UUID minimum latency
+		BruteForceWorkers:      8,
+		BruteForceQuerySeconds: 400,
+		DedicatedReplicas:      3,
+		ScaleFactor:            1,
+	}
+	p := m.Params()
+
+	fmt.Println("TCO parameters (USD):")
+	fmt.Printf("  cpm_i  (copy-data / month)   %8.2f\n", p.CPMCopyData)
+	fmt.Printf("  cpm_bf (brute-force / month) %8.2f\n", p.CPMBruteForce)
+	fmt.Printf("  cpq_bf (brute-force / query) %8.4f\n", p.CPQBruteForce)
+	fmt.Printf("  ic_r   (index, one-time)     %8.2f\n", p.ICRottnest)
+	fmt.Printf("  cpm_r  (rottnest / month)    %8.2f\n", p.CPMRottnest)
+	fmt.Printf("  cpq_r  (rottnest / query)    %8.6f\n", p.CPQRottnest)
+	fmt.Println()
+
+	d := tco.ComputeDiagram(p, 0.1, 100, 1, 1e9, 48)
+	fmt.Println("phase diagram (B=brute force, R=rottnest, C=copy data):")
+	fmt.Print(d.Render())
+	fmt.Println()
+
+	for _, months := range []float64{1, 10, 50} {
+		lo, hi, ok := p.RottnestWindow(months)
+		if !ok {
+			fmt.Printf("at %3.0f months: rottnest never wins\n", months)
+			continue
+		}
+		fmt.Printf("at %3.0f months: rottnest is cheapest from %.1e to %.1e total queries\n", months, lo, hi)
+	}
+	if be, ok := p.BreakEvenMonths(3000); ok {
+		fmt.Printf("break-even vs brute force at 3000 queries/month: %.1f days\n", be*30)
+	}
+}

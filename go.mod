@@ -1,0 +1,3 @@
+module rottnest
+
+go 1.22

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"rottnest/internal/tco"
+)
+
+// Fig12Result holds the sensitivity analysis of Figure 12.
+type Fig12Result struct {
+	// Base are the vector-search (recall 0.92) parameters.
+	Base tco.Params
+	// Factors swept.
+	Factors []float64
+	// Window boundaries at 10 months per swept parameter and factor.
+	CPQWindows [][2]float64
+	ICWindows  [][2]float64
+	CPMWindows [][2]float64
+	// BreakEvens per ic_r factor (months at 3000 queries/month).
+	ICBreakEvens []float64
+}
+
+// Fig12Sensitivity reproduces Figure 12: how the vector phase diagram
+// (recall 0.92) shifts as cpq_r, ic_r, and the index storage premium
+// (cpm_r - cpm_bf) are scaled. The paper's two observations:
+//
+//  1. cheaper queries push the copy-data boundary up (and leave the
+//     brute-force boundary alone); a smaller index does the opposite;
+//  2. cheaper indexing shortens the minimum worthwhile operating
+//     time without moving the long-horizon boundaries.
+func Fig12Sensitivity(opts Options) (*Fig12Result, error) {
+	out := opts.out()
+	fig9, err := Fig9VectorPhases(Options{Seed: opts.Seed, Quick: opts.Quick})
+	if err != nil {
+		return nil, err
+	}
+	var base tco.Params
+	for _, p := range fig9.Points {
+		if p.Target == 0.92 {
+			base = p.Params
+		}
+	}
+	res := &Fig12Result{Base: base, Factors: []float64{0.0625, 0.25, 1, 4, 16}}
+
+	fmt.Fprintln(out, "\n# Fig 12: sensitivity of the recall-0.92 vector phase diagram")
+	fmt.Fprintf(out, "%-10s %-24s %-24s %-24s\n", "factor", "cpq_r window@10mo", "ic_r window@10mo", "cpm_r window@10mo")
+	for _, f := range res.Factors {
+		pq := base
+		pq.CPQRottnest *= f
+		pic := base
+		pic.ICRottnest *= f
+		pcm := base
+		pcm.CPMRottnest = base.CPMBruteForce + (base.CPMRottnest-base.CPMBruteForce)*f
+
+		row := make([]string, 0, 3)
+		for _, variant := range []struct {
+			p    tco.Params
+			dest *[][2]float64
+		}{{pq, &res.CPQWindows}, {pic, &res.ICWindows}, {pcm, &res.CPMWindows}} {
+			lo, hi, ok := variant.p.RottnestWindow(10)
+			if !ok {
+				*variant.dest = append(*variant.dest, [2]float64{math.NaN(), math.NaN()})
+				row = append(row, "never wins")
+				continue
+			}
+			*variant.dest = append(*variant.dest, [2]float64{lo, hi})
+			row = append(row, fmt.Sprintf("%.1e..%.1e", lo, hi))
+		}
+		be, ok := pic.BreakEvenMonths(3000)
+		if !ok {
+			be = math.NaN()
+		}
+		res.ICBreakEvens = append(res.ICBreakEvens, be)
+		fmt.Fprintf(out, "%-10.4g %-24s %-24s %-24s\n", f, row[0], row[1], row[2])
+	}
+	fmt.Fprintf(out, "break-even months at 3000 q/mo per ic_r factor: ")
+	for i, be := range res.ICBreakEvens {
+		fmt.Fprintf(out, "%gx=%.2f ", res.Factors[i], be)
+	}
+	fmt.Fprintln(out)
+	return res, nil
+}

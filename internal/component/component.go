@@ -1,0 +1,360 @@
+// Package component implements Rottnest's componentization strategy
+// for object-storage-resident index files (Section V-B of the paper).
+//
+// An index data structure is broken into independently compressed
+// components concatenated into a single object, followed by a
+// directory of component offsets. A reader opens the file with one
+// suffix-range GET that captures the directory (and, by convention,
+// the "root" component that builders append last), then fetches only
+// the components a query touches — turning long chains of dependent
+// small reads into a small number of ranged GETs, while keeping the
+// compression benefits of serialize-the-whole-structure designs.
+//
+// File layout:
+//
+//	[data of component 0][data of component 1]...[data of component n-1]
+//	[directory: n * 3 x uvarint (offset, size, rawSize)][u8 kind]
+//	[u32 directory length][u64 file size][magic "RCF1"]
+//
+// The trailer carries the total file size so a reader can anchor its
+// suffix read without a HEAD request: opening costs exactly one GET.
+package component
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"rottnest/internal/objectstore"
+)
+
+var magic = []byte("RCF1")
+
+// Kind tags the index type stored in a component file, so readers can
+// reject files of the wrong type.
+type Kind uint8
+
+// Index kinds.
+const (
+	// KindTrie is the UUID binary-trie index.
+	KindTrie Kind = iota + 1
+	// KindFM is the FM-index substring index.
+	KindFM
+	// KindIVFPQ is the IVF-PQ vector index.
+	KindIVFPQ
+)
+
+// Builder assembles a component file. Add components in access-cost
+// order: components added later sit nearer the directory and are
+// captured by the reader's single suffix read, so builders append the
+// root component last.
+type Builder struct {
+	kind Kind
+	buf  []byte
+	dir  []dirEntry
+	err  error
+}
+
+type dirEntry struct {
+	offset  int64
+	size    int64
+	rawSize int64
+}
+
+// NewBuilder returns a builder for a file of the given kind.
+func NewBuilder(kind Kind) *Builder {
+	return &Builder{kind: kind}
+}
+
+// Add compresses data and appends it as the next component, returning
+// its component ID. Errors are deferred to Finish.
+func (b *Builder) Add(data []byte) int {
+	id := len(b.dir)
+	if b.err != nil {
+		return id
+	}
+	compressed, err := deflate(data)
+	if err != nil {
+		b.err = err
+		return id
+	}
+	b.dir = append(b.dir, dirEntry{
+		offset:  int64(len(b.buf)),
+		size:    int64(len(compressed)),
+		rawSize: int64(len(data)),
+	})
+	b.buf = append(b.buf, compressed...)
+	return id
+}
+
+// Finish appends the directory and trailer and returns the complete
+// file bytes.
+func (b *Builder) Finish() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	dirStart := len(b.buf)
+	for _, e := range b.dir {
+		b.buf = binary.AppendUvarint(b.buf, uint64(e.offset))
+		b.buf = binary.AppendUvarint(b.buf, uint64(e.size))
+		b.buf = binary.AppendUvarint(b.buf, uint64(e.rawSize))
+	}
+	b.buf = append(b.buf, byte(b.kind))
+	dirLen := len(b.buf) - dirStart
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(dirLen))
+	// Total size including this trailer: dirLen bytes of directory
+	// already appended + 4 (dirLen) + 8 (size) + 4 (magic).
+	total := uint64(len(b.buf) + 8 + 4)
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, total)
+	b.buf = append(b.buf, magic...)
+	return b.buf, nil
+}
+
+// NumComponents returns the number of components added so far.
+func (b *Builder) NumComponents() int { return len(b.dir) }
+
+func deflate(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("component: flate: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("component: flate: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("component: flate: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func inflate(data []byte, rawSize int64) ([]byte, error) {
+	// rawSize comes from the file's directory; cap the preallocation
+	// so a corrupted directory cannot force a giant allocation.
+	prealloc := rawSize
+	if prealloc < 0 || prealloc > 64<<20 {
+		prealloc = 64 << 20
+	}
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	buf := bytes.NewBuffer(make([]byte, 0, prealloc))
+	if _, err := io.Copy(buf, r); err != nil {
+		return nil, fmt.Errorf("component: inflate: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Reader provides lazy access to a component file on an object store.
+// Opening performs one suffix-range GET; each Component call fetches
+// (and caches) only the requested component, satisfied from the
+// already-fetched tail when possible.
+type Reader struct {
+	store objectstore.Store
+	key   string
+	kind  Kind
+	dir   []dirEntry
+	size  int64
+
+	// tail caches the suffix read performed at open; components whose
+	// extent lies within it cost no extra request.
+	tail    []byte
+	tailOff int64
+
+	mu    sync.Mutex
+	cache map[int][]byte
+}
+
+// OpenOptions tune the reader.
+type OpenOptions struct {
+	// TailBytes is the size of the speculative suffix read at open.
+	// Defaults to 256 KiB, sized to capture the directory plus a
+	// typical root component in one request.
+	TailBytes int64
+}
+
+// Open fetches the file's directory (one suffix-range GET) and returns
+// a lazy reader.
+func Open(ctx context.Context, store objectstore.Store, key string, opts OpenOptions) (*Reader, error) {
+	tailBytes := opts.TailBytes
+	if tailBytes <= 0 {
+		tailBytes = 256 << 10
+	}
+	tail, err := store.GetRange(ctx, key, -tailBytes, 0)
+	if err != nil {
+		return nil, fmt.Errorf("component: open %s: %w", key, err)
+	}
+	const trailerLen = 4 + 8 + 4 // dirLen + file size + magic
+	if len(tail) < trailerLen || !bytes.Equal(tail[len(tail)-4:], magic) {
+		return nil, fmt.Errorf("component: %s: bad magic", key)
+	}
+	size := int64(binary.LittleEndian.Uint64(tail[len(tail)-12:]))
+	dirLen := int(binary.LittleEndian.Uint32(tail[len(tail)-16:]))
+	if dirLen+trailerLen > len(tail) {
+		// Directory exceeds the speculative read; fetch it exactly.
+		tail, err = store.GetRange(ctx, key, -int64(dirLen+trailerLen), 0)
+		if err != nil {
+			return nil, fmt.Errorf("component: open %s directory: %w", key, err)
+		}
+	}
+	dirBytes := tail[len(tail)-trailerLen-dirLen : len(tail)-trailerLen]
+	kind := Kind(dirBytes[dirLen-1])
+	dirBytes = dirBytes[:dirLen-1]
+	var dir []dirEntry
+	for len(dirBytes) > 0 {
+		var e dirEntry
+		var n int
+		var v uint64
+		v, n = binary.Uvarint(dirBytes)
+		if n <= 0 {
+			return nil, fmt.Errorf("component: %s: corrupt directory", key)
+		}
+		e.offset = int64(v)
+		dirBytes = dirBytes[n:]
+		v, n = binary.Uvarint(dirBytes)
+		if n <= 0 {
+			return nil, fmt.Errorf("component: %s: corrupt directory", key)
+		}
+		e.size = int64(v)
+		dirBytes = dirBytes[n:]
+		v, n = binary.Uvarint(dirBytes)
+		if n <= 0 {
+			return nil, fmt.Errorf("component: %s: corrupt directory", key)
+		}
+		e.rawSize = int64(v)
+		dirBytes = dirBytes[n:]
+		dir = append(dir, e)
+	}
+	return &Reader{
+		store:   store,
+		key:     key,
+		kind:    kind,
+		dir:     dir,
+		size:    size,
+		tail:    tail,
+		tailOff: size - int64(len(tail)),
+		cache:   make(map[int][]byte),
+	}, nil
+}
+
+// Kind returns the file's index kind.
+func (r *Reader) Kind() Kind { return r.kind }
+
+// Key returns the object key the reader was opened on.
+func (r *Reader) Key() string { return r.key }
+
+// NumComponents returns the number of components in the file.
+func (r *Reader) NumComponents() int { return len(r.dir) }
+
+// Size returns the file's total byte size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Component returns the decompressed bytes of component id, fetching
+// it with a ranged GET unless it lies within the cached tail or was
+// read before.
+func (r *Reader) Component(ctx context.Context, id int) ([]byte, error) {
+	raw, err := r.rawComponent(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return inflate(raw, r.dir[id].rawSize)
+}
+
+func (r *Reader) rawComponent(ctx context.Context, id int) ([]byte, error) {
+	if id < 0 || id >= len(r.dir) {
+		return nil, fmt.Errorf("component: %s: component %d out of range", r.key, id)
+	}
+	r.mu.Lock()
+	cached, ok := r.cache[id]
+	r.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	e := r.dir[id]
+	if e.offset < 0 || e.size < 0 || e.offset+e.size > r.size {
+		return nil, fmt.Errorf("component: %s: component %d extent [%d,%d) outside file of %d bytes",
+			r.key, id, e.offset, e.offset+e.size, r.size)
+	}
+	var raw []byte
+	if e.offset >= r.tailOff {
+		lo := e.offset - r.tailOff
+		if lo+e.size > int64(len(r.tail)) {
+			return nil, fmt.Errorf("component: %s: component %d extent exceeds cached tail", r.key, id)
+		}
+		raw = r.tail[lo : lo+e.size]
+	} else {
+		var err error
+		raw, err = r.store.GetRange(ctx, r.key, e.offset, e.size)
+		if err != nil {
+			return nil, fmt.Errorf("component: %s: read component %d: %w", r.key, id, err)
+		}
+	}
+	r.mu.Lock()
+	r.cache[id] = raw
+	r.mu.Unlock()
+	return raw, nil
+}
+
+// Components fetches several components concurrently (one parallel
+// request fan) and returns them decompressed, in the order of ids.
+func (r *Reader) Components(ctx context.Context, ids []int) ([][]byte, error) {
+	out := make([][]byte, len(ids))
+
+	// Partition into cached/tail hits and remote fetches.
+	var reqs []objectstore.RangeRequest
+	var fetchIdx []int
+	for i, id := range ids {
+		if id < 0 || id >= len(r.dir) {
+			return nil, fmt.Errorf("component: %s: component %d out of range", r.key, id)
+		}
+		e := r.dir[id]
+		r.mu.Lock()
+		_, cached := r.cache[id]
+		r.mu.Unlock()
+		if cached || e.offset >= r.tailOff {
+			continue
+		}
+		reqs = append(reqs, objectstore.RangeRequest{Key: r.key, Offset: e.offset, Length: e.size})
+		fetchIdx = append(fetchIdx, i)
+	}
+	if len(reqs) > 0 {
+		raws, err := objectstore.FanGet(ctx, r.store, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("component: %s: fan read: %w", r.key, err)
+		}
+		r.mu.Lock()
+		for j, raw := range raws {
+			r.cache[ids[fetchIdx[j]]] = raw
+		}
+		r.mu.Unlock()
+	}
+	for i, id := range ids {
+		data, err := r.Component(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// ReadKind returns the kind of the component file at key with a single
+// small suffix read (used to sanity-check index files).
+func ReadKind(ctx context.Context, store objectstore.Store, key string) (Kind, error) {
+	tail, err := store.GetRange(ctx, key, -24, 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(tail) < 16 || !bytes.Equal(tail[len(tail)-4:], magic) {
+		return 0, fmt.Errorf("component: %s: bad magic", key)
+	}
+	// The kind byte is the last byte of the directory, just before
+	// the 16-byte (dirLen + size) trailer fields.
+	if len(tail) < 17 {
+		return 0, fmt.Errorf("component: %s: truncated", key)
+	}
+	return Kind(tail[len(tail)-17]), nil
+}

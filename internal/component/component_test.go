@@ -1,0 +1,195 @@
+package component
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/objectstore"
+)
+
+func buildTestFile(t *testing.T, kind Kind, comps ...[]byte) []byte {
+	t.Helper()
+	b := NewBuilder(kind)
+	for _, c := range comps {
+		b.Add(c)
+	}
+	data, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestBuildOpenRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	comps := [][]byte{
+		bytes.Repeat([]byte("leaf0-"), 1000),
+		bytes.Repeat([]byte("leaf1-"), 2000),
+		[]byte("root"),
+		{}, // empty component is legal
+	}
+	data := buildTestFile(t, KindTrie, comps...)
+	if err := store.Put(ctx, "ix/a.index", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(ctx, store, "ix/a.index", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindTrie || r.NumComponents() != 4 || r.Size() != int64(len(data)) {
+		t.Fatalf("kind=%d n=%d size=%d", r.Kind(), r.NumComponents(), r.Size())
+	}
+	for i, want := range comps {
+		got, err := r.Component(ctx, i)
+		if err != nil {
+			t.Fatalf("component %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("component %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := r.Component(ctx, 4); err == nil {
+		t.Fatal("out-of-range component accepted")
+	}
+	if _, err := r.Component(ctx, -1); err == nil {
+		t.Fatal("negative component accepted")
+	}
+}
+
+func TestTailCapturesTrailingComponents(t *testing.T) {
+	ctx := context.Background()
+	inner := objectstore.NewMemStore(nil)
+	// Big leading component, small root at the end.
+	big := make([]byte, 4<<20)
+	rand.New(rand.NewSource(1)).Read(big) // incompressible
+	root := []byte("tiny root structure")
+	data := buildTestFile(t, KindFM, big, root)
+	inner.Put(ctx, "k", data)
+
+	store, metrics := objectstore.Instrument(inner, objectstore.DefaultS3Model())
+	r, err := Open(ctx, store, "k", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterOpen := metrics.Snapshot()
+	// Root lies in the cached tail: no further GETs.
+	got, err := r.Component(ctx, 1)
+	if err != nil || !bytes.Equal(got, root) {
+		t.Fatalf("root read: %v", err)
+	}
+	if d := metrics.Snapshot().Sub(afterOpen); d.Gets != 0 {
+		t.Fatalf("root read issued %d GETs, want 0", d.Gets)
+	}
+	// The big leading component costs exactly one GET.
+	if _, err := r.Component(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.Snapshot().Sub(afterOpen); d.Gets != 1 {
+		t.Fatalf("leaf read issued %d GETs, want 1", d.Gets)
+	}
+	// Cached afterwards.
+	r.Component(ctx, 0)
+	if d := metrics.Snapshot().Sub(afterOpen); d.Gets != 1 {
+		t.Fatalf("cached re-read issued extra GETs: %d", d.Gets)
+	}
+}
+
+func TestComponentsFanFetch(t *testing.T) {
+	ctx := context.Background()
+	inner := objectstore.NewMemStore(nil)
+	rng := rand.New(rand.NewSource(2))
+	comps := make([][]byte, 6)
+	for i := range comps {
+		comps[i] = make([]byte, 1<<20)
+		rng.Read(comps[i])
+	}
+	data := buildTestFile(t, KindIVFPQ, comps...)
+	inner.Put(ctx, "k", data)
+	store, metrics := objectstore.Instrument(inner, objectstore.DefaultS3Model())
+	r, err := Open(ctx, store, "k", OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.Snapshot()
+	got, err := r.Components(ctx, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, i := range []int{0, 2, 4} {
+		if !bytes.Equal(got[j], comps[i]) {
+			t.Fatalf("component %d mismatch", i)
+		}
+	}
+	d := metrics.Snapshot().Sub(before)
+	if d.Gets > 3 {
+		t.Fatalf("fan fetch issued %d GETs for 3 components", d.Gets)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Repetitive components must compress.
+	comp := bytes.Repeat([]byte("abcdefgh"), 100000)
+	data := buildTestFile(t, KindTrie, comp)
+	if len(data) >= len(comp)/4 {
+		t.Fatalf("file %d bytes for %d raw; compression ineffective", len(data), len(comp))
+	}
+}
+
+func TestReadKind(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	for _, kind := range []Kind{KindTrie, KindFM, KindIVFPQ} {
+		key := fmt.Sprintf("k%d", kind)
+		store.Put(ctx, key, buildTestFile(t, kind, []byte("x")))
+		got, err := ReadKind(ctx, store, key)
+		if err != nil || got != kind {
+			t.Fatalf("ReadKind(%s) = %d, %v", key, got, err)
+		}
+	}
+	store.Put(ctx, "bad", []byte("definitely not a component file"))
+	if _, err := ReadKind(ctx, store, "bad"); err == nil {
+		t.Fatal("bad file accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	if _, err := Open(ctx, store, "missing", OpenOptions{}); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	store.Put(ctx, "garbage", []byte("123456789012"))
+	if _, err := Open(ctx, store, "garbage", OpenOptions{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLargeDirectoryBeyondTail(t *testing.T) {
+	// Force the directory itself to exceed the speculative tail read.
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	b := NewBuilder(KindTrie)
+	for i := 0; i < 500; i++ {
+		b.Add([]byte(fmt.Sprintf("component-%d", i)))
+	}
+	data, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ctx, "k", data)
+	r, err := Open(ctx, store, "k", OpenOptions{TailBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumComponents() != 500 {
+		t.Fatalf("components = %d", r.NumComponents())
+	}
+	got, err := r.Component(ctx, 123)
+	if err != nil || string(got) != "component-123" {
+		t.Fatalf("component 123 = %q, %v", got, err)
+	}
+}

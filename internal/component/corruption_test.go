@@ -1,0 +1,122 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/objectstore"
+)
+
+// TestCorruptionNeverPanics flips random bytes of a valid component
+// file and verifies open/read paths return errors (or garbage data)
+// but never panic — the behaviour an index reader needs when an
+// object is damaged or torn.
+func TestCorruptionNeverPanics(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(KindTrie)
+	for i := 0; i < 5; i++ {
+		payload := make([]byte, 2000+rng.Intn(3000))
+		rng.Read(payload)
+		b.Add(payload)
+	}
+	valid, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		// Flip 1-4 random bytes.
+		for f := 0; f <= rng.Intn(4); f++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		store := objectstore.NewMemStore(nil)
+		store.Put(ctx, "k", corrupted)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			r, err := Open(ctx, store, "k", OpenOptions{})
+			if err != nil {
+				return // rejected at open: fine
+			}
+			for i := 0; i < r.NumComponents() && i < 10; i++ {
+				r.Component(ctx, i) // may error; must not panic
+			}
+		}()
+	}
+}
+
+// TestTruncationNeverPanics cuts the file at every length class.
+func TestTruncationNeverPanics(t *testing.T) {
+	ctx := context.Background()
+	b := NewBuilder(KindFM)
+	b.Add([]byte("component zero"))
+	b.Add([]byte("component one"))
+	valid, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut += 3 {
+		store := objectstore.NewMemStore(nil)
+		store.Put(ctx, "k", valid[:cut])
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("cut %d panicked: %v", cut, p)
+				}
+			}()
+			r, err := Open(ctx, store, "k", OpenOptions{})
+			if err != nil {
+				return
+			}
+			for i := 0; i < r.NumComponents(); i++ {
+				r.Component(ctx, i)
+			}
+		}()
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	// A builder never errors on Add today (flate cannot fail on
+	// valid input), but Finish must stay callable exactly once per
+	// builder and produce stable output.
+	b := NewBuilder(KindIVFPQ)
+	id0 := b.Add([]byte("x"))
+	id1 := b.Add(nil)
+	if id0 != 0 || id1 != 1 || b.NumComponents() != 2 {
+		t.Fatalf("ids %d,%d n=%d", id0, id1, b.NumComponents())
+	}
+	data, err := b.Finish()
+	if err != nil || len(data) == 0 {
+		t.Fatalf("finish: %v", err)
+	}
+	// The kind byte round-trips.
+	store := objectstore.NewMemStore(nil)
+	store.Put(context.Background(), "k", data)
+	kind, err := ReadKind(context.Background(), store, "k")
+	if err != nil || kind != KindIVFPQ {
+		t.Fatalf("kind = %v, %v", kind, err)
+	}
+}
+
+func ExampleBuilder() {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	b := NewBuilder(KindTrie)
+	leaf := b.Add([]byte("leaf data"))
+	root := b.Add([]byte("root data")) // appended last: captured by the open's tail read
+	data, _ := b.Finish()
+	store.Put(ctx, "example.index", data)
+
+	r, _ := Open(ctx, store, "example.index", OpenOptions{})
+	rootData, _ := r.Component(ctx, root)
+	leafData, _ := r.Component(ctx, leaf)
+	fmt.Println(string(rootData), "/", string(leafData))
+	// Output: root data / leaf data
+}

@@ -1,0 +1,245 @@
+// Package core implements the Rottnest index protocol (Section IV of
+// the paper): the four client APIs — index, search, compact, vacuum —
+// that maintain object-storage-resident secondary indices over a
+// transactional data lake while preserving two invariants:
+//
+//   - Existence: every index file referenced by the metadata table is
+//     present in the object storage bucket; and
+//   - Consistency: an index file correctly indexes its associated
+//     Parquet files if they still exist.
+//
+// The protocol is bolt-on and lazy: it never touches the lake's own
+// log, requires only strong read-after-write consistency and
+// conditional PUT (no atomic rename), and tolerates concurrent lake
+// maintenance (compaction, deletes, vacuum) by indexing every new
+// Parquet file regardless of its origin and filtering stale physical
+// locations at search time.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/fmindex"
+	"rottnest/internal/ivfpq"
+	"rottnest/internal/lake"
+	"rottnest/internal/meta"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+	"rottnest/internal/trie"
+)
+
+
+// Errors returned by the client APIs.
+var (
+	// ErrAborted reports that an index or compact operation observed
+	// a disappearing input (e.g. lake garbage collection removed a
+	// file mid-scan) and must be retried.
+	ErrAborted = errors.New("core: operation aborted, retry")
+	// ErrTimeout reports that an index or compact operation exceeded
+	// the index timeout and aborted before commit; its uploaded file
+	// (if any) will be garbage collected by vacuum.
+	ErrTimeout = errors.New("core: operation exceeded index timeout")
+	// ErrBelowMinRows reports that too few new rows exist to justify
+	// an index file (the paper's footnote 2: small batches are left
+	// for brute-force scanning).
+	ErrBelowMinRows = errors.New("core: new rows below index minimum")
+	// ErrBadColumn reports an index/search against a column whose
+	// type does not match the index kind.
+	ErrBadColumn = errors.New("core: column type incompatible with index kind")
+)
+
+// Config tunes a Client.
+type Config struct {
+	// IndexDir is the key prefix (the paper's index_dir bucket) that
+	// holds index files and the metadata table.
+	IndexDir string
+	// Timeout is the index timeout: index/compact operations abort
+	// rather than commit beyond it, and vacuum may physically delete
+	// uncommitted objects older than it (Section IV-C). Defaults to
+	// one hour.
+	Timeout time.Duration
+	// Trie, FM, and IVF tune the per-kind index construction.
+	Trie trie.BuildOptions
+	FM   fmindex.BuildOptions
+	IVF  ivfpq.BuildOptions
+	// MinVectorRows is the minimum number of new rows worth a vector
+	// index file. Defaults to 64.
+	MinVectorRows int64
+	// SearchWidth caps a single search's request concurrency —
+	// Rottnest searches run on one instance (Section VII-A), so
+	// fan-outs over many index files proceed in waves of this width.
+	// Defaults to 32.
+	SearchWidth int
+}
+
+func (c Config) withDefaults() Config {
+	if !strings.HasSuffix(c.IndexDir, "/") {
+		c.IndexDir += "/"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Hour
+	}
+	if c.MinVectorRows <= 0 {
+		c.MinVectorRows = 64
+	}
+	if c.SearchWidth <= 0 {
+		c.SearchWidth = 32
+	}
+	return c
+}
+
+// Client is a Rottnest client bound to one lake table and one index
+// directory. Clients are stateless beyond configuration: every API
+// call re-plans against the current metadata table and lake snapshot,
+// so any number of processes can run clients concurrently.
+type Client struct {
+	table *lake.Table
+	store objectstore.Store
+	clock simtime.Clock
+	cfg   Config
+	meta  *meta.Table
+}
+
+// NewClient returns a client over the table, storing its index under
+// cfg.IndexDir on the table's object store.
+func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
+	if clock == nil {
+		clock = simtime.RealClock{}
+	}
+	cfg = cfg.withDefaults()
+	return &Client{
+		table: table,
+		store: table.Store(),
+		clock: clock,
+		cfg:   cfg,
+		meta:  meta.New(table.Store(), clock, cfg.IndexDir+"_meta/"),
+	}
+}
+
+// Meta exposes the metadata table (tests and tooling).
+func (c *Client) Meta() *meta.Table { return c.meta }
+
+// Table returns the underlying lake table.
+func (c *Client) Table() *lake.Table { return c.table }
+
+// indexFilePrefix is where index files live under IndexDir.
+const indexFilePrefix = "files/"
+
+// Manifest is component 0 of every index file: the table of Parquet
+// files the index covers, with each file's page table (Section V-A) so
+// searches can translate page refs to exact byte ranges without
+// touching Parquet footers.
+type Manifest struct {
+	Column string         `json:"column"`
+	Kind   component.Kind `json:"kind"`
+	Files  []ManifestFile `json:"files"`
+}
+
+// ManifestFile is one covered Parquet file.
+type ManifestFile struct {
+	// Path is the lake-relative file path.
+	Path string `json:"path"`
+	// Rows is the file's row count.
+	Rows int64 `json:"rows"`
+	// Pages is the page table of the indexed column.
+	Pages parquet.PageTable `json:"pages"`
+}
+
+// readManifest fetches and parses component 0 of an index file.
+func readManifest(ctx context.Context, r *component.Reader) (*Manifest, error) {
+	data, err := r.Component(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: parse manifest of %s: %w", r.Key(), err)
+	}
+	return &m, nil
+}
+
+// kindForColumn validates that the column can host the index kind and
+// returns the schema column.
+func kindForColumn(schema *parquet.Schema, column string, kind component.Kind) (int, parquet.Column, error) {
+	ci := schema.ColumnIndex(column)
+	if ci < 0 {
+		return 0, parquet.Column{}, fmt.Errorf("core: column %q not in schema: %w", column, ErrBadColumn)
+	}
+	col := schema.Columns[ci]
+	switch kind {
+	case component.KindTrie:
+		if col.Type != parquet.TypeFixedLenByteArray || col.TypeLen != trie.KeyLen {
+			return 0, parquet.Column{}, fmt.Errorf("core: trie index needs FIXED_LEN_BYTE_ARRAY(16) column, %q is %v(%d): %w", column, col.Type, col.TypeLen, ErrBadColumn)
+		}
+	case component.KindFM:
+		if col.Type != parquet.TypeByteArray {
+			return 0, parquet.Column{}, fmt.Errorf("core: substring index needs BYTE_ARRAY column, %q is %v: %w", column, col.Type, ErrBadColumn)
+		}
+	case component.KindIVFPQ:
+		if col.Type != parquet.TypeFixedLenByteArray || col.TypeLen%4 != 0 || col.TypeLen == 0 {
+			return 0, parquet.Column{}, fmt.Errorf("core: vector index needs FIXED_LEN_BYTE_ARRAY(4*dim) column, %q is %v(%d): %w", column, col.Type, col.TypeLen, ErrBadColumn)
+		}
+	default:
+		return 0, parquet.Column{}, fmt.Errorf("core: unknown index kind %d", kind)
+	}
+	return ci, col, nil
+}
+
+// coverEntries greedily selects metadata entries until no entry adds
+// coverage of an active path, returning the chosen entries and the
+// covered set. Both search planning and vacuum use it: it maximizes
+// covered Parquet files while heuristically minimizing index files
+// (Section IV-C).
+func coverEntries(entries []meta.IndexEntry, active map[string]bool) ([]meta.IndexEntry, map[string]bool) {
+	covered := make(map[string]bool)
+	remaining := append([]meta.IndexEntry(nil), entries...)
+	var chosen []meta.IndexEntry
+	for {
+		bestGain, bestIdx := 0, -1
+		for i, e := range remaining {
+			gain := 0
+			for _, f := range e.Files {
+				if active[f] && !covered[f] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 {
+			return chosen, covered
+		}
+		e := remaining[bestIdx]
+		chosen = append(chosen, e)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, f := range e.Files {
+			if active[f] {
+				covered[f] = true
+			}
+		}
+	}
+}
+
+// CheckExistence verifies the Existence invariant (Lemma 1): every
+// index file referenced by the metadata table is present in the
+// bucket. Tests run it between and during concurrent operations.
+func (c *Client) CheckExistence(ctx context.Context) error {
+	entries, err := c.meta.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := c.store.Head(ctx, e.IndexKey); err != nil {
+			return fmt.Errorf("core: existence violated for %s: %w", e.IndexKey, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/lake"
+	"rottnest/internal/parquet"
+	"rottnest/internal/workload"
+)
+
+// TestConcurrentProtocolInvariants hammers the protocol with
+// concurrent appenders, indexers, compactors (index and lake),
+// deleters, vacuums, and searchers, then verifies:
+//
+//   - the Existence invariant holds at the end (and vacuums ran
+//     during the storm without breaking concurrent searches);
+//   - no search ever errors;
+//   - a final search finds every live planted key exactly once and
+//     never returns a deleted key.
+func TestConcurrentProtocolInvariants(t *testing.T) {
+	ctx := context.Background()
+	e := newEnv(t, uuidSchema, Config{Timeout: time.Hour})
+	gen := workload.NewUUIDGen(100)
+
+	var mu sync.Mutex
+	live := make(map[[16]byte]string)   // key -> file path at insert
+	deleted := make(map[[16]byte]bool)
+
+	appendBatch := func(rng *rand.Rand) error {
+		n := 50 + rng.Intn(100)
+		mu.Lock()
+		keys := gen.Batch(n)
+		mu.Unlock()
+		b := parquet.NewBatch(uuidSchema)
+		ids := make([][]byte, n)
+		pay := make([][]byte, n)
+		for i, k := range keys {
+			kk := k
+			ids[i] = kk[:]
+			pay[i] = []byte("p")
+		}
+		b.Cols[0] = parquet.ColumnValues{Bytes: ids}
+		b.Cols[1] = parquet.ColumnValues{Bytes: pay}
+		path, err := e.table.Append(ctx, b, parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, k := range keys {
+			live[k] = path
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	deleteSome := func(rng *rand.Rand) error {
+		mu.Lock()
+		var victim [16]byte
+		var path string
+		for k, p := range live {
+			victim, path = k, p
+			break
+		}
+		mu.Unlock()
+		if path == "" {
+			return nil
+		}
+		// Find the row of the victim in its file; the file may have
+		// been compacted away, in which case skip.
+		snap, err := e.table.Snapshot(ctx)
+		if err != nil {
+			return err
+		}
+		if _, ok := snap.File(path); !ok {
+			return nil
+		}
+		vals, _, _, err := parquet.ScanColumn(ctx, e.store, e.table.Root()+path, 0)
+		if err != nil {
+			return nil // racing lake vacuum; fine
+		}
+		for i, v := range vals.Bytes {
+			if string(v) == string(victim[:]) {
+				if err := e.table.DeleteRows(ctx, path, []uint32{uint32(i)}); err != nil {
+					if errors.Is(err, lake.ErrConflict) {
+						return nil
+					}
+					return err
+				}
+				mu.Lock()
+				delete(live, victim)
+				deleted[victim] = true
+				mu.Unlock()
+				return nil
+			}
+		}
+		return nil
+	}
+
+	searchOne := func(rng *rand.Rand) error {
+		mu.Lock()
+		var k [16]byte
+		found := false
+		for key := range live {
+			k, found = key, true
+			break
+		}
+		mu.Unlock()
+		if !found {
+			return nil
+		}
+		res, err := e.cli.Search(ctx, uuidQuery(k))
+		if err != nil {
+			return fmt.Errorf("search: %w", err)
+		}
+		// The key may have been deleted between pick and search;
+		// just require no error and no obviously wrong value.
+		for _, m := range res.Matches {
+			if string(m.Value) != string(k[:]) {
+				return fmt.Errorf("search returned foreign value")
+			}
+		}
+		return nil
+	}
+
+	ops := []func(*rand.Rand) error{
+		appendBatch,
+		deleteSome,
+		searchOne,
+		func(*rand.Rand) error {
+			_, err := e.cli.Index(ctx, "id", component.KindTrie)
+			return err
+		},
+		func(*rand.Rand) error {
+			_, err := e.cli.Compact(ctx, "id", component.KindTrie, CompactOptions{})
+			return err
+		},
+		func(*rand.Rand) error {
+			_, err := e.table.Compact(ctx, 1<<30, 0)
+			if errors.Is(err, lake.ErrConflict) {
+				return nil
+			}
+			return err
+		},
+		func(*rand.Rand) error {
+			_, err := e.cli.Vacuum(ctx, VacuumOptions{})
+			return err
+		},
+	}
+
+	// Seed data.
+	for i := 0; i < 3; i++ {
+		if err := appendBatch(rand.New(rand.NewSource(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 6
+	const opsPerWorker = 25
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < opsPerWorker; i++ {
+				op := ops[rng.Intn(len(ops))]
+				if err := op(rng); err != nil {
+					errs[w] = fmt.Errorf("worker %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Invariants after the storm.
+	if err := e.cli.CheckExistence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Bring the index fully up to date, then every live key must be
+	// found exactly once and every deleted key not at all.
+	if _, err := e.cli.Index(ctx, "id", component.KindTrie); err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for k := range live {
+		res, err := e.cli.Search(ctx, uuidQuery(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 1 {
+			t.Fatalf("live key %x matched %d times", k, len(res.Matches))
+		}
+		checked++
+		if checked >= 150 {
+			break
+		}
+	}
+	checked = 0
+	for k := range deleted {
+		res, err := e.cli.Search(ctx, uuidQuery(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 0 {
+			t.Fatalf("deleted key %x resurrected", k)
+		}
+		checked++
+		if checked >= 50 {
+			break
+		}
+	}
+}
+
+// TestVacuumNeverBreaksConcurrentSearch interleaves vacuum with
+// searches against a compacted index: the timeout rule must keep the
+// files a planned search will read alive.
+func TestVacuumNeverBreaksConcurrentSearch(t *testing.T) {
+	ctx := context.Background()
+	e := newEnv(t, uuidSchema, Config{Timeout: time.Hour})
+	gen := workload.NewUUIDGen(200)
+	var keys [][16]byte
+	for i := 0; i < 4; i++ {
+		ks, _ := e.appendUUIDs(t, gen, 200)
+		keys = append(keys, ks...)
+		if _, err := e.cli.Index(ctx, "id", component.KindTrie); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.cli.Compact(ctx, "id", component.KindTrie, CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e.clock.Advance(2 * time.Hour) // old files leave the timeout window
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var searchErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := keys[rng.Intn(len(keys))]
+			res, err := e.cli.Search(ctx, uuidQuery(k))
+			if err != nil {
+				searchErr = err
+				return
+			}
+			if len(res.Matches) != 1 {
+				searchErr = fmt.Errorf("key matched %d times during vacuum", len(res.Matches))
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := e.cli.Vacuum(ctx, VacuumOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if searchErr != nil {
+		t.Fatal(searchErr)
+	}
+	if err := e.cli.CheckExistence(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

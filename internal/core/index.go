@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"rottnest/internal/component"
+	"rottnest/internal/fmindex"
+	"rottnest/internal/ivfpq"
+	"rottnest/internal/meta"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/postings"
+	"rottnest/internal/simtime"
+	"rottnest/internal/trie"
+)
+
+func float32frombits(u uint32) float32 { return math.Float32frombits(u) }
+
+// Index brings the (column, kind) index up to date with the latest
+// lake snapshot, following the protocol of Section IV-A:
+//
+//  1. Plan: diff the snapshot's manifest list against the metadata
+//     table to find Parquet files not yet indexed — every new file is
+//     indexed regardless of whether it came from an insert, update,
+//     or lake compaction.
+//  2. Index: scan the new files' column, build one index file
+//     covering all of them, and upload it to the index directory.
+//  3. Commit: insert the index file's record into the metadata table
+//     transactionally. Upload-then-commit order preserves the
+//     Existence invariant.
+//  4. Timeout: if the operation exceeds the configured timeout it
+//     aborts before commit; vacuum later collects the orphan upload.
+//
+// It returns the new metadata entry, or nil if every snapshot file was
+// already covered. If an input file disappears mid-scan (lake GC), it
+// returns ErrAborted and should be retried.
+func (c *Client) Index(ctx context.Context, column string, kind component.Kind) (*meta.IndexEntry, error) {
+	return c.IndexAt(ctx, column, kind, -1)
+}
+
+// IndexAt is Index against a specific lake snapshot version (data
+// lakes support time travel; the paper's index API takes a snapshot).
+// Version < 0 means latest.
+func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind, version int64) (*meta.IndexEntry, error) {
+	start := c.clock.Now()
+
+	// Plan.
+	snap, err := c.table.SnapshotAt(ctx, version)
+	if err != nil {
+		return nil, err
+	}
+	ci, col, err := kindForColumn(snap.Schema, column, kind)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := c.meta.ListFor(ctx, column, kind)
+	if err != nil {
+		return nil, err
+	}
+	covered := make(map[string]bool)
+	for _, e := range existing {
+		for _, f := range e.Files {
+			covered[f] = true
+		}
+	}
+	var newFiles []ManifestFile
+	for _, f := range snap.Files {
+		if !covered[f.Path] {
+			newFiles = append(newFiles, ManifestFile{Path: f.Path, Rows: f.Rows})
+		}
+	}
+	if len(newFiles) == 0 {
+		return nil, nil
+	}
+
+	// Index: scan the new files (internally parallel, as the paper
+	// notes the index API is) and build.
+	builder := component.NewBuilder(kind)
+	manifest := &Manifest{Column: column, Kind: kind, Files: newFiles}
+	var totalRows int64
+	columns := make([]parquet.ColumnValues, len(newFiles))
+	scanErrs := make([]error, len(newFiles))
+	session := simtime.From(ctx)
+	session.ParallelN(len(newFiles), c.cfg.SearchWidth, func(i int, s *simtime.Session) {
+		bctx := ctx
+		if s != nil {
+			bctx = simtime.With(ctx, s)
+		}
+		vals, pages, _, err := parquet.ScanColumn(bctx, c.store, c.table.Root()+newFiles[i].Path, ci)
+		if err != nil {
+			scanErrs[i] = err
+			return
+		}
+		newFiles[i].Pages = pages
+		newFiles[i].Rows = pages.TotalRows()
+		columns[i] = vals
+	})
+	for i, err := range scanErrs {
+		if err != nil {
+			if errors.Is(err, objectstore.ErrNotFound) {
+				return nil, fmt.Errorf("core: input %s vanished during indexing: %w", newFiles[i].Path, ErrAborted)
+			}
+			return nil, err
+		}
+	}
+	for i := range newFiles {
+		totalRows += newFiles[i].Rows
+	}
+	if kind == component.KindIVFPQ && totalRows < c.cfg.MinVectorRows {
+		return nil, fmt.Errorf("core: %d new rows < %d: %w", totalRows, c.cfg.MinVectorRows, ErrBelowMinRows)
+	}
+
+	manifestJSON, err := json.Marshal(manifest)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode manifest: %w", err)
+	}
+	builder.Add(manifestJSON) // component 0
+
+	switch kind {
+	case component.KindTrie:
+		keys, refs := trieInputs(newFiles, columns)
+		if err := trie.BuildInto(builder, keys, refs, c.cfg.Trie); err != nil {
+			return nil, err
+		}
+	case component.KindFM:
+		text, starts, refs := fmInputs(newFiles, columns)
+		if err := fmindex.BuildInto(builder, text, starts, refs, c.cfg.FM); err != nil {
+			return nil, err
+		}
+	case component.KindIVFPQ:
+		vecs, refs := vectorInputs(newFiles, columns, col.TypeLen/4)
+		if err := ivfpq.BuildInto(builder, vecs, refs, c.cfg.IVF); err != nil {
+			return nil, err
+		}
+	}
+	data, err := builder.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	// Upload.
+	indexKey := c.cfg.IndexDir + indexFilePrefix + randomName() + ".index"
+	if err := c.store.Put(ctx, indexKey, data); err != nil {
+		return nil, err
+	}
+
+	// Timeout check, then commit.
+	if c.clock.Now().Sub(start) > c.cfg.Timeout {
+		return nil, fmt.Errorf("core: index of %d files: %w", len(newFiles), ErrTimeout)
+	}
+	paths := make([]string, len(newFiles))
+	for i, f := range newFiles {
+		paths[i] = f.Path
+	}
+	entry := meta.IndexEntry{
+		IndexKey:  indexKey,
+		Kind:      kind,
+		Column:    column,
+		Files:     paths,
+		Rows:      totalRows,
+		SizeBytes: int64(len(data)),
+	}
+	if err := c.meta.Insert(ctx, entry); err != nil {
+		return nil, err
+	}
+	entry.CreatedAt = c.clock.Now()
+	return &entry, nil
+}
+
+// randomName returns a fresh hex name for an index file.
+func randomName() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand does not fail on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// trieInputs flattens per-file UUID columns into (key, page ref)
+// pairs: each row's ref is the page containing it.
+func trieInputs(files []ManifestFile, columns []parquet.ColumnValues) ([][16]byte, []postings.PageRef) {
+	var keys [][16]byte
+	var refs []postings.PageRef
+	for fi := range files {
+		vals := columns[fi].Bytes
+		for _, p := range files[fi].Pages {
+			for r := 0; r < p.NumValues; r++ {
+				row := p.FirstRow + int64(r)
+				var k [16]byte
+				copy(k[:], vals[row])
+				keys = append(keys, k)
+				refs = append(refs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
+			}
+		}
+	}
+	return keys, refs
+}
+
+// fmInputs concatenates per-file text columns into one separator-
+// joined text with page-boundary offsets. Sentinel bytes inside
+// values are rewritten to the separator so the FM-index build
+// constraint holds; in-situ probing re-checks against the raw value,
+// so this cannot cause wrong results, only (vanishingly rare) false
+// negatives for patterns containing 0x00, which fall back to scans.
+func fmInputs(files []ManifestFile, columns []parquet.ColumnValues) ([]byte, []int64, []postings.PageRef) {
+	var text []byte
+	var starts []int64
+	var refs []postings.PageRef
+	for fi := range files {
+		vals := columns[fi].Bytes
+		for _, p := range files[fi].Pages {
+			starts = append(starts, int64(len(text)))
+			refs = append(refs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
+			for r := 0; r < p.NumValues; r++ {
+				v := vals[p.FirstRow+int64(r)]
+				if bytes.IndexByte(v, fmindex.Sentinel) >= 0 {
+					v = bytes.ReplaceAll(v, []byte{fmindex.Sentinel}, []byte{fmindex.Separator})
+				}
+				text = append(text, v...)
+				text = append(text, fmindex.Separator)
+			}
+		}
+	}
+	return text, starts, refs
+}
+
+// vectorInputs decodes per-file packed float32 columns into vectors
+// with row-level refs.
+func vectorInputs(files []ManifestFile, columns []parquet.ColumnValues, dim int) ([][]float32, []postings.RowRef) {
+	var vecs [][]float32
+	var refs []postings.RowRef
+	for fi := range files {
+		for row, v := range columns[fi].Bytes {
+			vecs = append(vecs, decodeVector(v, dim))
+			refs = append(refs, postings.RowRef{File: uint32(fi), Row: int64(row)})
+		}
+	}
+	return vecs, refs
+}
+
+// decodeVector unpacks a little-endian float32 column value.
+func decodeVector(v []byte, dim int) []float32 {
+	if dim > len(v)/4 {
+		dim = len(v) / 4
+	}
+	out := make([]float32, dim)
+	for i := range out {
+		out[i] = float32frombits(binary.LittleEndian.Uint32(v[4*i:]))
+	}
+	return out
+}

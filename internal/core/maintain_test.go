@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/workload"
+)
+
+func TestStatusTracksCoverageAndFragmentation(t *testing.T) {
+	ctx := context.Background()
+	e := newEnv(t, uuidSchema, Config{})
+	gen := workload.NewUUIDGen(70)
+
+	// Empty table state (after one append, before any index).
+	e.appendUUIDs(t, gen, 100)
+	statuses, err := e.cli.Status(ctx)
+	if err != nil || len(statuses) != 0 {
+		t.Fatalf("pre-index status = %v, %v", statuses, err)
+	}
+
+	// Three indexed batches, then one unindexed.
+	for i := 0; i < 2; i++ {
+		if _, err := e.cli.Index(ctx, "id", component.KindTrie); err != nil {
+			t.Fatal(err)
+		}
+		e.appendUUIDs(t, gen, 100)
+	}
+	if _, err := e.cli.Index(ctx, "id", component.KindTrie); err != nil {
+		t.Fatal(err)
+	}
+	e.appendUUIDs(t, gen, 100)
+
+	statuses, err = e.cli.Status(ctx)
+	if err != nil || len(statuses) != 1 {
+		t.Fatalf("status = %v, %v", statuses, err)
+	}
+	st := statuses[0]
+	if st.Column != "id" || st.Kind != component.KindTrie {
+		t.Fatalf("status identity = %+v", st)
+	}
+	if st.Entries != 3 || st.CoveredFiles != 3 || st.UnindexedFiles != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.StaleRefs != 0 || st.RedundantEntries != 0 || st.IndexBytes == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Lake compaction turns all coverage stale.
+	if _, err := e.table.Compact(ctx, 1<<30, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The three indexed files are now stale refs (the fourth batch
+	// was never indexed, so it never became a ref).
+	statuses, _ = e.cli.Status(ctx)
+	st = statuses[0]
+	if st.StaleRefs != 3 || st.CoveredFiles != 0 {
+		t.Fatalf("post-lake-compaction status = %+v", st)
+	}
+}
+
+func TestMaintainRunsTheFullLoop(t *testing.T) {
+	ctx := context.Background()
+	e := newEnv(t, uuidSchema, Config{Timeout: time.Hour})
+	gen := workload.NewUUIDGen(71)
+	spec := IndexSpec{Column: "id", Kind: component.KindTrie}
+	policy := MaintainPolicy{CompactWhenEntries: 3}
+
+	var keys [][16]byte
+	// Batches 1 and 2: maintain indexes each, no compaction yet.
+	for i := 0; i < 2; i++ {
+		ks, _ := e.appendUUIDs(t, gen, 150)
+		keys = append(keys, ks...)
+		report, err := e.cli.Maintain(ctx, policy, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(report.Indexed) != 1 || report.Compacted != 0 {
+			t.Fatalf("pass %d report = %+v", i, report)
+		}
+	}
+	// Batch 3 trips the fragmentation threshold: compaction + vacuum.
+	ks, _ := e.appendUUIDs(t, gen, 150)
+	keys = append(keys, ks...)
+	e.clock.Advance(2 * time.Hour) // age earlier files past the timeout
+	report, err := e.cli.Maintain(ctx, policy, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Compacted != 1 || report.Vacuum == nil {
+		t.Fatalf("compaction pass report = %+v", report)
+	}
+	if report.Vacuum.KeptEntries != 1 {
+		t.Fatalf("vacuum kept %d entries", report.Vacuum.KeptEntries)
+	}
+
+	// Steady state: nothing to do, no spurious work.
+	report, err = e.cli.Maintain(ctx, policy, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Indexed) != 0 || report.Compacted != 0 {
+		t.Fatalf("steady-state report = %+v", report)
+	}
+
+	// Everything stays searchable throughout.
+	for _, i := range []int{0, 200, 449} {
+		res, err := e.cli.Search(ctx, uuidQuery(keys[i]))
+		if err != nil || len(res.Matches) != 1 {
+			t.Fatalf("key %d: %d, %v", i, len(res.Matches), err)
+		}
+	}
+	if err := e.cli.CheckExistence(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainToleratesBelowMinVectors(t *testing.T) {
+	ctx := context.Background()
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 72, Dim: 8, Clusters: 4})
+	e := newEnv(t, vecSchema(8), Config{MinVectorRows: 500})
+	e.appendVectors(t, gen.Batch(100))
+	report, err := e.cli.Maintain(ctx, MaintainPolicy{}, IndexSpec{Column: "emb", Kind: component.KindIVFPQ})
+	if err != nil {
+		t.Fatalf("maintain with too-few rows: %v", err)
+	}
+	if len(report.Indexed) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Enough rows now: the next pass indexes.
+	e.appendVectors(t, gen.Batch(500))
+	report, err = e.cli.Maintain(ctx, MaintainPolicy{}, IndexSpec{Column: "emb", Kind: component.KindIVFPQ})
+	if err != nil || len(report.Indexed) != 1 {
+		t.Fatalf("second pass: %+v, %v", report, err)
+	}
+}

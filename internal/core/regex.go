@@ -1,0 +1,74 @@
+package core
+
+import (
+	"regexp"
+	"regexp/syntax"
+)
+
+// requiredLiteral extracts the longest byte literal that every match
+// of the pattern must contain. Rottnest uses it to drive the FM-index
+// for regex queries (the paper's motivating "text regex" predicate):
+// the index narrows to pages containing the literal, and in-situ
+// probing re-checks the full pattern. An empty result means the
+// pattern has no usable required literal (e.g. a top-level
+// alternation), in which case the query falls back to scanning.
+func requiredLiteral(pattern string) ([]byte, error) {
+	re, err := syntax.Parse(pattern, syntax.Perl)
+	if err != nil {
+		return nil, err
+	}
+	return longestLiteral(re.Simplify()), nil
+}
+
+func longestLiteral(re *syntax.Regexp) []byte {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if re.Flags&syntax.FoldCase != 0 {
+			return nil // case-insensitive literals are not exact bytes
+		}
+		return []byte(string(re.Rune))
+	case syntax.OpCapture:
+		if len(re.Sub) == 1 {
+			return longestLiteral(re.Sub[0])
+		}
+	case syntax.OpPlus:
+		// The child occurs at least once.
+		if len(re.Sub) == 1 {
+			return longestLiteral(re.Sub[0])
+		}
+	case syntax.OpConcat:
+		// Merge adjacent literal children into runs; any non-literal
+		// child still contributes its own required literal. Take the
+		// longest candidate.
+		var best []byte
+		var run []byte
+		flush := func() {
+			if len(run) > len(best) {
+				best = append([]byte(nil), run...)
+			}
+			run = nil
+		}
+		for _, sub := range re.Sub {
+			if sub.Op == syntax.OpLiteral && sub.Flags&syntax.FoldCase == 0 {
+				run = append(run, []byte(string(sub.Rune))...)
+				continue
+			}
+			flush()
+			if inner := longestLiteral(sub); len(inner) > len(best) {
+				best = inner
+			}
+		}
+		flush()
+		return best
+	}
+	return nil
+}
+
+// minRegexLiteral is the shortest literal worth an index probe;
+// shorter literals match too many pages to beat a scan.
+const minRegexLiteral = 3
+
+// compileRegex validates and compiles a query's pattern.
+func compileRegex(pattern string) (*regexp.Regexp, error) {
+	return regexp.Compile(pattern)
+}

@@ -1,0 +1,736 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/fmindex"
+	"rottnest/internal/insitu"
+	"rottnest/internal/ivfpq"
+	"rottnest/internal/lake"
+	"rottnest/internal/meta"
+	"rottnest/internal/parquet"
+	"rottnest/internal/postings"
+	"rottnest/internal/simtime"
+	"rottnest/internal/trie"
+)
+
+// Query describes one search. Exactly one of UUID, Substring, or
+// Vector must be set; the index kind follows from it.
+type Query struct {
+	// Column is the column to search.
+	Column string
+	// K bounds the result count. For exact-match queries 0 means
+	// "all matches" (which always scans unindexed files too); vector
+	// queries require K > 0.
+	K int
+	// Snapshot selects the lake snapshot to search (-1 = latest).
+	Snapshot int64
+	// UUID is an exact-match key for a trie-indexed column.
+	UUID *[16]byte
+	// Substring is an exact substring pattern for an FM-indexed
+	// column.
+	Substring []byte
+	// Regex is a regular expression for an FM-indexed column. The
+	// search extracts a required literal from the pattern to drive
+	// the index and re-checks the full expression in situ; patterns
+	// with no usable literal fall back to scanning.
+	Regex string
+	// Vector is a query embedding for an IVF-PQ-indexed column.
+	Vector []float32
+	// NProbe is the number of coarse lists probed per vector index
+	// file (default 8). Higher values raise recall and cost — the
+	// recall knob of Figure 9.
+	NProbe int
+	// Refine is the number of candidates re-ranked against
+	// full-precision vectors fetched in situ (default 4*K).
+	Refine int
+	// Partition optionally restricts the search to files whose
+	// recorded stats overlap a structured-attribute range — the
+	// paper's "normalized query" mechanism (Section VI): data
+	// clustered by an attribute like timestamp lets every approach
+	// touch only the matching partition.
+	Partition *PartitionFilter
+}
+
+// PartitionFilter prunes the searched files by an int64 column range
+// (inclusive). Pruning is file-granular: on data clustered by the
+// attribute it is exact partition selection; on unclustered data it
+// is best-effort (files without stats are always searched).
+type PartitionFilter struct {
+	Column string
+	Min    int64
+	Max    int64
+}
+
+func (q Query) kind() (component.Kind, error) {
+	set := 0
+	var kind component.Kind
+	if q.UUID != nil {
+		set, kind = set+1, component.KindTrie
+	}
+	if q.Substring != nil {
+		set, kind = set+1, component.KindFM
+	}
+	if q.Regex != "" {
+		set, kind = set+1, component.KindFM
+	}
+	if q.Vector != nil {
+		set, kind = set+1, component.KindIVFPQ
+	}
+	if set != 1 {
+		return 0, fmt.Errorf("core: query must set exactly one of UUID, Substring, Regex, Vector (got %d)", set)
+	}
+	return kind, nil
+}
+
+// Stats summarizes a search's work.
+type Stats struct {
+	// IndexFiles is the number of index files queried.
+	IndexFiles int
+	// CoveredFiles and UnindexedFiles partition the snapshot.
+	CoveredFiles   int
+	UnindexedFiles int
+	// PagesProbed counts data pages fetched for in-situ probing.
+	PagesProbed int
+	// FilesScanned counts unindexed files scanned in full.
+	FilesScanned int
+	// PrunedFiles counts snapshot files skipped by the partition
+	// filter.
+	PrunedFiles int
+	// Latency is the virtual latency of the search when run inside a
+	// simtime session.
+	Latency time.Duration
+}
+
+// Result is a search outcome.
+type Result struct {
+	Matches []insitu.Match
+	Stats   Stats
+}
+
+// Search executes the protocol of Section IV-B: plan against the
+// snapshot and metadata table, query covering index files in
+// parallel, filter stale physical locations, probe result pages in
+// situ (applying deletion vectors), and scan unindexed files when the
+// indexed results cannot satisfy the query.
+func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
+	kind, err := q.kind()
+	if err != nil {
+		return nil, err
+	}
+	if kind == component.KindIVFPQ && q.K <= 0 {
+		return nil, fmt.Errorf("core: vector queries require K > 0")
+	}
+	session := simtime.From(ctx)
+	startElapsed := session.Elapsed()
+
+	// Plan.
+	snapVersion := q.Snapshot
+	if snapVersion == 0 {
+		snapVersion = -1
+	}
+	snap, err := c.table.SnapshotAt(ctx, snapVersion)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
+		return nil, err
+	}
+	entries, err := c.meta.ListFor(ctx, q.Column, kind)
+	if err != nil {
+		return nil, err
+	}
+	// Regex planning: extract the required literal that drives the
+	// FM-index. Patterns with no usable literal bypass the index and
+	// scan (an index cannot help them).
+	fmPattern := q.Substring
+	if q.Regex != "" {
+		lit, err := requiredLiteral(q.Regex)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad regex: %w", err)
+		}
+		if len(lit) < minRegexLiteral {
+			entries = nil
+		}
+		fmPattern = lit
+	}
+	// Partition pruning: restrict the searched file set before any
+	// index or scan planning.
+	searched := snap.Files
+	if q.Partition != nil {
+		if snap.Schema.ColumnIndex(q.Partition.Column) < 0 {
+			return nil, fmt.Errorf("core: partition column %q not in schema: %w", q.Partition.Column, ErrBadColumn)
+		}
+		min := parquet.OrderableInt64(q.Partition.Min)
+		max := parquet.OrderableInt64(q.Partition.Max)
+		kept := searched[:0:0]
+		for _, f := range searched {
+			if f.MayContainRange(q.Partition.Column, min, max) {
+				kept = append(kept, f)
+			}
+		}
+		searched = kept
+	}
+
+	active := make(map[string]bool, len(searched))
+	fileByPath := make(map[string]lake.DataFile, len(searched))
+	for _, f := range searched {
+		active[f.Path] = true
+		fileByPath[f.Path] = f
+	}
+	chosen, covered := coverEntries(entries, active)
+	var unindexed []lake.DataFile
+	for _, f := range searched {
+		if !covered[f.Path] {
+			unindexed = append(unindexed, f)
+		}
+	}
+	stats := Stats{IndexFiles: len(chosen), CoveredFiles: len(covered), UnindexedFiles: len(unindexed), PrunedFiles: len(snap.Files) - len(searched)}
+
+	var result *Result
+	switch kind {
+	case component.KindTrie, component.KindFM:
+		result, err = c.searchExact(ctx, q, kind, fmPattern, snap, chosen, unindexed, fileByPath, &stats)
+	case component.KindIVFPQ:
+		result, err = c.searchVector(ctx, q, snap, chosen, unindexed, fileByPath, &stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	result.Stats.Latency = session.Elapsed() - startElapsed
+	return result, nil
+}
+
+// exactPred returns the in-situ re-check predicate for exact queries.
+func exactPred(q Query, kind component.Kind) (insitu.Predicate, error) {
+	switch {
+	case kind == component.KindTrie:
+		key := *q.UUID
+		return func(v []byte) (bool, float64) { return bytes.Equal(v, key[:]), 0 }, nil
+	case q.Regex != "":
+		re, err := compileRegex(q.Regex)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad regex: %w", err)
+		}
+		return func(v []byte) (bool, float64) { return re.Match(v), 0 }, nil
+	default:
+		pattern := q.Substring
+		return func(v []byte) (bool, float64) { return bytes.Contains(v, pattern), 0 }, nil
+	}
+}
+
+// probeTarget collects the pages of one snapshot file that index
+// queries flagged.
+type probeTarget struct {
+	file  lake.DataFile
+	pages []parquet.PageInfo
+}
+
+// searchExact runs UUID, substring, and regex queries. fmPattern is
+// the byte pattern driving FM-index lookups (the substring itself, or
+// the regex's required literal).
+func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, fmPattern []byte, snap *lake.Snapshot, chosen []meta.IndexEntry, unindexed []lake.DataFile, fileByPath map[string]lake.DataFile, stats *Stats) (*Result, error) {
+	session := simtime.From(ctx)
+	pred, err := exactPred(q, kind)
+	if err != nil {
+		return nil, err
+	}
+	colIdx := snap.Schema.ColumnIndex(q.Column)
+	col := snap.Schema.Columns[colIdx]
+
+	// One pass of index query + in-situ probing. Bounded FM lookups
+	// may truncate; the caller retries unbounded if the bounded pass
+	// under-fills an exact top-K.
+	runPass := func(unbounded bool) ([]insitu.Match, bool, error) {
+		targets := make(map[string]*probeTarget)
+		anyTruncated := false
+		var mu sync.Mutex
+		errs := make([]error, len(chosen))
+		branches := make([]func(*simtime.Session), len(chosen))
+		for i := range chosen {
+			entry := chosen[i]
+			idx := i
+			branches[i] = func(s *simtime.Session) {
+				bctx := ctx
+				if s != nil {
+					bctx = simtime.With(ctx, s)
+				}
+				found, truncated, err := c.queryIndexExact(bctx, entry, kind, q, fmPattern, unbounded)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				mu.Lock()
+				if truncated {
+					anyTruncated = true
+				}
+				for path, pages := range found {
+					f, ok := fileByPath[path]
+					if !ok {
+						continue // stale physical location, filtered out
+					}
+					t := targets[path]
+					if t == nil {
+						t = &probeTarget{file: f}
+						targets[path] = t
+					}
+					t.pages = append(t.pages, pages...)
+				}
+				mu.Unlock()
+			}
+		}
+		runBranches(session, c.cfg.SearchWidth, branches)
+		for _, err := range errs {
+			if err != nil {
+				return nil, false, err
+			}
+		}
+
+		// In-situ probing, parallel across files.
+		paths := make([]*probeTarget, 0, len(targets))
+		for _, t := range targets {
+			paths = append(paths, t)
+			stats.PagesProbed += len(t.pages)
+		}
+		probeErrs := make([]error, len(paths))
+		probeOut := make([][]insitu.Match, len(paths))
+		branches = make([]func(*simtime.Session), len(paths))
+		for i := range paths {
+			t := paths[i]
+			idx := i
+			branches[i] = func(s *simtime.Session) {
+				bctx := ctx
+				if s != nil {
+					bctx = simtime.With(ctx, s)
+				}
+				dv, err := c.table.ReadDeletionVector(bctx, t.file)
+				if err != nil {
+					probeErrs[idx] = err
+					return
+				}
+				probeOut[idx], probeErrs[idx] = insitu.ProbePages(bctx, c.store, c.table.Root()+t.file.Path, col, t.file.Path, t.pages, dv, pred)
+			}
+		}
+		runBranches(session, c.cfg.SearchWidth, branches)
+		for _, err := range probeErrs {
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		var matches []insitu.Match
+		for _, m := range probeOut {
+			matches = append(matches, m...)
+		}
+		return matches, anyTruncated, nil
+	}
+
+	matches, truncated, err := runPass(false)
+	if err != nil {
+		return nil, err
+	}
+	if q.K > 0 && len(matches) < q.K && truncated {
+		// The bounded sample under-filled K (deleted rows or page
+		// false positives): retry unbounded for exact top-K.
+		matches, _, err = runPass(true)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Scan unindexed files when the indexed results cannot satisfy
+	// the query (Section IV-B step 3).
+	needScan := len(unindexed) > 0 && (q.K <= 0 || len(matches) < q.K)
+	if needScan {
+		scanned, err := c.scanFiles(ctx, unindexed, colIdx, pred)
+		if err != nil {
+			return nil, err
+		}
+		matches = append(matches, scanned...)
+		stats.FilesScanned = len(unindexed)
+	}
+
+	insitu.SortMatches(matches)
+	if q.K > 0 && len(matches) > q.K {
+		matches = matches[:q.K]
+	}
+	return &Result{Matches: matches, Stats: *stats}, nil
+}
+
+// queryIndexExact opens one index file and returns path -> page infos
+// for the query key/pattern. The manifest (component 0) is fetched in
+// parallel with the index probe itself.
+func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kind component.Kind, q Query, fmPattern []byte, unbounded bool) (map[string][]parquet.PageInfo, bool, error) {
+	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
+	if err != nil {
+		return nil, false, err
+	}
+	session := simtime.From(ctx)
+	var manifest *Manifest
+	var refs []postings.PageRef
+	var truncated bool
+	var mErr, qErr error
+	branches := []func(*simtime.Session){
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			manifest, mErr = readManifest(bctx, r)
+		},
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			switch kind {
+			case component.KindTrie:
+				var ix *trie.Index
+				ix, qErr = trie.Open(bctx, r)
+				if qErr == nil {
+					refs, qErr = ix.Lookup(bctx, *q.UUID)
+				}
+			default:
+				var ix *fmindex.Index
+				ix, qErr = fmindex.Open(bctx, r)
+				if qErr == nil {
+					maxRows := 0
+					if q.K > 0 && q.Regex == "" && !unbounded {
+						// Over-fetch to survive page-level false
+						// positives and deleted rows. Regex queries
+						// read all literal hits: the literal may be
+						// far more common than the full pattern.
+						maxRows = q.K * 8
+					}
+					refs, truncated, qErr = ix.LookupBounded(bctx, fmPattern, maxRows)
+				}
+			}
+		},
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	if mErr != nil {
+		return nil, false, mErr
+	}
+	if qErr != nil {
+		return nil, false, qErr
+	}
+	out := make(map[string][]parquet.PageInfo)
+	for _, ref := range refs {
+		if int(ref.File) >= len(manifest.Files) {
+			continue
+		}
+		mf := manifest.Files[ref.File]
+		if int(ref.Page) >= len(mf.Pages) {
+			continue
+		}
+		out[mf.Path] = append(out[mf.Path], mf.Pages[ref.Page])
+	}
+	return out, truncated, nil
+}
+
+// scanFiles scans unindexed files in parallel with the predicate.
+func (c *Client) scanFiles(ctx context.Context, files []lake.DataFile, colIdx int, pred insitu.Predicate) ([]insitu.Match, error) {
+	session := simtime.From(ctx)
+	outs := make([][]insitu.Match, len(files))
+	errs := make([]error, len(files))
+	branches := make([]func(*simtime.Session), len(files))
+	for i := range files {
+		f := files[i]
+		idx := i
+		branches[i] = func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			dv, err := c.table.ReadDeletionVector(bctx, f)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			outs[idx], errs[idx] = insitu.ScanFile(bctx, c.store, c.table.Root()+f.Path, colIdx, f.Path, dv, pred)
+		}
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	var all []insitu.Match
+	for i := range files {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		all = append(all, outs[i]...)
+	}
+	return all, nil
+}
+
+// runBranches executes branches in parallel on the session in waves
+// of at most width (a Rottnest search runs on one instance, so its
+// request concurrency is bounded). Session methods are nil-safe: with
+// no session the branches still run concurrently, just without
+// virtual-time accounting.
+func runBranches(session *simtime.Session, width int, branches []func(*simtime.Session)) {
+	if len(branches) == 0 {
+		return
+	}
+	session.ParallelN(len(branches), width, func(i int, s *simtime.Session) {
+		branches[i](s)
+	})
+}
+
+// vecCandidate is one vector candidate resolved to a physical
+// location.
+type vecCandidate struct {
+	file   lake.DataFile
+	page   parquet.PageInfo
+	row    int64 // file-global row
+	approx float32
+}
+
+// searchVector runs ANN queries: index probe, in-situ refine, and
+// exhaustive scoring of unindexed files (scoring queries must rank
+// all data).
+func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot, chosen []meta.IndexEntry, unindexed []lake.DataFile, fileByPath map[string]lake.DataFile, stats *Stats) (*Result, error) {
+	session := simtime.From(ctx)
+	nprobe := q.NProbe
+	if nprobe <= 0 {
+		nprobe = 8
+	}
+	refine := q.Refine
+	if refine <= 0 {
+		refine = 4 * q.K
+	}
+	if refine < q.K {
+		refine = q.K
+	}
+
+	// Query all chosen vector index files in parallel.
+	candLists := make([][]vecCandidate, len(chosen))
+	errs := make([]error, len(chosen))
+	branches := make([]func(*simtime.Session), len(chosen))
+	for i := range chosen {
+		entry := chosen[i]
+		idx := i
+		branches[i] = func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			candLists[idx], errs[idx] = c.queryIndexVector(bctx, entry, q.Vector, nprobe, refine, fileByPath)
+		}
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	var cands []vecCandidate
+	for i := range chosen {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		cands = append(cands, candLists[i]...)
+	}
+
+	// Keep the best `refine` candidates by approximate distance.
+	sortVecCandidates(cands)
+	if len(cands) > refine {
+		cands = cands[:refine]
+	}
+
+	// Refine: fetch the candidate pages in situ and score exactly.
+	matches, pages, err := c.refineCandidates(ctx, q, snap, cands)
+	if err != nil {
+		return nil, err
+	}
+	stats.PagesProbed += pages
+
+	// Unindexed files must be scanned exhaustively for scoring
+	// queries.
+	if len(unindexed) > 0 {
+		colIdx := snap.Schema.ColumnIndex(q.Column)
+		dim := len(q.Vector)
+		pred := func(v []byte) (bool, float64) {
+			vec := decodeVector(v, dim)
+			return true, float64(l2dist(q.Vector, vec))
+		}
+		scanned, err := c.scanFiles(ctx, unindexed, colIdx, pred)
+		if err != nil {
+			return nil, err
+		}
+		matches = append(matches, scanned...)
+		stats.FilesScanned = len(unindexed)
+	}
+
+	insitu.SortByScore(matches)
+	if len(matches) > q.K {
+		matches = matches[:q.K]
+	}
+	return &Result{Matches: matches, Stats: *stats}, nil
+}
+
+// queryIndexVector opens one vector index file, probes it, and
+// resolves candidates to snapshot files and pages.
+func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, vec []float32, nprobe, maxCands int, fileByPath map[string]lake.DataFile) ([]vecCandidate, error) {
+	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	session := simtime.From(ctx)
+	var manifest *Manifest
+	var raw []ivfpq.Candidate
+	var mErr, qErr error
+	branches := []func(*simtime.Session){
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			manifest, mErr = readManifest(bctx, r)
+		},
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			var ix *ivfpq.Index
+			ix, qErr = ivfpq.Open(bctx, r)
+			if qErr == nil {
+				raw, qErr = ix.Search(bctx, vec, nprobe, maxCands)
+			}
+		},
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	if mErr != nil {
+		return nil, mErr
+	}
+	if qErr != nil {
+		return nil, qErr
+	}
+	var out []vecCandidate
+	for _, cand := range raw {
+		if int(cand.Ref.File) >= len(manifest.Files) {
+			continue
+		}
+		mf := manifest.Files[cand.Ref.File]
+		f, ok := fileByPath[mf.Path]
+		if !ok {
+			continue // stale physical location
+		}
+		pi := mf.Pages.FindRow(cand.Ref.Row)
+		if pi < 0 {
+			continue
+		}
+		out = append(out, vecCandidate{file: f, page: mf.Pages[pi], row: cand.Ref.Row, approx: cand.Dist})
+	}
+	return out, nil
+}
+
+// refineCandidates fetches candidate pages per file (one parallel fan
+// per file, files in parallel) and scores the exact rows.
+func (c *Client) refineCandidates(ctx context.Context, q Query, snap *lake.Snapshot, cands []vecCandidate) ([]insitu.Match, int, error) {
+	session := simtime.From(ctx)
+	colIdx := snap.Schema.ColumnIndex(q.Column)
+	col := snap.Schema.Columns[colIdx]
+	dim := len(q.Vector)
+
+	type fileGroup struct {
+		file  lake.DataFile
+		pages []parquet.PageInfo
+		rows  map[int64]bool
+	}
+	groups := make(map[string]*fileGroup)
+	for _, cand := range cands {
+		g := groups[cand.file.Path]
+		if g == nil {
+			g = &fileGroup{file: cand.file, rows: make(map[int64]bool)}
+			groups[cand.file.Path] = g
+		}
+		g.pages = append(g.pages, cand.page)
+		g.rows[cand.row] = true
+	}
+	ordered := make([]*fileGroup, 0, len(groups))
+	totalPages := 0
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	outs := make([][]insitu.Match, len(ordered))
+	errs := make([]error, len(ordered))
+	branches := make([]func(*simtime.Session), len(ordered))
+	for i := range ordered {
+		g := ordered[i]
+		idx := i
+		branches[i] = func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			dv, err := c.table.ReadDeletionVector(bctx, g.file)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			pred := func(v []byte) (bool, float64) {
+				return true, float64(l2dist(q.Vector, decodeVector(v, dim)))
+			}
+			all, err := insitu.ProbePages(bctx, c.store, c.table.Root()+g.file.Path, col, g.file.Path, g.pages, dv, pred)
+			if err != nil {
+				errs[idx] = err
+				return
+			}
+			// Keep only the candidate rows.
+			kept := all[:0]
+			for _, m := range all {
+				if g.rows[m.Row] {
+					kept = append(kept, m)
+				}
+			}
+			outs[idx] = kept
+		}
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	var matches []insitu.Match
+	for i := range ordered {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		matches = append(matches, outs[i]...)
+		totalPages += len(dedupPages(ordered[i].pages))
+	}
+	return matches, totalPages, nil
+}
+
+func dedupPages(pages []parquet.PageInfo) []parquet.PageInfo {
+	seen := make(map[int]bool, len(pages))
+	out := pages[:0]
+	for _, p := range pages {
+		if !seen[p.Ordinal] {
+			seen[p.Ordinal] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortVecCandidates(cands []vecCandidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].approx != cands[j].approx {
+			return cands[i].approx < cands[j].approx
+		}
+		if cands[i].file.Path != cands[j].file.Path {
+			return cands[i].file.Path < cands[j].file.Path
+		}
+		return cands[i].row < cands[j].row
+	})
+}
+
+func l2dist(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum float32
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"rottnest/internal/lake"
+	"rottnest/internal/meta"
+)
+
+// VacuumOptions tune garbage collection.
+type VacuumOptions struct {
+	// KeepSnapshot is the oldest lake snapshot version whose files
+	// must stay searchable (the paper's snapshot_id); index files
+	// are retained if they cover files of any snapshot at or after
+	// it. Values < 1 mean "latest only".
+	KeepSnapshot int64
+}
+
+// VacuumReport summarizes what a vacuum removed.
+type VacuumReport struct {
+	// DroppedEntries are the metadata rows deleted in the commit
+	// step.
+	DroppedEntries []string
+	// RemovedObjects are the index files physically deleted.
+	RemovedObjects []string
+	// KeptEntries is the number of live metadata rows afterwards.
+	KeptEntries int
+}
+
+// Vacuum garbage-collects the index directory (Section IV-C):
+//
+//  1. Plan: compute the Parquet files of every retained snapshot,
+//     then greedily keep the index files covering the most active
+//     files; entries adding no coverage are redundant.
+//  2. Commit: delete the redundant entries from the metadata table.
+//  3. Remove: physically delete index objects that are no longer in
+//     the metadata table AND are older than the index timeout — a
+//     younger uncommitted object may belong to an in-flight indexer,
+//     which is exactly why the timeout exists (commit-then-delete
+//     here, versus upload-then-commit in index/compact, preserves
+//     the Existence invariant in both directions).
+//
+// Object age is judged by the store's own clock, which is valid
+// because modern object stores are strongly consistent and expose a
+// single global clock.
+func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport, error) {
+	report := &VacuumReport{}
+
+	// Plan: active paths across retained snapshots.
+	latest, err := c.table.Version(ctx)
+	if err != nil {
+		return nil, err
+	}
+	keep := opts.KeepSnapshot
+	if keep < 1 || keep > latest {
+		keep = latest
+	}
+	active := make(map[string]bool)
+	for v := keep; v <= latest; v++ {
+		snap, err := c.table.SnapshotAt(ctx, v)
+		if err != nil {
+			if errors.Is(err, lake.ErrNoSnapshot) {
+				continue
+			}
+			return nil, err
+		}
+		for _, f := range snap.Files {
+			active[f.Path] = true
+		}
+	}
+
+	// Greedy cover per (column, kind) group.
+	entries, err := c.meta.List(ctx)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string][]meta.IndexEntry)
+	for _, e := range entries {
+		key := e.Column + "\x00" + string(rune(e.Kind))
+		groups[key] = append(groups[key], e)
+	}
+	kept := make(map[string]bool)
+	for _, group := range groups {
+		chosen, _ := coverEntries(group, active)
+		for _, e := range chosen {
+			kept[e.IndexKey] = true
+		}
+	}
+	var dropped []string
+	for _, e := range entries {
+		if !kept[e.IndexKey] {
+			dropped = append(dropped, e.IndexKey)
+		}
+	}
+
+	// Commit.
+	if len(dropped) > 0 {
+		if err := c.meta.Delete(ctx, dropped...); err != nil {
+			return nil, err
+		}
+	}
+	report.DroppedEntries = dropped
+	report.KeptEntries = len(kept)
+
+	// Remove: LIST the index directory (acceptable because vacuum is
+	// infrequent) and delete unreferenced, out-of-timeout objects.
+	live, err := c.meta.List(ctx)
+	if err != nil {
+		return nil, err
+	}
+	referenced := make(map[string]bool, len(live))
+	for _, e := range live {
+		referenced[e.IndexKey] = true
+	}
+	infos, err := c.store.List(ctx, c.cfg.IndexDir+indexFilePrefix)
+	if err != nil {
+		return nil, err
+	}
+	cutoff := c.clock.Now().Add(-c.cfg.Timeout)
+	for _, info := range infos {
+		if referenced[info.Key] || !strings.HasSuffix(info.Key, ".index") {
+			continue
+		}
+		if info.Created.After(cutoff) {
+			continue // may belong to an in-flight indexer
+		}
+		if err := c.store.Delete(ctx, info.Key); err != nil {
+			return nil, err
+		}
+		report.RemovedObjects = append(report.RemovedObjects, info.Key)
+	}
+	return report, nil
+}

@@ -1,0 +1,139 @@
+package dedicated
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+	"rottnest/internal/workload"
+)
+
+func TestUUIDSystem(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	schema := parquet.MustSchema(parquet.Column{Name: "id", Type: parquet.TypeFixedLenByteArray, TypeLen: 16})
+	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewUUIDGen(1)
+	keys := gen.Batch(500)
+	b := parquet.NewBatch(schema)
+	ids := make([][]byte, len(keys))
+	for i := range keys {
+		k := keys[i]
+		ids[i] = k[:]
+	}
+	b.Cols[0] = parquet.ColumnValues{Bytes: ids}
+	path, err := table.Append(ctx, b, parquet.WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete one row before ingest; it must not appear.
+	if err := table.DeleteRows(ctx, path, []uint32{7}); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := simtime.NewSession()
+	sctx := simtime.With(ctx, sess)
+	sys, err := Ingest(sctx, table, -1, "id", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Elapsed() <= 0 {
+		t.Fatal("ingest charged no time")
+	}
+	if sys.Bytes() == 0 || sys.Replicas() != 3 {
+		t.Fatalf("sys = %d bytes, %d replicas", sys.Bytes(), sys.Replicas())
+	}
+
+	got := sys.SearchUUID(ctx, keys[3], 10)
+	if len(got) != 1 || got[0].Row != 3 {
+		t.Fatalf("SearchUUID = %+v", got)
+	}
+	if got := sys.SearchUUID(ctx, keys[7], 10); len(got) != 0 {
+		t.Fatal("deleted row served")
+	}
+	// Query latency is in the sub-second always-on class.
+	qs := simtime.NewSession()
+	sys.SearchUUID(simtime.With(ctx, qs), keys[3], 10)
+	if qs.Elapsed() > 500*time.Millisecond {
+		t.Fatalf("dedicated query latency %v", qs.Elapsed())
+	}
+}
+
+func TestSubstringSystem(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	schema := parquet.MustSchema(parquet.Column{Name: "body", Type: parquet.TypeByteArray})
+	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := workload.PlantNeedle(workload.NewTextGen(workload.DefaultTextConfig(2)).Docs(300), "CopperNeedle", []int{5, 100})
+	b := parquet.NewBatch(schema)
+	vals := make([][]byte, len(docs))
+	for i, d := range docs {
+		vals[i] = []byte(d)
+	}
+	b.Cols[0] = parquet.ColumnValues{Bytes: vals}
+	if _, err := table.Append(ctx, b, parquet.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Ingest(ctx, table, -1, "body", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sys.SearchSubstring(ctx, []byte("CopperNeedle"), 0)
+	if len(got) != 2 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	if got := sys.SearchSubstring(ctx, []byte("CopperNeedle"), 1); len(got) != 1 {
+		t.Fatal("top-k")
+	}
+}
+
+func TestVectorSystemPerfectRecall(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	dim := 8
+	schema := parquet.MustSchema(parquet.Column{Name: "emb", Type: parquet.TypeFixedLenByteArray, TypeLen: 4 * dim})
+	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 3, Dim: dim, Clusters: 8})
+	vecs := gen.Batch(800)
+	b := parquet.NewBatch(schema)
+	vals := make([][]byte, len(vecs))
+	for i, v := range vecs {
+		vals[i] = workload.Float32sToBytes(v)
+	}
+	b.Cols[0] = parquet.ColumnValues{Bytes: vals}
+	if _, err := table.Append(ctx, b, parquet.WriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Ingest(ctx, table, -1, "emb", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	for _, q := range gen.Queries(10) {
+		got := sys.SearchVector(ctx, q, k)
+		truth := workload.ExactNearest(vecs, q, k)
+		rows := make([]int, len(got))
+		for i, m := range got {
+			rows[i] = int(m.Row)
+		}
+		if r := workload.Recall(rows, truth); r != 1 {
+			t.Fatalf("dedicated recall = %v, want perfect", r)
+		}
+	}
+}

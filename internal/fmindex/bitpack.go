@@ -1,0 +1,48 @@
+package fmindex
+
+import "fmt"
+
+// bitsFor returns the number of bits needed to represent values in
+// [0, n), at least 1.
+func bitsFor(n uint32) int {
+	bits := 1
+	for n > 1<<bits {
+		bits++
+	}
+	return bits
+}
+
+// packBits encodes entries LSB-first at the given bit width. The page
+// map stores one entry per BWT row; bit-packing (plus the component
+// layer's compression) is what keeps the FM-index within the paper's
+// "almost as large as the compressed Parquets" envelope rather than
+// several times it.
+func packBits(entries []uint32, bits int) []byte {
+	out := make([]byte, (len(entries)*bits+7)/8)
+	bitPos := 0
+	for _, e := range entries {
+		for b := 0; b < bits; b++ {
+			if e&(1<<b) != 0 {
+				out[bitPos/8] |= 1 << (bitPos % 8)
+			}
+			bitPos++
+		}
+	}
+	return out
+}
+
+// unpackBit extracts entry idx from a packed block.
+func unpackBit(data []byte, idx, bits int) (uint32, error) {
+	start := idx * bits
+	if (start+bits+7)/8 > len(data) {
+		return 0, fmt.Errorf("fmindex: packed block truncated at entry %d", idx)
+	}
+	var v uint32
+	for b := 0; b < bits; b++ {
+		pos := start + b
+		if data[pos/8]&(1<<(pos%8)) != 0 {
+			v |= 1 << b
+		}
+	}
+	return v, nil
+}

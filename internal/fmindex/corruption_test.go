@@ -1,0 +1,57 @@
+package fmindex
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// TestCorruptedFMIndexNeverPanics mutates index bytes and drives the
+// full open/count/lookup path.
+func TestCorruptedFMIndexNeverPanics(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(12))
+	docs := workload.NewTextGen(workload.DefaultTextConfig(12)).Docs(200)
+	var text []byte
+	for _, d := range docs {
+		text = append(text, d...)
+		text = append(text, Separator)
+	}
+	valid, err := Build(text, []int64{0}, []postings.PageRef{{}}, BuildOptions{BlockSize: 2048, PageMapBlock: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := [][]byte{[]byte("the"), []byte(docs[5][:8]), []byte("zzz")}
+	for trial := 0; trial < 150; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		for f := 0; f <= rng.Intn(3); f++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		store := objectstore.NewMemStore(nil)
+		store.Put(ctx, "fm.index", corrupted)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			r, err := component.Open(ctx, store, "fm.index", component.OpenOptions{})
+			if err != nil {
+				return
+			}
+			ix, err := Open(ctx, r)
+			if err != nil {
+				return
+			}
+			for _, p := range patterns {
+				ix.Count(ctx, p)
+				ix.Lookup(ctx, p, 50)
+			}
+		}()
+	}
+}

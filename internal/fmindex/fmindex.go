@@ -1,0 +1,499 @@
+// Package fmindex implements Rottnest's exact-substring index
+// (Section V-C2 of the paper): an FM-index over the Burrows-Wheeler
+// transform of the indexed text, componentized for object storage.
+//
+// Layout (a component file of kind KindFM):
+//
+//   - BWT blocks: the BWT split into fixed-size blocks, one compressed
+//     component each. occ(c, i) ranks are answered from per-block
+//     checkpoint counters held in the root plus a scan of one block.
+//   - Page-map blocks: a page-granular sampled suffix array — for each
+//     BWT row i, the data page containing text position SA[i]. This is
+//     what lets matches resolve to (file, page) posting refs without
+//     storing the raw suffix array.
+//   - Root component (appended last, so the open's suffix read usually
+//     captures it): text length, symbol counts, per-block checkpoint
+//     deltas, and the page table (text start offset and PageRef of
+//     every indexed page).
+//
+// Backward search walks one BWT block access per pattern character —
+// an inherently depth-bound access pattern; componentization keeps
+// each step to a single ranged GET, which is why substring search
+// lands at a few seconds of object-store latency in the paper.
+package fmindex
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"rottnest/internal/component"
+	"rottnest/internal/postings"
+)
+
+// Sentinel is the terminator byte appended to the indexed text. Text
+// handed to Build must not contain it.
+const Sentinel = 0x00
+
+// Separator is the conventional byte used by callers to join
+// documents before indexing; patterns containing it cannot match
+// within a document.
+const Separator = 0x01
+
+// BuildOptions tune index construction.
+type BuildOptions struct {
+	// BlockSize is the BWT bytes per block. Defaults to 64 KiB: well
+	// inside the flat region of the object-store latency curve while
+	// keeping checkpoint overhead ~3%.
+	BlockSize int
+	// PageMapBlock is the number of page-map entries per component.
+	// Defaults to 64Ki entries.
+	PageMapBlock int
+}
+
+func (o BuildOptions) withDefaults() BuildOptions {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 64 << 10
+	}
+	if o.PageMapBlock <= 0 {
+		o.PageMapBlock = 64 << 10
+	}
+	return o
+}
+
+// Build constructs an FM-index file over text. pageStarts[i] is the
+// text offset at which indexed page i begins (pageStarts[0] must be
+// 0, strictly increasing), and refs[i] is the page's physical
+// location. Matches at positions within page i resolve to refs[i].
+func Build(text []byte, pageStarts []int64, refs []postings.PageRef, opts BuildOptions) ([]byte, error) {
+	b := component.NewBuilder(component.KindFM)
+	if err := BuildInto(b, text, pageStarts, refs, opts); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// BuildInto appends the FM-index's components (root last) to an
+// existing builder, letting callers prepend their own components —
+// Rottnest's client stores its file-table manifest as component 0 of
+// every index file.
+func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []postings.PageRef, opts BuildOptions) error {
+	opts = opts.withDefaults()
+	if len(pageStarts) != len(refs) {
+		return fmt.Errorf("fmindex: %d page starts but %d refs", len(pageStarts), len(refs))
+	}
+	if len(pageStarts) == 0 || pageStarts[0] != 0 {
+		return fmt.Errorf("fmindex: pageStarts must begin at 0")
+	}
+	for i := 1; i < len(pageStarts); i++ {
+		if pageStarts[i] <= pageStarts[i-1] {
+			return fmt.Errorf("fmindex: pageStarts must be strictly increasing")
+		}
+	}
+	if bytes.IndexByte(text, Sentinel) >= 0 {
+		return fmt.Errorf("fmindex: text contains the sentinel byte 0x%02x", Sentinel)
+	}
+
+	full := make([]byte, 0, len(text)+1)
+	full = append(full, text...)
+	full = append(full, Sentinel)
+	sa := buildSuffixArray(full)
+	bwt := bwtFromSA(full, sa)
+	n := len(full)
+
+	// base is the component ID of the first BWT block; components
+	// added by earlier callers (e.g. the client's manifest) shift it.
+	base := b.NumComponents()
+
+	// BWT blocks + checkpoint deltas.
+	numBlocks := (n + opts.BlockSize - 1) / opts.BlockSize
+	checkDeltas := make([][256]uint32, numBlocks) // symbol counts within each block
+	for blk := 0; blk < numBlocks; blk++ {
+		lo := blk * opts.BlockSize
+		hi := lo + opts.BlockSize
+		if hi > n {
+			hi = n
+		}
+		for _, c := range bwt[lo:hi] {
+			checkDeltas[blk][c]++
+		}
+		b.Add(bwt[lo:hi])
+	}
+
+	// Page-map blocks: page ordinal of SA[i], u32 little endian.
+	// The sentinel row maps to the page containing the final text
+	// byte (harmless; patterns never match the sentinel).
+	pageOf := func(pos int32) uint32 {
+		idx := sort.Search(len(pageStarts), func(j int) bool { return pageStarts[j] > int64(pos) }) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return uint32(idx)
+	}
+	numPMBlocks := (n + opts.PageMapBlock - 1) / opts.PageMapBlock
+	bits := bitsFor(uint32(len(pageStarts)))
+	for blk := 0; blk < numPMBlocks; blk++ {
+		lo := blk * opts.PageMapBlock
+		hi := lo + opts.PageMapBlock
+		if hi > n {
+			hi = n
+		}
+		entries := make([]uint32, hi-lo)
+		for i := lo; i < hi; i++ {
+			pos := sa[i]
+			if int(pos) == n-1 {
+				pos = 0 // sentinel row; never queried
+			}
+			entries[i-lo] = pageOf(pos)
+		}
+		b.Add(packBits(entries, bits))
+	}
+
+	// Root.
+	root := encodeRoot(n, base, opts, numBlocks, numPMBlocks, checkDeltas, pageStarts, refs)
+	b.Add(root)
+	return nil
+}
+
+func encodeRoot(n, base int, opts BuildOptions, numBlocks, numPMBlocks int, checkDeltas [][256]uint32, pageStarts []int64, refs []postings.PageRef) []byte {
+	root := binary.AppendUvarint(nil, uint64(base))
+	root = binary.AppendUvarint(root, uint64(n))
+	root = binary.AppendUvarint(root, uint64(opts.BlockSize))
+	root = binary.AppendUvarint(root, uint64(numBlocks))
+	root = binary.AppendUvarint(root, uint64(opts.PageMapBlock))
+	root = binary.AppendUvarint(root, uint64(numPMBlocks))
+	root = binary.AppendUvarint(root, uint64(len(pageStarts)))
+	prev := int64(0)
+	for _, s := range pageStarts {
+		root = binary.AppendUvarint(root, uint64(s-prev))
+		prev = s
+	}
+	for _, r := range refs {
+		root = binary.AppendUvarint(root, uint64(r.File))
+		root = binary.AppendUvarint(root, uint64(r.Page))
+	}
+	for blk := 0; blk < numBlocks; blk++ {
+		for c := 0; c < 256; c++ {
+			root = binary.AppendUvarint(root, uint64(checkDeltas[blk][c]))
+		}
+	}
+	return root
+}
+
+// Index is an opened FM-index ready for queries.
+type Index struct {
+	r            *component.Reader
+	base         int // component ID of the first BWT block
+	n            int
+	blockSize    int
+	numBlocks    int
+	pmBlock      int
+	numPMBlocks  int
+	pageStarts   []int64
+	refs         []postings.PageRef
+	c            [257]int64   // c[b] = rows whose first symbol < b
+	checkpoints  [][256]int64 // occ at each block start
+	totalSymbols [256]int64
+}
+
+// Open parses the root component of the FM-index behind r.
+func Open(ctx context.Context, r *component.Reader) (*Index, error) {
+	if r.Kind() != component.KindFM {
+		return nil, fmt.Errorf("fmindex: %s is not an FM-index (kind %d)", r.Key(), r.Kind())
+	}
+	root, err := r.Component(ctx, r.NumComponents()-1)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{r: r}
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(root[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("fmindex: corrupt root")
+		}
+		pos += n
+		return v, nil
+	}
+	vals := make([]uint64, 7)
+	for i := range vals {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	ix.base = int(vals[0])
+	ix.n = int(vals[1])
+	ix.blockSize = int(vals[2])
+	ix.numBlocks = int(vals[3])
+	ix.pmBlock = int(vals[4])
+	ix.numPMBlocks = int(vals[5])
+	numPages := int(vals[6])
+	// Sanity bounds: block counts must fit the file's component
+	// count and the page table must fit the root. A corrupted root
+	// must not drive allocations.
+	if ix.base < 0 || ix.numBlocks < 0 || ix.numPMBlocks < 0 ||
+		ix.base+ix.numBlocks+ix.numPMBlocks+1 > r.NumComponents() {
+		return nil, fmt.Errorf("fmindex: root block counts exceed file components")
+	}
+	if ix.n < 0 || ix.blockSize <= 0 || ix.pmBlock <= 0 {
+		return nil, fmt.Errorf("fmindex: corrupt root geometry")
+	}
+	if numPages < 0 || numPages > len(root) {
+		return nil, fmt.Errorf("fmindex: root claims %d pages in %d bytes", numPages, len(root))
+	}
+	ix.pageStarts = make([]int64, numPages)
+	var prev int64
+	for i := range ix.pageStarts {
+		d, err := next()
+		if err != nil {
+			return nil, err
+		}
+		prev += int64(d)
+		ix.pageStarts[i] = prev
+	}
+	ix.refs = make([]postings.PageRef, numPages)
+	for i := range ix.refs {
+		f, err := next()
+		if err != nil {
+			return nil, err
+		}
+		p, err := next()
+		if err != nil {
+			return nil, err
+		}
+		ix.refs[i] = postings.PageRef{File: uint32(f), Page: uint32(p)}
+	}
+	ix.checkpoints = make([][256]int64, ix.numBlocks)
+	var running [256]int64
+	for blk := 0; blk < ix.numBlocks; blk++ {
+		ix.checkpoints[blk] = running
+		for c := 0; c < 256; c++ {
+			d, err := next()
+			if err != nil {
+				return nil, err
+			}
+			running[c] += int64(d)
+		}
+	}
+	ix.totalSymbols = running
+	var sum int64
+	for c := 0; c < 256; c++ {
+		ix.c[c] = sum
+		sum += running[c]
+	}
+	ix.c[256] = sum
+	if sum != int64(ix.n) {
+		return nil, fmt.Errorf("fmindex: root symbol counts sum to %d, want %d", sum, ix.n)
+	}
+	return ix, nil
+}
+
+// TextLen returns the indexed text length including the sentinel.
+func (ix *Index) TextLen() int { return ix.n }
+
+// NumPages returns the number of indexed pages.
+func (ix *Index) NumPages() int { return len(ix.refs) }
+
+// PageStartsAndRefs exposes the page table, used by merging.
+func (ix *Index) PageStartsAndRefs() ([]int64, []postings.PageRef) {
+	return ix.pageStarts, ix.refs
+}
+
+// occ returns the number of occurrences of c in BWT[0:i).
+func (ix *Index) occ(ctx context.Context, c byte, i int64) (int64, error) {
+	if i <= 0 {
+		return 0, nil
+	}
+	if i >= int64(ix.n) {
+		i = int64(ix.n)
+	}
+	blk := int((i - 1) / int64(ix.blockSize))
+	base := ix.checkpoints[blk][c]
+	block, err := ix.r.Component(ctx, ix.base+blk)
+	if err != nil {
+		return 0, err
+	}
+	within := i - int64(blk)*int64(ix.blockSize)
+	var count int64
+	for _, b := range block[:within] {
+		if b == c {
+			count++
+		}
+	}
+	return base + count, nil
+}
+
+// Count performs backward search and returns the number of
+// occurrences of pattern in the indexed text.
+func (ix *Index) Count(ctx context.Context, pattern []byte) (int64, error) {
+	sp, ep, err := ix.backward(ctx, pattern)
+	if err != nil {
+		return 0, err
+	}
+	return ep - sp, nil
+}
+
+// backward runs FM backward search, returning the matching BWT row
+// interval [sp, ep).
+func (ix *Index) backward(ctx context.Context, pattern []byte) (int64, int64, error) {
+	if len(pattern) == 0 {
+		return 0, int64(ix.n), nil
+	}
+	if bytes.IndexByte(pattern, Sentinel) >= 0 {
+		return 0, 0, fmt.Errorf("fmindex: pattern contains the sentinel byte")
+	}
+	sp, ep := int64(0), int64(ix.n)
+	for i := len(pattern) - 1; i >= 0; i-- {
+		c := pattern[i]
+		if ix.totalSymbols[c] == 0 {
+			return 0, 0, nil
+		}
+		oSp, err := ix.occ(ctx, c, sp)
+		if err != nil {
+			return 0, 0, err
+		}
+		oEp, err := ix.occ(ctx, c, ep)
+		if err != nil {
+			return 0, 0, err
+		}
+		sp = ix.c[c] + oSp
+		ep = ix.c[c] + oEp
+		if sp >= ep {
+			return 0, 0, nil
+		}
+	}
+	return sp, ep, nil
+}
+
+// Lookup returns the distinct pages containing occurrences of
+// pattern, reading at most maxRows page-map entries (0 means all).
+// False positives across document boundaries are possible when the
+// pattern spans a separator; in-situ probing filters them.
+func (ix *Index) Lookup(ctx context.Context, pattern []byte, maxRows int) ([]postings.PageRef, error) {
+	refs, _, err := ix.LookupBounded(ctx, pattern, maxRows)
+	return refs, err
+}
+
+// LookupBounded is Lookup that also reports whether the maxRows bound
+// truncated the match set — callers implementing exact top-K must
+// retry unbounded when a truncated result under-fills K (deleted rows
+// or page-level false positives may have eaten the bounded sample).
+func (ix *Index) LookupBounded(ctx context.Context, pattern []byte, maxRows int) ([]postings.PageRef, bool, error) {
+	sp, ep, err := ix.backward(ctx, pattern)
+	if err != nil {
+		return nil, false, err
+	}
+	if sp >= ep {
+		return nil, false, nil
+	}
+	truncated := false
+	if maxRows > 0 && ep-sp > int64(maxRows) {
+		ep = sp + int64(maxRows)
+		truncated = true
+	}
+	// Fetch the page-map blocks covering [sp, ep) in one fan.
+	firstBlk := int(sp) / ix.pmBlock
+	lastBlk := int(ep-1) / ix.pmBlock
+	ids := make([]int, 0, lastBlk-firstBlk+1)
+	for blk := firstBlk; blk <= lastBlk; blk++ {
+		ids = append(ids, ix.base+ix.numBlocks+blk)
+	}
+	blocks, err := ix.r.Components(ctx, ids)
+	if err != nil {
+		return nil, false, err
+	}
+	bits := bitsFor(uint32(len(ix.refs)))
+	seen := make(map[uint32]bool)
+	var out []postings.PageRef
+	for i := sp; i < ep; i++ {
+		blk := int(i) / ix.pmBlock
+		data := blocks[blk-firstBlk]
+		page, err := unpackBit(data, int(i)-blk*ix.pmBlock, bits)
+		if err != nil {
+			return nil, false, fmt.Errorf("fmindex: page map block %d: %w", blk, err)
+		}
+		if !seen[page] {
+			seen[page] = true
+			if int(page) < len(ix.refs) && ix.refs[page].File != ^uint32(0) {
+				out = append(out, ix.refs[page])
+			}
+		}
+	}
+	postings.Sort(out)
+	return out, truncated, nil
+}
+
+// ReconstructText inverts the BWT to recover the indexed text
+// (without the sentinel). Merging uses it; queries never do.
+func (ix *Index) ReconstructText(ctx context.Context) ([]byte, error) {
+	bwt := make([]byte, 0, ix.n)
+	for blk := 0; blk < ix.numBlocks; blk++ {
+		data, err := ix.r.Component(ctx, ix.base+blk)
+		if err != nil {
+			return nil, err
+		}
+		bwt = append(bwt, data...)
+	}
+	if len(bwt) != ix.n {
+		return nil, fmt.Errorf("fmindex: BWT blocks sum to %d bytes, want %d", len(bwt), ix.n)
+	}
+	full := invertBWT(bwt)
+	return full[:len(full)-1], nil // drop sentinel
+}
+
+// Merge combines several FM-indices into one file by reconstructing
+// each source text from its BWT, concatenating, and rebuilding — the
+// compute-heavy compaction step of Section IV-C. fileMaps[i] rebases
+// source i's file numbers into the merged file table; pages of
+// unmapped files are dropped from the page table (their text spans
+// remain but resolve to no ref).
+func Merge(ctx context.Context, sources []*Index, fileMaps []map[uint32]uint32, opts BuildOptions) ([]byte, error) {
+	b := component.NewBuilder(component.KindFM)
+	if err := MergeInto(ctx, b, sources, fileMaps, opts); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// MergeInto is Merge appending to an existing builder, mirroring
+// BuildInto.
+func MergeInto(ctx context.Context, b *component.Builder, sources []*Index, fileMaps []map[uint32]uint32, opts BuildOptions) error {
+	if len(sources) != len(fileMaps) {
+		return fmt.Errorf("fmindex: %d sources but %d file maps", len(sources), len(fileMaps))
+	}
+	var text []byte
+	var pageStarts []int64
+	var refs []postings.PageRef
+	for i, src := range sources {
+		part, err := src.ReconstructText(ctx)
+		if err != nil {
+			return err
+		}
+		starts, srcRefs := src.PageStartsAndRefs()
+		base := int64(len(text))
+		for j, s := range starts {
+			mapped, ok := fileMaps[i][srcRefs[j].File]
+			if !ok {
+				continue
+			}
+			pageStarts = append(pageStarts, base+s)
+			refs = append(refs, postings.PageRef{File: mapped, Page: srcRefs[j].Page})
+		}
+		text = append(text, part...)
+		// Separate sources so patterns cannot span them.
+		text = append(text, Separator)
+	}
+	if len(text) > 0 {
+		text = text[:len(text)-1]
+	}
+	if len(pageStarts) == 0 || pageStarts[0] != 0 {
+		// Ensure a leading page entry so every position maps somewhere.
+		pageStarts = append([]int64{0}, pageStarts...)
+		refs = append([]postings.PageRef{{File: ^uint32(0), Page: 0}}, refs...)
+	}
+	return BuildInto(b, text, pageStarts, refs, opts)
+}

@@ -1,0 +1,28 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeBWTRandomTiny exhaustively hammers tiny collections, where
+// sentinel tie-breaks and deep repeated contexts are most likely to
+// expose interleave errors.
+func TestMergeBWTRandomTiny(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		docsA := randDocs(rng, 1+rng.Intn(3), 5, 2)
+		docsB := randDocs(rng, 1+rng.Intn(3), 5, 2)
+		bwtA, _ := MultiStringBWT(docsA)
+		bwtB, _ := MultiStringBWT(docsB)
+		want, _ := MultiStringBWT(append(append([][]byte{}, docsA...), docsB...))
+		got, _, err := MergeBWT(bwtA, bwtB, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v (docsA=%v docsB=%v)", trial, err, docsA, docsB)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: docsA=%v docsB=%v want=%v got=%v", trial, docsA, docsB, want, got)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package fmindex
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// This file implements merging of multi-string BWTs by interleave
+// refinement, the technique of Holt & McMillan ("Merging of
+// multi-string BWTs with applications", Bioinformatics 2014) that the
+// paper cites for FM-index compaction (Section V-C2), with bounded
+// interleave iterations.
+//
+// A multi-string BWT is the BWT of a *collection* of strings, each
+// terminated by the sentinel: all suffixes of all strings are sorted
+// together (a suffix never crosses its own sentinel; identical
+// suffixes tie-break by string order), and the transform emits the
+// character preceding each suffix. The key property is that the BWT
+// of the union collection A ∪ B is an exact interleave of the BWTs of
+// A and B — each source transform appears in order, merely
+// interspersed — so merging reduces to computing the interleave
+// vector, which the refinement loop below does in O(iterations × n)
+// without decoding the texts.
+//
+// The production compaction path (Merge) still reconstructs and
+// rebuilds, because the index's page map rides on a single-sentinel
+// concatenated BWT; MergeBWT is the faithful algorithmic substrate,
+// fully cross-checked against naive construction in tests, and
+// MultiStringBWT is the collection-form transform it operates on.
+
+// MultiStringBWT computes the multi-string BWT of the collection:
+// docs[i] must not contain the sentinel; a sentinel is appended to
+// each conceptually. Suffix ties (identical suffixes from different
+// docs) break by document order.
+func MultiStringBWT(docs [][]byte) ([]byte, error) {
+	type suffix struct {
+		doc int
+		pos int // 0..len(doc): pos == len(doc) is the sentinel suffix
+	}
+	var n int
+	for i, d := range docs {
+		if bytes.IndexByte(d, Sentinel) >= 0 {
+			return nil, fmt.Errorf("fmindex: doc %d contains the sentinel", i)
+		}
+		n += len(d) + 1
+	}
+	suffixes := make([]suffix, 0, n)
+	for di, d := range docs {
+		for p := 0; p <= len(d); p++ {
+			suffixes = append(suffixes, suffix{doc: di, pos: p})
+		}
+	}
+	less := func(a, b suffix) bool {
+		sa := docs[a.doc][a.pos:]
+		sb := docs[b.doc][b.pos:]
+		// Compare the in-string parts; the implicit trailing
+		// sentinel is smaller than any byte.
+		minLen := len(sa)
+		if len(sb) < minLen {
+			minLen = len(sb)
+		}
+		if c := bytes.Compare(sa[:minLen], sb[:minLen]); c != 0 {
+			return c < 0
+		}
+		if len(sa) != len(sb) {
+			return len(sa) < len(sb) // shorter hits its sentinel first
+		}
+		return a.doc < b.doc // identical suffixes: document order
+	}
+	sort.SliceStable(suffixes, func(i, j int) bool { return less(suffixes[i], suffixes[j]) })
+	out := make([]byte, n)
+	for i, s := range suffixes {
+		if s.pos == 0 {
+			// Preceding character of the whole-string suffix is the
+			// string's terminator.
+			out[i] = Sentinel
+		} else {
+			out[i] = docs[s.doc][s.pos-1]
+		}
+	}
+	return out, nil
+}
+
+// MergeBWT merges the multi-string BWTs of two collections into the
+// multi-string BWT of their union (A's documents ordered before B's),
+// using Holt-McMillan interleave refinement. maxIters bounds the
+// refinement loop (the paper's "bounded interleave iterations");
+// zero means no bound beyond the theoretical maximum. It returns the
+// merged BWT and the number of iterations used, or an error if the
+// bound was hit before convergence.
+func MergeBWT(bwtA, bwtB []byte, maxIters int) ([]byte, int, error) {
+	nA, nB := len(bwtA), len(bwtB)
+	n := nA + nB
+	if maxIters <= 0 {
+		maxIters = n + 1
+	}
+
+	// interleave[j] = true if merged position j comes from B.
+	cur := make([]bool, n)
+	for j := nA; j < n; j++ {
+		cur[j] = true
+	}
+	next := make([]bool, n)
+
+	// Bucket offsets by symbol across both inputs.
+	var counts [256]int
+	for _, c := range bwtA {
+		counts[c]++
+	}
+	for _, c := range bwtB {
+		counts[c]++
+	}
+	var starts [256]int
+	sum := 0
+	for c := 0; c < 256; c++ {
+		starts[c] = sum
+		sum += counts[c]
+	}
+
+	// The sentinel bucket is special: in a multi-string BWT the k
+	// sentinel-preceded rows (whole-string suffixes) map to the k
+	// sentinel rows, whose order is DOCUMENT order — all of A's
+	// documents before all of B's — not the current interleave
+	// order. Pre-compute the bucket's fixed contents.
+	sentinelsA := 0
+	for _, c := range bwtA {
+		if c == Sentinel {
+			sentinelsA++
+		}
+	}
+
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		// One stable radix pass: walk the current interleave,
+		// reading each source transform in order, and scatter each
+		// position into its symbol's bucket. This extends the sorted
+		// context of every row by one character.
+		var offsets [256]int
+		copy(offsets[:], starts[:])
+		// Fill the sentinel bucket by document order up front.
+		for i := 0; i < counts[Sentinel]; i++ {
+			next[starts[Sentinel]+i] = i >= sentinelsA
+		}
+		offsets[Sentinel] = starts[Sentinel] + counts[Sentinel]
+		iA, iB := 0, 0
+		for j := 0; j < n; j++ {
+			var c byte
+			fromB := cur[j]
+			if fromB {
+				c = bwtB[iB]
+				iB++
+			} else {
+				c = bwtA[iA]
+				iA++
+			}
+			if c == Sentinel {
+				continue // placed above
+			}
+			next[offsets[c]] = fromB
+			offsets[c]++
+		}
+		if boolsEqual(cur, next) {
+			break
+		}
+		cur, next = next, cur
+	}
+	if iters == maxIters {
+		return nil, iters, fmt.Errorf("fmindex: interleave refinement did not converge within %d iterations", maxIters)
+	}
+
+	// Materialize the merged transform along the interleave.
+	out := make([]byte, n)
+	iA, iB := 0, 0
+	for j := 0; j < n; j++ {
+		if cur[j] {
+			out[j] = bwtB[iB]
+			iB++
+		} else {
+			out[j] = bwtA[iA]
+			iA++
+		}
+	}
+	return out, iters + 1, nil
+}
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDocs(rng *rand.Rand, count, maxLen, alphabet int) [][]byte {
+	docs := make([][]byte, count)
+	for i := range docs {
+		n := 1 + rng.Intn(maxLen)
+		d := make([]byte, n)
+		for j := range d {
+			d[j] = byte(2 + rng.Intn(alphabet))
+		}
+		docs[i] = d
+	}
+	return docs
+}
+
+func TestMultiStringBWTSmall(t *testing.T) {
+	// Single doc "ab": suffixes "$"(implicit), "ab$", "b$" sort as
+	// "$" < "ab$" < "b$"; preceding chars: 'b', '$', 'a'.
+	bwt, err := MultiStringBWT([][]byte{[]byte("ab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bwt, []byte{'b', Sentinel, 'a'}) {
+		t.Fatalf("bwt = %q", bwt)
+	}
+	// Sentinel in a doc is rejected.
+	if _, err := MultiStringBWT([][]byte{{1, 0, 2}}); err == nil {
+		t.Fatal("sentinel-containing doc accepted")
+	}
+}
+
+func TestMultiStringBWTSymbolCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	docs := randDocs(rng, 10, 50, 4)
+	bwt, err := MultiStringBWT(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got [256]int
+	total := 0
+	for _, d := range docs {
+		for _, c := range d {
+			want[c]++
+		}
+		want[Sentinel]++
+		total += len(d) + 1
+	}
+	if len(bwt) != total {
+		t.Fatalf("bwt length %d, want %d", len(bwt), total)
+	}
+	for _, c := range bwt {
+		got[c]++
+	}
+	if got != want {
+		t.Fatal("bwt is not a permutation of the collection's symbols")
+	}
+}
+
+func TestMergeBWTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		docsA := randDocs(rng, 1+rng.Intn(6), 40, 2+rng.Intn(6))
+		docsB := randDocs(rng, 1+rng.Intn(6), 40, 2+rng.Intn(6))
+		bwtA, err := MultiStringBWT(docsA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwtB, err := MultiStringBWT(docsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MultiStringBWT(append(append([][]byte{}, docsA...), docsB...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, iters, err := MergeBWT(bwtA, bwtB, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: merged BWT differs from naive union", trial)
+		}
+		if iters > len(got)+1 {
+			t.Fatalf("trial %d: %d iterations", trial, iters)
+		}
+	}
+}
+
+func TestMergeBWTBoundedIterations(t *testing.T) {
+	// Deep shared contexts need more refinement passes than shallow
+	// ones; a too-small bound must error rather than return a wrong
+	// transform.
+	docsA := [][]byte{bytes.Repeat([]byte{5, 6}, 40)}
+	docsB := [][]byte{bytes.Repeat([]byte{5, 6}, 39)}
+	bwtA, _ := MultiStringBWT(docsA)
+	bwtB, _ := MultiStringBWT(docsB)
+	if _, _, err := MergeBWT(bwtA, bwtB, 2); err == nil {
+		t.Fatal("under-bounded merge did not report non-convergence")
+	}
+	got, iters, err := MergeBWT(bwtA, bwtB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := MultiStringBWT(append(docsA, docsB...))
+	if !bytes.Equal(got, want) {
+		t.Fatal("unbounded merge wrong")
+	}
+	if iters < 3 {
+		t.Fatalf("deep contexts converged suspiciously fast: %d iterations", iters)
+	}
+}
+
+func TestMergeBWTIsAnInterleave(t *testing.T) {
+	// The merged transform must contain each source transform as a
+	// subsequence in original order.
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		docsA := randDocs(rngA, 1+rngA.Intn(4), 30, 4)
+		docsB := randDocs(rngB, 1+rngB.Intn(4), 30, 4)
+		bwtA, _ := MultiStringBWT(docsA)
+		bwtB, _ := MultiStringBWT(docsB)
+		merged, _, err := MergeBWT(bwtA, bwtB, 0)
+		if err != nil {
+			return false
+		}
+		return isSubsequence(bwtA, merged) && isSubsequence(bwtB, merged)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isSubsequence is a greedy subsequence check — valid here because a
+// correct interleave always admits the greedy embedding.
+func isSubsequence(sub, full []byte) bool {
+	i := 0
+	for _, c := range full {
+		if i < len(sub) && sub[i] == c {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func TestMergeBWTEmptySides(t *testing.T) {
+	docs := randDocs(rand.New(rand.NewSource(3)), 3, 20, 4)
+	bwt, _ := MultiStringBWT(docs)
+	got, _, err := MergeBWT(bwt, nil, 0)
+	if err != nil || !bytes.Equal(got, bwt) {
+		t.Fatalf("merge with empty B: %v", err)
+	}
+	got, _, err = MergeBWT(nil, bwt, 0)
+	if err != nil || !bytes.Equal(got, bwt) {
+		t.Fatalf("merge with empty A: %v", err)
+	}
+}

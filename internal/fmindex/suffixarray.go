@@ -1,0 +1,145 @@
+package fmindex
+
+// buildSuffixArray computes the suffix array of text using prefix
+// doubling with radix (counting) sort, O(n log n). The text handed in
+// already carries its unique smallest sentinel as the final byte, so
+// all suffixes are distinct.
+func buildSuffixArray(text []byte) []int32 {
+	n := len(text)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	newRank := make([]int32, n)
+
+	// Initial pass: sort suffixes by first byte.
+	var cnt [257]int
+	for _, c := range text {
+		cnt[int(c)+1]++
+	}
+	for i := 1; i < 257; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	pos := cnt
+	for i := 0; i < n; i++ {
+		c := text[i]
+		sa[pos[c]] = int32(i)
+		pos[c]++
+	}
+	rank[sa[0]] = 0
+	for i := 1; i < n; i++ {
+		rank[sa[i]] = rank[sa[i-1]]
+		if text[sa[i]] != text[sa[i-1]] {
+			rank[sa[i]]++
+		}
+	}
+
+	count := make([]int, n+1)
+	for k := 1; ; k <<= 1 {
+		if int(rank[sa[n-1]]) == n-1 {
+			break // all ranks distinct
+		}
+		// Order by second key (rank[i+k], absent = smallest): the
+		// suffixes with i+k >= n come first, then the rest in the
+		// order of the current sa scanned left to right.
+		idx := 0
+		for i := n - k; i < n; i++ {
+			tmp[idx] = int32(i)
+			idx++
+		}
+		for _, s := range sa {
+			if int(s) >= k {
+				tmp[idx] = s - int32(k)
+				idx++
+			}
+		}
+		// Stable counting sort by first key rank[i].
+		maxRank := int(rank[sa[n-1]]) + 1
+		for i := 0; i <= maxRank; i++ {
+			count[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			count[rank[i]+1]++
+		}
+		for i := 1; i <= maxRank; i++ {
+			count[i] += count[i-1]
+		}
+		for _, s := range tmp {
+			sa[count[rank[s]]] = s
+			count[rank[s]]++
+		}
+		// Recompute ranks for the doubled prefix length.
+		newRank[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			newRank[sa[i]] = newRank[sa[i-1]]
+			prev, cur := sa[i-1], sa[i]
+			same := rank[prev] == rank[cur]
+			if same {
+				pk, ck := int(prev)+k, int(cur)+k
+				switch {
+				case pk >= n && ck >= n:
+					// both empty second halves: equal
+				case pk >= n || ck >= n:
+					same = false
+				default:
+					same = rank[pk] == rank[ck]
+				}
+			}
+			if !same {
+				newRank[sa[i]]++
+			}
+		}
+		rank, newRank = newRank, rank
+	}
+	return sa
+}
+
+// bwtFromSA derives the Burrows-Wheeler transform from the suffix
+// array: bwt[i] = text[sa[i]-1] (wrapping to the sentinel).
+func bwtFromSA(text []byte, sa []int32) []byte {
+	n := len(text)
+	bwt := make([]byte, n)
+	for i, s := range sa {
+		if s == 0 {
+			bwt[i] = text[n-1]
+		} else {
+			bwt[i] = text[s-1]
+		}
+	}
+	return bwt
+}
+
+// invertBWT reconstructs the original text (sentinel included) from
+// its BWT. Used by index merging, which the paper notes may be
+// computationally intensive.
+func invertBWT(bwt []byte) []byte {
+	n := len(bwt)
+	// C[c] = number of symbols smaller than c.
+	var counts [256]int
+	for _, c := range bwt {
+		counts[c]++
+	}
+	var c0 [256]int
+	sum := 0
+	for c := 0; c < 256; c++ {
+		c0[c] = sum
+		sum += counts[c]
+	}
+	// LF mapping: lf[i] = C[bwt[i]] + occ(bwt[i], i).
+	lf := make([]int32, n)
+	var running [256]int
+	for i, c := range bwt {
+		lf[i] = int32(c0[c] + running[c])
+		running[c]++
+	}
+	// The sentinel (smallest, unique) sorts to row 0. Walk backwards
+	// from it.
+	out := make([]byte, n)
+	row := int32(0)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = bwt[row]
+		row = lf[row]
+	}
+	// The walk starting at row 0 yields the rotation that begins with
+	// the sentinel; rotate left by one to restore "text + sentinel".
+	return append(out[1:], out[0])
+}

@@ -1,0 +1,125 @@
+package insitu
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+)
+
+var schema = parquet.MustSchema(parquet.Column{Name: "body", Type: parquet.TypeByteArray})
+
+func writeDocs(t *testing.T, store objectstore.Store, key string, docs []string) []parquet.PageInfo {
+	t.Helper()
+	b := parquet.NewBatch(schema)
+	vals := make([][]byte, len(docs))
+	for i, d := range docs {
+		vals[i] = []byte(d)
+	}
+	b.Cols[0] = parquet.ColumnValues{Bytes: vals}
+	_, tables, err := parquet.WriteFile(context.Background(), store, key, b, parquet.WriterOptions{RowGroupRows: 64, PageBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables[0]
+}
+
+func contains(sub string) Predicate {
+	return func(v []byte) (bool, float64) { return bytes.Contains(v, []byte(sub)), 0 }
+}
+
+func TestProbePagesFindsAndFilters(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	docs := make([]string, 300)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("document number %d with filler text", i)
+	}
+	docs[137] = "NEEDLE here"
+	pages := writeDocs(t, store, "f.rpq", docs)
+
+	// Probe every page: one match.
+	got, err := ProbePages(ctx, store, "f.rpq", schema.Columns[0], "f.rpq", pages, nil, contains("NEEDLE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Row != 137 {
+		t.Fatalf("got = %+v", got)
+	}
+	// Probe with a false-positive page set (all pages, no match).
+	got, err = ProbePages(ctx, store, "f.rpq", schema.Columns[0], "f.rpq", pages, nil, contains("ABSENT"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("false positives survived: %v, %v", got, err)
+	}
+	// Empty page list.
+	got, err = ProbePages(ctx, store, "f.rpq", schema.Columns[0], "f.rpq", nil, nil, contains("x"))
+	if err != nil || got != nil {
+		t.Fatalf("empty pages: %v, %v", got, err)
+	}
+}
+
+func TestProbePagesDedupsAndAppliesDV(t *testing.T) {
+	ctx := context.Background()
+	inner := objectstore.NewMemStore(nil)
+	docs := make([]string, 200)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("row %04d", i)
+	}
+	pages := writeDocs(t, inner, "f.rpq", docs)
+	store, metrics := objectstore.Instrument(inner, objectstore.DefaultS3Model())
+
+	dv := lake.NewDeletionVector()
+	dv.Add(10)
+
+	// Duplicate the first page three times: one GET, not three.
+	dup := []parquet.PageInfo{pages[0], pages[0], pages[0]}
+	before := metrics.Snapshot()
+	got, err := ProbePages(ctx, store, "f.rpq", schema.Columns[0], "f.rpq", dup, dv, contains("row 00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.Snapshot().Sub(before); d.Gets != 1 {
+		t.Fatalf("dedup failed: %d GETs", d.Gets)
+	}
+	for _, m := range got {
+		if m.Row == 10 {
+			t.Fatal("deleted row returned")
+		}
+	}
+}
+
+func TestScanFile(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	docs := []string{"alpha", "beta", "alphabet", "gamma"}
+	writeDocs(t, store, "f.rpq", docs)
+	dv := lake.NewDeletionVector()
+	dv.Add(2) // mask "alphabet"
+	got, err := ScanFile(ctx, store, "f.rpq", 0, "f.rpq", dv, contains("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Row != 0 || string(got[0].Value) != "alpha" {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestSortHelpers(t *testing.T) {
+	ms := []Match{
+		{Path: "b", Row: 1, Score: 0.5},
+		{Path: "a", Row: 9, Score: 0.1},
+		{Path: "a", Row: 2, Score: 0.9},
+	}
+	SortMatches(ms)
+	if ms[0].Path != "a" || ms[0].Row != 2 || ms[2].Path != "b" {
+		t.Fatalf("SortMatches = %+v", ms)
+	}
+	SortByScore(ms)
+	if ms[0].Score != 0.1 || ms[2].Score != 0.9 {
+		t.Fatalf("SortByScore = %+v", ms)
+	}
+}

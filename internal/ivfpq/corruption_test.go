@@ -1,0 +1,48 @@
+package ivfpq
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/workload"
+)
+
+// TestCorruptedIVFPQNeverPanics mutates index bytes and drives the
+// full open/search/entries path.
+func TestCorruptedIVFPQNeverPanics(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(13))
+	vecs := workload.NewVectorGen(workload.VectorConfig{Seed: 13, Dim: 8, Clusters: 8}).Batch(800)
+	valid, err := Build(vecs, seqRefs(len(vecs)), BuildOptions{M: 4, Seed: 13, TargetComponentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 150; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		for f := 0; f <= rng.Intn(3); f++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		store := objectstore.NewMemStore(nil)
+		store.Put(ctx, "v.index", corrupted)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			r, err := component.Open(ctx, store, "v.index", component.OpenOptions{})
+			if err != nil {
+				return
+			}
+			ix, err := Open(ctx, r)
+			if err != nil {
+				return
+			}
+			ix.Search(ctx, vecs[0], 4, 20)
+			ix.Entries(ctx)
+		}()
+	}
+}

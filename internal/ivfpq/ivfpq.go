@@ -1,0 +1,550 @@
+// Package ivfpq implements Rottnest's vector ANN index (Section V-C3
+// of the paper): an IVF-PQ index chosen over graph indices because its
+// centroid-probe access pattern is wide (one parallel fan of list
+// reads) rather than deep (a chain of dependent graph hops) — the
+// right trade for high-latency object storage.
+//
+// Layout (a component file of kind KindIVFPQ):
+//
+//   - list components: the inverted lists (row refs + PQ codes of the
+//     residuals), packed several lists per component;
+//   - root component (appended last): dimensions, coarse centroids,
+//     PQ codebooks, and the list directory.
+//
+// A query probes the nprobe nearest centroids, fetches their list
+// components in one fan, scores candidates with asymmetric distance
+// computation (ADC), and returns the best candidates; the caller then
+// refines by fetching full-precision vectors in situ from the lake
+// (the paper's refine parameter).
+package ivfpq
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rottnest/internal/component"
+	"rottnest/internal/postings"
+)
+
+// BuildOptions tune index construction.
+type BuildOptions struct {
+	// NList is the number of coarse centroids. Defaults to
+	// ~sqrt(n) clamped to [16, 1024].
+	NList int
+	// M is the number of PQ subquantizers; the dimension is reduced
+	// to the nearest divisor. Defaults to 8.
+	M int
+	// KMeansIters bounds Lloyd iterations. Defaults to 12.
+	KMeansIters int
+	// TrainSample caps the number of vectors used for training.
+	// Defaults to 20000.
+	TrainSample int
+	// TargetComponentBytes bounds each list component's serialized
+	// size. Defaults to 256 KiB.
+	TargetComponentBytes int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+func (o BuildOptions) withDefaults(n, dim int) BuildOptions {
+	if o.NList <= 0 {
+		o.NList = int(math.Sqrt(float64(n)))
+		if o.NList < 16 {
+			o.NList = 16
+		}
+		if o.NList > 1024 {
+			o.NList = 1024
+		}
+	}
+	if o.M <= 0 {
+		o.M = 8
+	}
+	for dim%o.M != 0 && o.M > 1 {
+		o.M--
+	}
+	if o.KMeansIters <= 0 {
+		o.KMeansIters = 12
+	}
+	if o.TrainSample <= 0 {
+		o.TrainSample = 20000
+	}
+	if o.TargetComponentBytes <= 0 {
+		o.TargetComponentBytes = 256 << 10
+	}
+	return o
+}
+
+// pqCodebookSize is the number of centroids per subquantizer (8-bit
+// codes).
+const pqCodebookSize = 256
+
+// Build constructs an IVF-PQ index file over parallel slices of
+// vectors and row refs.
+func Build(vectors [][]float32, refs []postings.RowRef, opts BuildOptions) ([]byte, error) {
+	b := component.NewBuilder(component.KindIVFPQ)
+	if err := BuildInto(b, vectors, refs, opts); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// BuildInto appends the index's components (root last) to an existing
+// builder, letting callers prepend their own components — Rottnest's
+// client stores its file-table manifest as component 0 of every index
+// file.
+func BuildInto(b *component.Builder, vectors [][]float32, refs []postings.RowRef, opts BuildOptions) error {
+	if len(vectors) != len(refs) {
+		return fmt.Errorf("ivfpq: %d vectors but %d refs", len(vectors), len(refs))
+	}
+	if len(vectors) == 0 {
+		return fmt.Errorf("ivfpq: no vectors")
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return fmt.Errorf("ivfpq: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	opts = opts.withDefaults(len(vectors), dim)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Training sample.
+	sample := vectors
+	if len(sample) > opts.TrainSample {
+		sample = make([][]float32, opts.TrainSample)
+		perm := rng.Perm(len(vectors))
+		for i := range sample {
+			sample[i] = vectors[perm[i]]
+		}
+	}
+
+	// Coarse quantizer.
+	centroids := kmeans(sample, opts.NList, opts.KMeansIters, rng)
+	nlist := len(centroids)
+
+	// Assign vectors and collect residuals for PQ training (parallel:
+	// the assignment scan dominates build time at scale).
+	assign := make([]int, len(vectors))
+	residuals := make([][]float32, len(vectors))
+	parallelFor(len(vectors), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := vectors[i]
+			c, _ := nearest(centroids, v)
+			assign[i] = c
+			r := make([]float32, dim)
+			for j := range r {
+				r[j] = v[j] - centroids[c][j]
+			}
+			residuals[i] = r
+		}
+	})
+
+	// PQ codebooks per subspace, trained on (a sample of) residuals.
+	subdim := dim / opts.M
+	trainRes := residuals
+	if len(trainRes) > opts.TrainSample {
+		trainRes = make([][]float32, opts.TrainSample)
+		perm := rng.Perm(len(residuals))
+		for i := range trainRes {
+			trainRes[i] = residuals[perm[i]]
+		}
+	}
+	codebooks := make([][][]float32, opts.M)
+	for m := 0; m < opts.M; m++ {
+		sub := make([][]float32, len(trainRes))
+		for i, r := range trainRes {
+			sub[i] = r[m*subdim : (m+1)*subdim]
+		}
+		cb := kmeans(sub, pqCodebookSize, opts.KMeansIters, rng)
+		// Pad to exactly 256 entries so codes are always one byte.
+		for len(cb) < pqCodebookSize {
+			cb = append(cb, append([]float32(nil), cb[0]...))
+		}
+		codebooks[m] = cb
+	}
+
+	// Encode (parallel).
+	codes := make([][]byte, len(vectors))
+	parallelFor(len(residuals), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := residuals[i]
+			code := make([]byte, opts.M)
+			for m := 0; m < opts.M; m++ {
+				c, _ := nearest(codebooks[m], r[m*subdim:(m+1)*subdim])
+				code[m] = byte(c)
+			}
+			codes[i] = code
+		}
+	})
+
+	// Inverted lists.
+	lists := make([][]int, nlist)
+	for i, c := range assign {
+		lists[c] = append(lists[c], i)
+	}
+
+	// Serialize lists into components.
+	descs := make([]listDesc, nlist)
+	var cur []byte
+	curLists := []int{}
+	flush := func() {
+		if len(curLists) == 0 {
+			return
+		}
+		id := b.Add(cur)
+		for _, li := range curLists {
+			descs[li].ComponentID = id
+		}
+		cur = nil
+		curLists = nil
+	}
+	for li, members := range lists {
+		start := len(cur)
+		cur = binary.AppendUvarint(cur, uint64(len(members)))
+		for _, vi := range members {
+			cur = binary.AppendUvarint(cur, uint64(refs[vi].File))
+			cur = binary.AppendVarint(cur, refs[vi].Row)
+			cur = append(cur, codes[vi]...)
+		}
+		descs[li] = listDesc{ByteOffset: start, ByteLen: len(cur) - start, Count: len(members)}
+		curLists = append(curLists, li)
+		if len(cur) >= opts.TargetComponentBytes {
+			flush()
+		}
+	}
+	flush()
+
+	// Root.
+	root := encodeRoot(dim, opts.M, subdim, centroids, codebooks, descs, len(vectors))
+	b.Add(root)
+	return nil
+}
+
+type listDesc struct {
+	ComponentID int
+	ByteOffset  int
+	ByteLen     int
+	Count       int
+}
+
+// listBytes bounds-checks a list's extent within its component.
+func listBytes(data []byte, d listDesc) ([]byte, error) {
+	if d.ByteOffset < 0 || d.ByteLen < 0 || d.ByteOffset+d.ByteLen > len(data) {
+		return nil, fmt.Errorf("ivfpq: list extent [%d,%d) outside component of %d bytes",
+			d.ByteOffset, d.ByteOffset+d.ByteLen, len(data))
+	}
+	return data[d.ByteOffset : d.ByteOffset+d.ByteLen], nil
+}
+
+func appendF32s(dst []byte, v []float32) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
+	}
+	return dst
+}
+
+func encodeRoot(dim, m, subdim int, centroids [][]float32, codebooks [][][]float32, descs []listDesc, total int) []byte {
+	root := binary.AppendUvarint(nil, uint64(dim))
+	root = binary.AppendUvarint(root, uint64(m))
+	root = binary.AppendUvarint(root, uint64(subdim))
+	root = binary.AppendUvarint(root, uint64(len(centroids)))
+	root = binary.AppendUvarint(root, uint64(total))
+	for _, c := range centroids {
+		root = appendF32s(root, c)
+	}
+	for mi := 0; mi < m; mi++ {
+		for _, cb := range codebooks[mi] {
+			root = appendF32s(root, cb)
+		}
+	}
+	for _, d := range descs {
+		root = binary.AppendUvarint(root, uint64(d.ComponentID))
+		root = binary.AppendUvarint(root, uint64(d.ByteOffset))
+		root = binary.AppendUvarint(root, uint64(d.ByteLen))
+		root = binary.AppendUvarint(root, uint64(d.Count))
+	}
+	return root
+}
+
+// Candidate is one ANN candidate scored by ADC distance.
+type Candidate struct {
+	Ref postings.RowRef
+	// Dist is the approximate squared L2 distance.
+	Dist float32
+}
+
+// Index is an opened IVF-PQ index ready for queries.
+type Index struct {
+	r         *component.Reader
+	dim       int
+	m         int
+	subdim    int
+	total     int
+	centroids [][]float32
+	codebooks [][][]float32
+	lists     []listDesc
+}
+
+// Open parses the root component of the index behind r.
+func Open(ctx context.Context, r *component.Reader) (*Index, error) {
+	if r.Kind() != component.KindIVFPQ {
+		return nil, fmt.Errorf("ivfpq: %s is not an IVF-PQ index (kind %d)", r.Key(), r.Kind())
+	}
+	root, err := r.Component(ctx, r.NumComponents()-1)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{r: r}
+	pos := 0
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(root[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("ivfpq: corrupt root")
+		}
+		pos += n
+		return v, nil
+	}
+	hdr := make([]uint64, 5)
+	for i := range hdr {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		hdr[i] = v
+	}
+	ix.dim, ix.m, ix.subdim = int(hdr[0]), int(hdr[1]), int(hdr[2])
+	nlist := int(hdr[3])
+	ix.total = int(hdr[4])
+	// Sanity bounds: the centroid and codebook float payloads must
+	// fit inside the root. A corrupted root must not drive
+	// allocations.
+	if ix.dim <= 0 || ix.m <= 0 || ix.subdim <= 0 || nlist < 0 || ix.total < 0 ||
+		ix.m*ix.subdim != ix.dim {
+		return nil, fmt.Errorf("ivfpq: corrupt root geometry")
+	}
+	need := int64(nlist)*int64(ix.dim)*4 + int64(ix.m)*pqCodebookSize*int64(ix.subdim)*4
+	if need > int64(len(root)) {
+		return nil, fmt.Errorf("ivfpq: root claims %d float bytes in %d bytes", need, len(root))
+	}
+	readF32s := func(n int) ([]float32, error) {
+		if pos+4*n > len(root) {
+			return nil, fmt.Errorf("ivfpq: corrupt root floats")
+		}
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(root[pos:]))
+			pos += 4
+		}
+		return out, nil
+	}
+	ix.centroids = make([][]float32, nlist)
+	for i := range ix.centroids {
+		c, err := readF32s(ix.dim)
+		if err != nil {
+			return nil, err
+		}
+		ix.centroids[i] = c
+	}
+	ix.codebooks = make([][][]float32, ix.m)
+	for m := range ix.codebooks {
+		ix.codebooks[m] = make([][]float32, pqCodebookSize)
+		for j := range ix.codebooks[m] {
+			cb, err := readF32s(ix.subdim)
+			if err != nil {
+				return nil, err
+			}
+			ix.codebooks[m][j] = cb
+		}
+	}
+	ix.lists = make([]listDesc, nlist)
+	for i := range ix.lists {
+		vals := make([]uint64, 4)
+		for j := range vals {
+			v, err := next()
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = v
+		}
+		ix.lists[i] = listDesc{
+			ComponentID: int(vals[0]),
+			ByteOffset:  int(vals[1]),
+			ByteLen:     int(vals[2]),
+			Count:       int(vals[3]),
+		}
+	}
+	return ix, nil
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// NumVectors returns the number of indexed vectors.
+func (ix *Index) NumVectors() int { return ix.total }
+
+// NumLists returns the number of coarse lists.
+func (ix *Index) NumLists() int { return len(ix.lists) }
+
+// Search probes the nprobe nearest coarse lists and returns the
+// maxCandidates best candidates by ADC distance, ascending. The
+// caller refines the top candidates against full-precision vectors.
+func (ix *Index) Search(ctx context.Context, q []float32, nprobe, maxCandidates int) ([]Candidate, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("ivfpq: query dim %d, want %d", len(q), ix.dim)
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.lists) {
+		nprobe = len(ix.lists)
+	}
+	// Rank centroids by distance to q.
+	type cd struct {
+		list int
+		dist float32
+	}
+	cds := make([]cd, len(ix.centroids))
+	for i, c := range ix.centroids {
+		cds[i] = cd{list: i, dist: l2sq(c, q)}
+	}
+	sort.Slice(cds, func(a, b int) bool { return cds[a].dist < cds[b].dist })
+	probes := cds[:nprobe]
+
+	// Fetch the probed lists' components in one fan.
+	compSet := make(map[int]bool)
+	var compIDs []int
+	for _, p := range probes {
+		if ix.lists[p.list].Count == 0 {
+			continue
+		}
+		id := ix.lists[p.list].ComponentID
+		if !compSet[id] {
+			compSet[id] = true
+			compIDs = append(compIDs, id)
+		}
+	}
+	comps := make(map[int][]byte, len(compIDs))
+	if len(compIDs) > 0 {
+		data, err := ix.r.Components(ctx, compIDs)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range compIDs {
+			comps[id] = data[i]
+		}
+	}
+
+	var cands []Candidate
+	table := make([]float32, ix.m*pqCodebookSize)
+	res := make([]float32, ix.dim)
+	for _, p := range probes {
+		d := ix.lists[p.list]
+		if d.Count == 0 {
+			continue
+		}
+		// ADC tables on the residual q - centroid.
+		cent := ix.centroids[p.list]
+		for j := range res {
+			res[j] = q[j] - cent[j]
+		}
+		for m := 0; m < ix.m; m++ {
+			sub := res[m*ix.subdim : (m+1)*ix.subdim]
+			for j := 0; j < pqCodebookSize; j++ {
+				table[m*pqCodebookSize+j] = l2sq(sub, ix.codebooks[m][j])
+			}
+		}
+		data := comps[d.ComponentID]
+		listData, err := listBytes(data, d)
+		if err != nil {
+			return nil, err
+		}
+		count, n := binary.Uvarint(listData)
+		if n <= 0 || int(count) != d.Count {
+			return nil, fmt.Errorf("ivfpq: corrupt list header")
+		}
+		lpos := n
+		for i := 0; i < d.Count; i++ {
+			file, n := binary.Uvarint(listData[lpos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("ivfpq: corrupt list entry")
+			}
+			lpos += n
+			row, n := binary.Varint(listData[lpos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("ivfpq: corrupt list entry")
+			}
+			lpos += n
+			if lpos+ix.m > len(listData) {
+				return nil, fmt.Errorf("ivfpq: corrupt list codes")
+			}
+			var dist float32
+			for m := 0; m < ix.m; m++ {
+				dist += table[m*pqCodebookSize+int(listData[lpos+m])]
+			}
+			lpos += ix.m
+			cands = append(cands, Candidate{Ref: postings.RowRef{File: uint32(file), Row: row}, Dist: dist})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Dist < cands[b].Dist })
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	return cands, nil
+}
+
+// Entries decodes every (ref, approximate vector) pair in the index
+// by decoding PQ codes. Used for diagnostics and size accounting.
+func (ix *Index) Entries(ctx context.Context) ([]postings.RowRef, error) {
+	var refs []postings.RowRef
+	for li, d := range ix.lists {
+		if d.Count == 0 {
+			continue
+		}
+		data, err := ix.r.Component(ctx, d.ComponentID)
+		if err != nil {
+			return nil, err
+		}
+		listData, err := listBytes(data, d)
+		if err != nil {
+			return nil, err
+		}
+		_, n := binary.Uvarint(listData)
+		if n <= 0 {
+			return nil, fmt.Errorf("ivfpq: corrupt list %d header", li)
+		}
+		lpos := n
+		for i := 0; i < d.Count; i++ {
+			file, n := binary.Uvarint(listData[lpos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+			}
+			lpos += n
+			row, n := binary.Varint(listData[lpos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+			}
+			lpos += n + ix.m
+			refs = append(refs, postings.RowRef{File: uint32(file), Row: row})
+		}
+	}
+	return refs, nil
+}
+
+// ExactRerank reorders candidate refs by exact distance to q given
+// their full-precision vectors (fetched by the caller from the lake)
+// and returns the k best. vectors[i] corresponds to cands[i].
+func ExactRerank(q []float32, cands []Candidate, vectors [][]float32, k int) []Candidate {
+	out := make([]Candidate, len(cands))
+	for i := range cands {
+		out[i] = Candidate{Ref: cands[i].Ref, Dist: l2sq(q, vectors[i])}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Dist < out[b].Dist })
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

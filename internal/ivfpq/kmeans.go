@@ -1,0 +1,160 @@
+package ivfpq
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn over [0, n) on up to GOMAXPROCS goroutines.
+// K-means assignment and PQ encoding dominate index build time; the
+// paper notes the indexing API is internally parallel.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// l2sq returns the squared Euclidean distance between equal-length
+// vectors.
+func l2sq(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// nearest returns the index of the centroid closest to v and the
+// squared distance.
+func nearest(centroids [][]float32, v []float32) (int, float32) {
+	best, bestD := 0, float32(math.MaxFloat32)
+	for i, c := range centroids {
+		if d := l2sq(c, v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// kmeans clusters points into k centroids with kmeans++ seeding and
+// iters Lloyd iterations. It returns the centroids; k is clamped to
+// len(points).
+func kmeans(points [][]float32, k, iters int, rng *rand.Rand) [][]float32 {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+
+	// kmeans++ seeding with a running min-distance array, so seeding
+	// costs O(k·n·dim) rather than O(k²·n·dim).
+	centroids := make([][]float32, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, append([]float32(nil), first...))
+	dists := make([]float64, len(points))
+	for i, p := range points {
+		dists[i] = float64(l2sq(first, p))
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range dists {
+			total += d
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; pad with
+			// copies to keep k slots.
+			for len(centroids) < k {
+				centroids = append(centroids, append([]float32(nil), first...))
+			}
+			break
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		newC := append([]float32(nil), points[pick]...)
+		centroids = append(centroids, newC)
+		for i, p := range points {
+			if d := float64(l2sq(newC, p)); d < dists[i] {
+				dists[i] = d
+			}
+		}
+	}
+
+	// Lloyd iterations; the assignment pass is the hot loop and runs
+	// on all cores.
+	assign := make([]int, len(points))
+	changedFlags := make([]bool, len(points))
+	for it := 0; it < iters; it++ {
+		parallelFor(len(points), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c, _ := nearest(centroids, points[i])
+				changedFlags[i] = assign[i] != c
+				assign[i] = c
+			}
+		})
+		changed := false
+		for _, f := range changedFlags {
+			if f {
+				changed = true
+				break
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, x := range p {
+				sums[c][j] += float64(x)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed empty clusters from a random point.
+				copy(centroids[c], points[rng.Intn(len(points))])
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	return centroids
+}

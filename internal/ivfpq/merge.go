@@ -1,0 +1,111 @@
+package ivfpq
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+
+	"rottnest/internal/component"
+	"rottnest/internal/postings"
+)
+
+// decodeAll reconstructs every (ref, approximate vector) pair of the
+// index by decoding PQ codes against the coarse centroids.
+func (ix *Index) decodeAll(ctx context.Context) ([]postings.RowRef, [][]float32, error) {
+	var refs []postings.RowRef
+	var vecs [][]float32
+	for li, d := range ix.lists {
+		if d.Count == 0 {
+			continue
+		}
+		data, err := ix.r.Component(ctx, d.ComponentID)
+		if err != nil {
+			return nil, nil, err
+		}
+		listData, err := listBytes(data, d)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ivfpq: list %d: %w", li, err)
+		}
+		_, n := binary.Uvarint(listData)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+		}
+		lpos := n
+		cent := ix.centroids[li]
+		for i := 0; i < d.Count; i++ {
+			file, n := binary.Uvarint(listData[lpos:])
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+			}
+			lpos += n
+			row, n := binary.Varint(listData[lpos:])
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+			}
+			lpos += n
+			if lpos+ix.m > len(listData) {
+				return nil, nil, fmt.Errorf("ivfpq: corrupt list %d codes", li)
+			}
+			v := make([]float32, ix.dim)
+			for m := 0; m < ix.m; m++ {
+				cb := ix.codebooks[m][listData[lpos+m]]
+				for j, x := range cb {
+					v[m*ix.subdim+j] = cent[m*ix.subdim+j] + x
+				}
+			}
+			lpos += ix.m
+			refs = append(refs, postings.RowRef{File: uint32(file), Row: row})
+			vecs = append(vecs, v)
+		}
+	}
+	return refs, vecs, nil
+}
+
+// Merge combines several IVF-PQ indices into one file. Because source
+// Parquet files may already have been compacted away by the lake,
+// merging does not read raw data: it decodes each source's PQ-encoded
+// vectors (an approximation) and rebuilds. fileMaps[i] rebases source
+// i's file numbers into the merged file table; refs to unmapped files
+// are dropped. The second quantization costs a little recall, which
+// in-situ refinement recovers at query time.
+func Merge(ctx context.Context, sources []*Index, fileMaps []map[uint32]uint32, opts BuildOptions) ([]byte, error) {
+	b := component.NewBuilder(component.KindIVFPQ)
+	if err := MergeInto(ctx, b, sources, fileMaps, opts); err != nil {
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// MergeInto is Merge appending to an existing builder, mirroring
+// BuildInto.
+func MergeInto(ctx context.Context, b *component.Builder, sources []*Index, fileMaps []map[uint32]uint32, opts BuildOptions) error {
+	if len(sources) != len(fileMaps) {
+		return fmt.Errorf("ivfpq: %d sources but %d file maps", len(sources), len(fileMaps))
+	}
+	var allRefs []postings.RowRef
+	var allVecs [][]float32
+	dim := -1
+	for i, src := range sources {
+		if dim == -1 {
+			dim = src.dim
+		} else if src.dim != dim {
+			return fmt.Errorf("ivfpq: source %d has dim %d, want %d", i, src.dim, dim)
+		}
+		refs, vecs, err := src.decodeAll(ctx)
+		if err != nil {
+			return err
+		}
+		for j, r := range refs {
+			mapped, ok := fileMaps[i][r.File]
+			if !ok {
+				continue
+			}
+			allRefs = append(allRefs, postings.RowRef{File: mapped, Row: r.Row})
+			allVecs = append(allVecs, vecs[j])
+		}
+	}
+	if len(allRefs) == 0 {
+		return fmt.Errorf("ivfpq: merge produced no vectors")
+	}
+	return BuildInto(b, allVecs, allRefs, opts)
+}

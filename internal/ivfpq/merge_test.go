@@ -1,0 +1,112 @@
+package ivfpq
+
+import (
+	"context"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+func TestMergePreservesSearchQuality(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 20, Dim: 16, Clusters: 16, Spread: 0.2})
+	const half = 2000
+	vecsA := gen.Batch(half)
+	vecsB := gen.Batch(half)
+	ixA := buildAndOpen(t, store, "a.index", vecsA, seqRefs(half), BuildOptions{NList: 32, M: 4, Seed: 21})
+	ixB := buildAndOpen(t, store, "b.index", vecsB, seqRefs(half), BuildOptions{NList: 32, M: 4, Seed: 22})
+
+	merged, err := Merge(ctx, []*Index{ixA, ixB}, []map[uint32]uint32{{0: 0}, {0: 1}}, BuildOptions{NList: 48, M: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ctx, "m.index", merged)
+	r, err := component.Open(ctx, store, "m.index", component.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixM, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixM.NumVectors() != 2*half {
+		t.Fatalf("merged NumVectors = %d", ixM.NumVectors())
+	}
+
+	// Candidate coverage: the true nearest neighbor of each query (in
+	// the combined set) should appear among merged candidates most of
+	// the time.
+	all := append(append([][]float32(nil), vecsA...), vecsB...)
+	queries := gen.Queries(25)
+	hits := 0
+	for _, q := range queries {
+		truth := workload.ExactNearest(all, q, 1)[0]
+		wantFile, wantRow := uint32(0), int64(truth)
+		if truth >= half {
+			wantFile, wantRow = 1, int64(truth-half)
+		}
+		cands, err := ixM.Search(ctx, q, 16, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cands {
+			if c.Ref.File == wantFile && c.Ref.Row == wantRow {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(queries)*3/4 {
+		t.Fatalf("true NN appeared in merged candidates for only %d/%d queries", hits, len(queries))
+	}
+}
+
+func TestMergeDropsUnmappedFiles(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	vecs := workload.NewVectorGen(workload.VectorConfig{Seed: 24, Dim: 8, Clusters: 4}).Batch(300)
+	refs := make([]postings.RowRef, len(vecs))
+	for i := range refs {
+		refs[i] = postings.RowRef{File: uint32(i % 3), Row: int64(i)}
+	}
+	ix := buildAndOpen(t, store, "v.index", vecs, refs, BuildOptions{M: 4, Seed: 25})
+	merged, err := Merge(ctx, []*Index{ix}, []map[uint32]uint32{{0: 0, 2: 1}}, BuildOptions{M: 4, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ctx, "m.index", merged)
+	r, _ := component.Open(ctx, store, "m.index", component.OpenOptions{})
+	ixM, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixM.NumVectors() != 200 {
+		t.Fatalf("merged NumVectors = %d, want 200 (file 1 dropped)", ixM.NumVectors())
+	}
+	got, err := ixM.Entries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range got {
+		if ref.File > 1 {
+			t.Fatalf("unmapped file leaked: %+v", ref)
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	vecs := workload.NewVectorGen(workload.VectorConfig{Seed: 27, Dim: 8, Clusters: 4}).Batch(100)
+	ix := buildAndOpen(t, store, "v.index", vecs, seqRefs(100), BuildOptions{M: 4})
+	if _, err := Merge(ctx, []*Index{ix}, nil, BuildOptions{}); err == nil {
+		t.Fatal("file map length mismatch accepted")
+	}
+	if _, err := Merge(ctx, []*Index{ix}, []map[uint32]uint32{{}}, BuildOptions{}); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package lake
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+)
+
+func benchStore() (*simtime.VirtualClock, *objectstore.MemStore) {
+	clock := simtime.NewVirtualClock()
+	return clock, objectstore.NewMemStore(clock)
+}
+
+// BenchmarkAppendCommit measures the append + optimistic-commit path.
+func BenchmarkAppendCommit(b *testing.B) {
+	ctx := context.Background()
+	clock, store := benchStore()
+	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := msgBatch("one", "two", "three", "four")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Append(ctx, batch, parquet.WriterOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotReplay measures snapshot construction over a
+// checkpointed log.
+func BenchmarkSnapshotReplay(b *testing.B) {
+	ctx := context.Background()
+	clock, store := benchStore()
+	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := tbl.Append(ctx, msgBatch(fmt.Sprintf("r%d", i)), parquet.WriterOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Snapshot(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

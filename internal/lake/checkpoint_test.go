@@ -1,0 +1,108 @@
+package lake
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+)
+
+func TestCheckpointsBoundReplay(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	mem := objectstore.NewMemStore(clock)
+	store, metrics := objectstore.Instrument(mem, objectstore.DefaultS3Model())
+	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appends = 70
+	for i := 0; i < appends; i++ {
+		if _, err := tbl.Append(ctx, msgBatch(fmt.Sprintf("row-%d", i)), parquet.WriterOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoints exist at versions 32 and 64.
+	for _, v := range []int64{32, 64} {
+		if _, err := store.Head(ctx, checkpointKey("tbl/", v)); err != nil {
+			t.Fatalf("checkpoint at %d missing: %v", v, err)
+		}
+	}
+
+	// A fresh snapshot replays only the post-checkpoint suffix: one
+	// LIST + one checkpoint GET + (71-64) commit GETs.
+	before := metrics.Snapshot()
+	snap, err := tbl.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := metrics.Snapshot().Sub(before)
+	if snap.Version != appends+1 || snap.LiveRows() != appends {
+		t.Fatalf("snapshot = v%d, %d rows", snap.Version, snap.LiveRows())
+	}
+	if delta.Gets > 12 {
+		t.Fatalf("snapshot construction used %d GETs; checkpoint did not bound replay", delta.Gets)
+	}
+
+	// Time travel to a pre-checkpoint version still works (replays
+	// from scratch, no checkpoint at or below it besides... v32 > 5).
+	old, err := tbl.SnapshotAt(ctx, 5)
+	if err != nil || old.LiveRows() != 4 {
+		t.Fatalf("time travel: %v, %v", old, err)
+	}
+	// And to a version between checkpoints.
+	mid, err := tbl.SnapshotAt(ctx, 50)
+	if err != nil || mid.LiveRows() != 49 {
+		t.Fatalf("mid travel: %+v, %v", mid, err)
+	}
+}
+
+func TestCheckpointCorruptionFallsBack(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := tbl.Append(ctx, msgBatch("x"), parquet.WriterOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the checkpoint: snapshots must fall back to full
+	// replay and still be correct.
+	if err := store.Put(ctx, checkpointKey("tbl/", 32), []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tbl.Snapshot(ctx)
+	if err != nil || snap.LiveRows() != 40 {
+		t.Fatalf("fallback snapshot: %v, %v", snap, err)
+	}
+}
+
+func TestCheckpointKeysDoNotConfuseVersioning(t *testing.T) {
+	ctx := context.Background()
+	tbl, _, _ := newTestTable(t)
+	for i := 0; i < CheckpointInterval+2; i++ {
+		if _, err := tbl.Append(ctx, msgBatch("x"), parquet.WriterOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := tbl.Version(ctx)
+	if err != nil || v != int64(CheckpointInterval+3) {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	if _, ok := checkpointVersionFromKey("tbl/", checkpointKey("tbl/", 32)); !ok {
+		t.Fatal("checkpoint key round trip")
+	}
+	if _, ok := checkpointVersionFromKey("tbl/", logKey("tbl/", 32)); ok {
+		t.Fatal("commit key parsed as checkpoint")
+	}
+	if _, ok := versionFromKey("tbl/", checkpointKey("tbl/", 32)); ok {
+		t.Fatal("checkpoint key parsed as commit")
+	}
+}

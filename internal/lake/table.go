@@ -1,0 +1,541 @@
+package lake
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+)
+
+// DataFile describes one active data file of a snapshot.
+type DataFile struct {
+	// Path is the file key relative to the table root.
+	Path string
+	// Rows and Size mirror the AddFile action.
+	Rows int64
+	Size int64
+	// DVPath is the key of the file's deletion vector, if any.
+	DVPath string
+	// Deleted is the number of rows removed by the deletion vector.
+	Deleted int64
+	// Stats holds per-column min/max recorded at write time, used
+	// for partition-style file pruning.
+	Stats map[string]ColumnStats
+}
+
+// MayContainRange reports whether the file could hold rows of the
+// named column within [min, max] (orderable byte encodings). Files
+// without stats for the column always may.
+func (f DataFile) MayContainRange(column string, min, max []byte) bool {
+	s, ok := f.Stats[column]
+	if !ok || len(s.Min) == 0 || len(s.Max) == 0 {
+		return true
+	}
+	if len(max) > 0 && bytes.Compare(s.Min, max) > 0 {
+		return false
+	}
+	if len(min) > 0 && bytes.Compare(s.Max, min) < 0 {
+		return false
+	}
+	return true
+}
+
+// Snapshot is a point-in-time view of the table: the manifest list of
+// data files (with their deletion vectors) that make up one version.
+type Snapshot struct {
+	Version int64
+	Schema  *parquet.Schema
+	Files   []DataFile
+}
+
+// File returns the snapshot entry for a path, if present.
+func (s *Snapshot) File(path string) (DataFile, bool) {
+	for _, f := range s.Files {
+		if f.Path == path {
+			return f, true
+		}
+	}
+	return DataFile{}, false
+}
+
+// Paths returns the set of active data file paths.
+func (s *Snapshot) Paths() map[string]bool {
+	out := make(map[string]bool, len(s.Files))
+	for _, f := range s.Files {
+		out[f.Path] = true
+	}
+	return out
+}
+
+// LiveRows returns the total number of live (non-deleted) rows.
+func (s *Snapshot) LiveRows() int64 {
+	var total int64
+	for _, f := range s.Files {
+		total += f.Rows - f.Deleted
+	}
+	return total
+}
+
+// Table is a transactional lake table rooted at a key prefix on an
+// object store.
+type Table struct {
+	store objectstore.Store
+	clock simtime.Clock
+	root  string
+}
+
+// Create initializes a new table at root with the given schema,
+// committing version 1 with the table metadata. It fails if a table
+// already exists there.
+func Create(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string, schema *parquet.Schema) (*Table, error) {
+	if clock == nil {
+		clock = simtime.RealClock{}
+	}
+	t := &Table{store: store, clock: clock, root: normalizeRoot(root)}
+	commit := Commit{
+		Version:   1,
+		Timestamp: clock.Now(),
+		Operation: "CREATE",
+		Actions:   []Action{{Metadata: &TableMeta{Schema: schema}}},
+	}
+	data, err := json.Marshal(commit)
+	if err != nil {
+		return nil, fmt.Errorf("lake: encode create: %w", err)
+	}
+	if err := store.PutIfAbsent(ctx, logKey(t.root, 1), data); err != nil {
+		if errors.Is(err, objectstore.ErrExists) {
+			return nil, fmt.Errorf("lake: table already exists at %s", root)
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open returns a handle to an existing table at root.
+func Open(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string) (*Table, error) {
+	if clock == nil {
+		clock = simtime.RealClock{}
+	}
+	t := &Table{store: store, clock: clock, root: normalizeRoot(root)}
+	if _, err := t.store.Head(ctx, logKey(t.root, 1)); err != nil {
+		if errors.Is(err, objectstore.ErrNotFound) {
+			return nil, ErrNoTable
+		}
+		return nil, err
+	}
+	return t, nil
+}
+
+func normalizeRoot(root string) string {
+	if root != "" && root[len(root)-1] != '/' {
+		return root + "/"
+	}
+	return root
+}
+
+// Root returns the table's key prefix.
+func (t *Table) Root() string { return t.root }
+
+// Store returns the table's object store.
+func (t *Table) Store() objectstore.Store { return t.store }
+
+// Version returns the latest committed version.
+func (t *Table) Version(ctx context.Context) (int64, error) {
+	infos, err := t.store.List(ctx, t.root+logDir)
+	if err != nil {
+		return 0, err
+	}
+	var max int64
+	for _, info := range infos {
+		if v, ok := versionFromKey(t.root, info.Key); ok && v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 0, ErrNoTable
+	}
+	return max, nil
+}
+
+// Snapshot returns the latest snapshot.
+func (t *Table) Snapshot(ctx context.Context) (*Snapshot, error) {
+	return t.SnapshotAt(ctx, -1)
+}
+
+// SnapshotAt returns the snapshot at the given version (time travel);
+// version < 0 means latest.
+func (t *Table) SnapshotAt(ctx context.Context, version int64) (*Snapshot, error) {
+	base, commits, err := readLog(ctx, t.store, t.root, version)
+	if err != nil {
+		return nil, err
+	}
+	if base == nil && len(commits) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	latest := int64(0)
+	if base != nil {
+		latest = base.Version
+	}
+	if len(commits) > 0 {
+		latest = commits[len(commits)-1].Version
+	}
+	if version >= 0 && latest != version {
+		return nil, ErrNoSnapshot
+	}
+	snap := &Snapshot{Version: latest}
+	files := make(map[string]*DataFile)
+	if base != nil {
+		snap.Schema = base.Schema
+		for _, f := range base.Files {
+			ff := f
+			files[f.Path] = &ff
+		}
+	}
+	for _, c := range commits {
+		for _, a := range c.Actions {
+			switch {
+			case a.Metadata != nil:
+				snap.Schema = a.Metadata.Schema
+			case a.Add != nil:
+				files[a.Add.Path] = &DataFile{Path: a.Add.Path, Rows: a.Add.Rows, Size: a.Add.Size, Stats: a.Add.Stats}
+			case a.Remove != nil:
+				delete(files, a.Remove.Path)
+			case a.DV != nil:
+				if f, ok := files[a.DV.File]; ok {
+					f.DVPath = a.DV.Path
+					f.Deleted = a.DV.Deleted
+				}
+			}
+		}
+	}
+	for _, f := range files {
+		snap.Files = append(snap.Files, *f)
+	}
+	sort.Slice(snap.Files, func(i, j int) bool { return snap.Files[i].Path < snap.Files[j].Path })
+	return snap, nil
+}
+
+// commit appends a log entry with optimistic concurrency: it
+// repeatedly attempts PutIfAbsent on the next version. The validate
+// callback (may be nil) re-checks the operation's plan against the
+// latest snapshot before each retry and may return ErrConflict to
+// abort.
+func (t *Table) commit(ctx context.Context, op string, actions []Action, validate func(*Snapshot) error) (int64, error) {
+	for attempt := 0; attempt < 32; attempt++ {
+		version, err := t.Version(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if validate != nil {
+			snap, err := t.SnapshotAt(ctx, version)
+			if err != nil {
+				return 0, err
+			}
+			if err := validate(snap); err != nil {
+				return 0, err
+			}
+		}
+		c := Commit{Version: version + 1, Timestamp: t.clock.Now(), Operation: op, Actions: actions}
+		data, err := json.Marshal(c)
+		if err != nil {
+			return 0, fmt.Errorf("lake: encode commit: %w", err)
+		}
+		err = t.store.PutIfAbsent(ctx, logKey(t.root, version+1), data)
+		if err == nil {
+			t.maybeCheckpoint(ctx, version+1)
+			return version + 1, nil
+		}
+		if !errors.Is(err, objectstore.ErrExists) {
+			return 0, err
+		}
+		// Lost the race: re-read and retry.
+	}
+	return 0, fmt.Errorf("lake: commit retries exhausted: %w", ErrConflict)
+}
+
+// newFileName returns a fresh random data-file name, mirroring the
+// UUID-named Parquet files of real lakes.
+func newFileName(ext string) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand does not fail on supported platforms
+	}
+	return hex.EncodeToString(b[:]) + ext
+}
+
+// Append writes the batch as a new data file and commits it, with
+// per-column min/max stats recorded in the log entry.
+func (t *Table) Append(ctx context.Context, b *parquet.Batch, opts parquet.WriterOptions) (string, error) {
+	path := "data/" + newFileName(".rpq")
+	w := parquet.NewFileWriter(b.Schema, opts)
+	if err := w.Append(b); err != nil {
+		return "", err
+	}
+	data, meta, err := w.Close()
+	if err != nil {
+		return "", err
+	}
+	if err := t.store.Put(ctx, t.root+path, data); err != nil {
+		return "", err
+	}
+	add := &AddFile{Path: path, Rows: meta.NumRows, Size: int64(len(data)), Stats: statsFromMeta(meta)}
+	_, err = t.commit(ctx, "APPEND", []Action{{Add: add}}, nil)
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// statsFromMeta folds a file's chunk-level min/max statistics into
+// file-level per-column stats for the log.
+func statsFromMeta(meta *parquet.FileMeta) map[string]ColumnStats {
+	stats := make(map[string]ColumnStats, len(meta.Schema.Columns))
+	for ci, col := range meta.Schema.Columns {
+		var s ColumnStats
+		for _, g := range meta.RowGroups {
+			chunk := g.Chunks[ci]
+			if len(chunk.Min) == 0 && len(chunk.Max) == 0 {
+				continue
+			}
+			if s.Min == nil || bytes.Compare(chunk.Min, s.Min) < 0 {
+				s.Min = chunk.Min
+			}
+			if s.Max == nil || bytes.Compare(chunk.Max, s.Max) > 0 {
+				s.Max = chunk.Max
+			}
+		}
+		if s.Min != nil || s.Max != nil {
+			stats[col.Name] = s
+		}
+	}
+	if len(stats) == 0 {
+		return nil
+	}
+	return stats
+}
+
+// Compact merges every active data file smaller than smallBytes into
+// new files of roughly targetRows rows, dropping rows masked by
+// deletion vectors. It returns the paths of the new files. Compaction
+// is the lake-side maintenance operation that invalidates Rottnest
+// index files pointing at the old physical locations.
+func (t *Table) Compact(ctx context.Context, smallBytes int64, targetRows int64) ([]string, error) {
+	snap, err := t.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []DataFile
+	for _, f := range snap.Files {
+		if f.Size < smallBytes {
+			inputs = append(inputs, f)
+		}
+	}
+	if len(inputs) < 2 {
+		return nil, nil
+	}
+	if targetRows <= 0 {
+		targetRows = 1 << 20
+	}
+
+	// Read and concatenate inputs, applying deletion vectors.
+	merged := parquet.NewBatch(snap.Schema)
+	for _, f := range inputs {
+		batch, _, err := parquet.ReadAll(ctx, t.store, t.root+f.Path)
+		if err != nil {
+			return nil, fmt.Errorf("lake: compact read %s: %w", f.Path, err)
+		}
+		dv, err := t.readDV(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		for ci := range merged.Cols {
+			merged.Cols[ci] = merged.Cols[ci].Append(filterDeleted(batch.Cols[ci], dv))
+		}
+	}
+
+	// Write replacement files of ~targetRows each.
+	var actions []Action
+	var newPaths []string
+	total := merged.NumRows()
+	for start := 0; start < total; start += int(targetRows) {
+		end := start + int(targetRows)
+		if end > total {
+			end = total
+		}
+		part := parquet.NewBatch(snap.Schema)
+		for ci := range part.Cols {
+			part.Cols[ci] = merged.Cols[ci].Slice(start, end)
+		}
+		path := "data/" + newFileName(".rpq")
+		w := parquet.NewFileWriter(snap.Schema, parquet.WriterOptions{})
+		if err := w.Append(part); err != nil {
+			return nil, err
+		}
+		data, meta, err := w.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.store.Put(ctx, t.root+path, data); err != nil {
+			return nil, err
+		}
+		actions = append(actions, Action{Add: &AddFile{Path: path, Rows: meta.NumRows, Size: int64(len(data)), Stats: statsFromMeta(meta)}})
+		newPaths = append(newPaths, path)
+	}
+	for _, f := range inputs {
+		actions = append(actions, Action{Remove: &RemoveFile{Path: f.Path}})
+	}
+
+	// Validate on commit that the inputs are still active and their
+	// deletion vectors unchanged (a racing compactor or row delete
+	// would otherwise be silently lost — resurrecting deleted rows).
+	_, err = t.commit(ctx, "COMPACT", actions, func(latest *Snapshot) error {
+		for _, f := range inputs {
+			cur, ok := latest.File(f.Path)
+			if !ok {
+				return fmt.Errorf("lake: compaction input %s removed concurrently: %w", f.Path, ErrConflict)
+			}
+			if cur.DVPath != f.DVPath {
+				return fmt.Errorf("lake: compaction input %s deleted-from concurrently: %w", f.Path, ErrConflict)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newPaths, nil
+}
+
+// filterDeleted drops values at rows marked in the deletion vector.
+func filterDeleted(v parquet.ColumnValues, dv *DeletionVector) parquet.ColumnValues {
+	if dv.Len() == 0 {
+		return v
+	}
+	var out parquet.ColumnValues
+	n := v.Len()
+	for i := 0; i < n; i++ {
+		if dv.Contains(uint32(i)) {
+			continue
+		}
+		out = out.Append(v.Slice(i, i+1))
+	}
+	return out
+}
+
+// readDV loads a file's deletion vector, or an empty one.
+func (t *Table) readDV(ctx context.Context, f DataFile) (*DeletionVector, error) {
+	if f.DVPath == "" {
+		return NewDeletionVector(), nil
+	}
+	data, err := t.store.Get(ctx, t.root+f.DVPath)
+	if err != nil {
+		return nil, fmt.Errorf("lake: read dv %s: %w", f.DVPath, err)
+	}
+	return ParseDeletionVector(data)
+}
+
+// ReadDeletionVector loads the deletion vector for a snapshot file,
+// returning an empty vector when none exists. Search paths use it to
+// mask deleted rows during in-situ probing.
+func (t *Table) ReadDeletionVector(ctx context.Context, f DataFile) (*DeletionVector, error) {
+	return t.readDV(ctx, f)
+}
+
+// DeleteRows marks file-local rows of one data file as deleted by
+// writing a new deletion vector (merged with any existing one) and
+// committing it.
+func (t *Table) DeleteRows(ctx context.Context, path string, rows []uint32) error {
+	snap, err := t.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	f, ok := snap.File(path)
+	if !ok {
+		return fmt.Errorf("lake: delete from inactive file %s: %w", path, ErrConflict)
+	}
+	dv, err := t.readDV(ctx, f)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		dv.Add(r)
+	}
+	dvPath := "dv/" + newFileName(".dv")
+	if err := t.store.Put(ctx, t.root+dvPath, dv.Serialize()); err != nil {
+		return err
+	}
+	_, err = t.commit(ctx, "DELETE", []Action{{DV: &AddDV{File: path, Path: dvPath, Deleted: int64(dv.Len())}}}, func(latest *Snapshot) error {
+		cur, ok := latest.File(path)
+		if !ok {
+			return fmt.Errorf("lake: file %s removed concurrently: %w", path, ErrConflict)
+		}
+		if cur.DVPath != f.DVPath {
+			// A racing delete landed; our merged vector would drop
+			// its rows.
+			return fmt.Errorf("lake: file %s deleted-from concurrently: %w", path, ErrConflict)
+		}
+		return nil
+	})
+	return err
+}
+
+// Vacuum physically deletes data and deletion-vector files that are
+// not referenced by any snapshot at or after keepVersion and whose age
+// exceeds minAge (protecting in-flight writers). It returns the keys
+// removed.
+func (t *Table) Vacuum(ctx context.Context, keepVersion int64, minAge time.Duration) ([]string, error) {
+	latest, err := t.Version(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if keepVersion < 1 {
+		keepVersion = 1
+	}
+	if keepVersion > latest {
+		keepVersion = latest
+	}
+	referenced := make(map[string]bool)
+	for v := keepVersion; v <= latest; v++ {
+		snap, err := t.SnapshotAt(ctx, v)
+		if err != nil {
+			if errors.Is(err, ErrNoSnapshot) {
+				continue
+			}
+			return nil, err
+		}
+		for _, f := range snap.Files {
+			referenced[f.Path] = true
+			if f.DVPath != "" {
+				referenced[f.DVPath] = true
+			}
+		}
+	}
+	cutoff := t.clock.Now().Add(-minAge)
+	var removed []string
+	for _, prefix := range []string{"data/", "dv/"} {
+		infos, err := t.store.List(ctx, t.root+prefix)
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range infos {
+			rel := info.Key[len(t.root):]
+			if referenced[rel] || info.Created.After(cutoff) {
+				continue
+			}
+			if err := t.store.Delete(ctx, info.Key); err != nil {
+				return nil, err
+			}
+			removed = append(removed, rel)
+		}
+	}
+	return removed, nil
+}

@@ -1,0 +1,303 @@
+// Package meta implements the Rottnest metadata table (Section IV of
+// the paper): the transactional record of which index files exist and
+// which Parquet files each one covers. The paper implements it as a
+// Delta Lake table; here it is a JSON transaction log committed with
+// conditional PUTs on the same object store — the same
+// optimistic-concurrency technique, and, as the paper notes, any
+// transactional store would do.
+package meta
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/simtime"
+)
+
+// IndexEntry is one row of the metadata table: one committed index
+// file.
+type IndexEntry struct {
+	// IndexKey is the index file's object key (absolute).
+	IndexKey string `json:"index_key"`
+	// Kind is the index type.
+	Kind component.Kind `json:"kind"`
+	// Column is the indexed column name.
+	Column string `json:"column"`
+	// Files are the lake-relative paths of the Parquet files the
+	// index covers.
+	Files []string `json:"files"`
+	// Rows is the total number of rows covered, used by compaction
+	// planning.
+	Rows int64 `json:"rows"`
+	// SizeBytes is the index file size, used by compaction planning.
+	SizeBytes int64 `json:"size_bytes"`
+	// CreatedAt is the commit time.
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// record is one transaction-log entry.
+type record struct {
+	Version int64        `json:"version"`
+	Inserts []IndexEntry `json:"inserts,omitempty"`
+	Deletes []string     `json:"deletes,omitempty"` // index keys
+}
+
+// Table is a handle to the metadata table under a key prefix.
+type Table struct {
+	store objectstore.Store
+	clock simtime.Clock
+	root  string
+}
+
+// New returns a handle to the metadata table rooted at prefix
+// (created lazily on first commit).
+func New(store objectstore.Store, clock simtime.Clock, prefix string) *Table {
+	if clock == nil {
+		clock = simtime.RealClock{}
+	}
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &Table{store: store, clock: clock, root: prefix}
+}
+
+// Root returns the table's key prefix.
+func (t *Table) Root() string { return t.root }
+
+func (t *Table) key(version int64) string {
+	return fmt.Sprintf("%s%020d.json", t.root, version)
+}
+
+func (t *Table) parseVersion(key string) (int64, bool) {
+	name := strings.TrimSuffix(strings.TrimPrefix(key, t.root), ".json")
+	if len(name) != 20 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, true
+}
+
+// checkpointInterval is how many commits between automatic metadata
+// checkpoints; like the lake's, they keep log replay cost flat.
+const checkpointInterval = 32
+
+// metaCheckpoint is the serialized live-entry set at one version.
+type metaCheckpoint struct {
+	Version int64        `json:"version"`
+	Entries []IndexEntry `json:"entries"`
+}
+
+func (t *Table) checkpointKey(version int64) string {
+	return fmt.Sprintf("%scheckpoint-%020d.json", t.root, version)
+}
+
+func (t *Table) parseCheckpointVersion(key string) (int64, bool) {
+	name := strings.TrimPrefix(key, t.root+"checkpoint-")
+	if name == key || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	name = strings.TrimSuffix(name, ".json")
+	if len(name) != 20 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, true
+}
+
+// maybeCheckpoint writes a checkpoint after every checkpointInterval-th
+// commit (best effort; failures are invisible).
+func (t *Table) maybeCheckpoint(ctx context.Context, version int64) {
+	if version%checkpointInterval != 0 {
+		return
+	}
+	entries, latest, err := t.readAll(ctx)
+	if err != nil || latest != version {
+		return
+	}
+	cp := metaCheckpoint{Version: version}
+	for _, e := range entries {
+		cp.Entries = append(cp.Entries, e)
+	}
+	sortEntries(cp.Entries)
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return
+	}
+	_ = t.store.Put(ctx, t.checkpointKey(version), data)
+}
+
+// readAll replays the log and returns the live entries plus the
+// latest version. The newest usable checkpoint bounds the replayed
+// suffix, and log objects are fetched with one parallel fan (the way
+// delta-rs reads Delta logs), so replay cost stays flat as the log
+// grows.
+func (t *Table) readAll(ctx context.Context) (map[string]IndexEntry, int64, error) {
+	infos, err := t.store.List(ctx, t.root)
+	if err != nil {
+		return nil, 0, fmt.Errorf("meta: list log: %w", err)
+	}
+	// Newest parseable checkpoint.
+	var base *metaCheckpoint
+	bestV, bestKey := int64(-1), ""
+	for _, info := range infos {
+		if v, ok := t.parseCheckpointVersion(info.Key); ok && v > bestV {
+			bestV, bestKey = v, info.Key
+		}
+	}
+	if bestV >= 0 {
+		if data, err := t.store.Get(ctx, bestKey); err == nil {
+			var cp metaCheckpoint
+			if json.Unmarshal(data, &cp) == nil {
+				base = &cp
+			}
+		}
+	}
+	minExclusive := int64(0)
+	if base != nil {
+		minExclusive = base.Version
+	}
+	var keys []string
+	latest := minExclusive
+	for _, info := range infos {
+		v, ok := t.parseVersion(info.Key)
+		if !ok {
+			continue
+		}
+		if v > latest {
+			latest = v
+		}
+		if v <= minExclusive {
+			continue
+		}
+		keys = append(keys, info.Key)
+	}
+	reqs := make([]objectstore.RangeRequest, len(keys))
+	for i, k := range keys {
+		reqs[i] = objectstore.RangeRequest{Key: k, Offset: 0, Length: -1}
+	}
+	bodies, err := objectstore.FanGet(ctx, t.store, reqs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("meta: read log: %w", err)
+	}
+	entries := make(map[string]IndexEntry)
+	if base != nil {
+		for _, e := range base.Entries {
+			entries[e.IndexKey] = e
+		}
+	}
+	for i, data := range bodies {
+		var rec record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, 0, fmt.Errorf("meta: parse %s: %w", keys[i], err)
+		}
+		for _, k := range rec.Deletes {
+			delete(entries, k)
+		}
+		for _, e := range rec.Inserts {
+			entries[e.IndexKey] = e
+		}
+	}
+	return entries, latest, nil
+}
+
+// List returns every live entry of the table.
+func (t *Table) List(ctx context.Context) ([]IndexEntry, error) {
+	entries, _, err := t.readAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IndexEntry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// ListFor returns the live entries for one (column, kind) index.
+func (t *Table) ListFor(ctx context.Context, column string, kind component.Kind) ([]IndexEntry, error) {
+	all, err := t.List(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := all[:0]
+	for _, e := range all {
+		if e.Column == column && e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+func sortEntries(entries []IndexEntry) {
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].IndexKey < entries[j-1].IndexKey; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// commit appends a record with optimistic concurrency.
+func (t *Table) commit(ctx context.Context, inserts []IndexEntry, deletes []string) error {
+	for attempt := 0; attempt < 32; attempt++ {
+		_, latest, err := t.readAll(ctx)
+		if err != nil {
+			return err
+		}
+		rec := record{Version: latest + 1, Inserts: inserts, Deletes: deletes}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("meta: encode record: %w", err)
+		}
+		err = t.store.PutIfAbsent(ctx, t.key(latest+1), data)
+		if err == nil {
+			t.maybeCheckpoint(ctx, latest+1)
+			return nil
+		}
+		if !errors.Is(err, objectstore.ErrExists) {
+			return err
+		}
+	}
+	return fmt.Errorf("meta: commit retries exhausted")
+}
+
+// Insert transactionally adds entries, stamping CreatedAt.
+func (t *Table) Insert(ctx context.Context, entries ...IndexEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	now := t.clock.Now()
+	for i := range entries {
+		if entries[i].CreatedAt.IsZero() {
+			entries[i].CreatedAt = now
+		}
+	}
+	return t.commit(ctx, entries, nil)
+}
+
+// Delete transactionally removes the entries with the given index
+// keys (missing keys are ignored, keeping Delete idempotent).
+func (t *Table) Delete(ctx context.Context, indexKeys ...string) error {
+	if len(indexKeys) == 0 {
+		return nil
+	}
+	return t.commit(ctx, nil, indexKeys)
+}

@@ -1,0 +1,193 @@
+package meta
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/simtime"
+)
+
+func newTable(t *testing.T) (*Table, *objectstore.MemStore) {
+	t.Helper()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	return New(store, clock, "ix/_meta"), store
+}
+
+func entry(key, column string, kind component.Kind, files ...string) IndexEntry {
+	return IndexEntry{IndexKey: key, Column: column, Kind: kind, Files: files, Rows: int64(len(files)) * 100}
+}
+
+func TestInsertListDelete(t *testing.T) {
+	ctx := context.Background()
+	tbl, _ := newTable(t)
+
+	got, err := tbl.List(ctx)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty list: %v, %v", got, err)
+	}
+	if err := tbl.Insert(ctx, entry("a.index", "id", component.KindTrie, "f1", "f2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ctx, entry("b.index", "id", component.KindTrie, "f3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(ctx, entry("c.index", "body", component.KindFM, "f1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = tbl.List(ctx)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("list = %d, %v", len(got), err)
+	}
+	if got[0].CreatedAt.IsZero() {
+		t.Fatal("CreatedAt not stamped")
+	}
+	forID, err := tbl.ListFor(ctx, "id", component.KindTrie)
+	if err != nil || len(forID) != 2 {
+		t.Fatalf("ListFor = %d, %v", len(forID), err)
+	}
+	if err := tbl.Delete(ctx, "a.index"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tbl.List(ctx)
+	if len(got) != 2 {
+		t.Fatalf("after delete: %d", len(got))
+	}
+	// Idempotent delete of missing key.
+	if err := tbl.Delete(ctx, "a.index", "nope"); err != nil {
+		t.Fatal(err)
+	}
+	// Empty operations are no-ops.
+	if err := tbl.Insert(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertsAllLand(t *testing.T) {
+	ctx := context.Background()
+	tbl, _ := newTable(t)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tbl.Insert(ctx, entry(fmt.Sprintf("%02d.index", i), "id", component.KindTrie, fmt.Sprintf("f%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	got, err := tbl.List(ctx)
+	if err != nil || len(got) != n {
+		t.Fatalf("list = %d, %v", len(got), err)
+	}
+}
+
+func TestReplaySemantics(t *testing.T) {
+	// Delete-then-insert in separate commits resolves by order.
+	ctx := context.Background()
+	tbl, _ := newTable(t)
+	tbl.Insert(ctx, entry("x.index", "id", component.KindTrie, "f"))
+	tbl.Delete(ctx, "x.index")
+	tbl.Insert(ctx, entry("x.index", "id", component.KindTrie, "f", "g"))
+	got, _ := tbl.List(ctx)
+	if len(got) != 1 || len(got[0].Files) != 2 {
+		t.Fatalf("replay = %+v", got)
+	}
+}
+
+func TestLogKeysIgnoreForeignObjects(t *testing.T) {
+	ctx := context.Background()
+	tbl, store := newTable(t)
+	// A stray non-log object under the prefix must not break replay.
+	store.Put(ctx, "ix/_meta/README", []byte("not a log entry"))
+	if err := tbl.Insert(ctx, entry("a.index", "id", component.KindTrie, "f")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.List(ctx)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("list = %v, %v", got, err)
+	}
+}
+
+func TestMetaCheckpointsBoundReplay(t *testing.T) {
+	ctx := context.Background()
+	tbl, store := newTable(t)
+	const commits = 70
+	for i := 0; i < commits; i++ {
+		if err := tbl.Insert(ctx, entry(fmt.Sprintf("%03d.index", i), "id", component.KindTrie, "f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoints landed.
+	if _, err := store.Head(ctx, tbl.checkpointKey(64)); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	got, err := tbl.List(ctx)
+	if err != nil || len(got) != commits {
+		t.Fatalf("list = %d, %v", len(got), err)
+	}
+	// Replay after a checkpoint reads only the suffix.
+	entriesMap, latest, err := tbl.readAll(ctx)
+	if err != nil || latest != commits || len(entriesMap) != commits {
+		t.Fatalf("readAll: %d entries at v%d, %v", len(entriesMap), latest, err)
+	}
+	// Deletes replayed over the checkpoint still apply.
+	if err := tbl.Delete(ctx, "000.index"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tbl.List(ctx)
+	if len(got) != commits-1 {
+		t.Fatalf("after delete: %d", len(got))
+	}
+	// Corrupted checkpoint falls back to full replay.
+	store.Put(ctx, tbl.checkpointKey(64), []byte("junk"))
+	got, err = tbl.List(ctx)
+	if err != nil || len(got) != commits-1 {
+		t.Fatalf("fallback list = %d, %v", len(got), err)
+	}
+}
+
+func TestMetaConcurrentCommitsAroundCheckpoint(t *testing.T) {
+	// Concurrent inserts racing across the checkpoint boundary must
+	// all land and replay correctly.
+	ctx := context.Background()
+	tbl, _ := newTable(t)
+	for i := 0; i < checkpointInterval-4; i++ {
+		if err := tbl.Insert(ctx, entry(fmt.Sprintf("pre-%03d.index", i), "id", component.KindTrie, "f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const racers = 10
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tbl.Insert(ctx, entry(fmt.Sprintf("race-%03d.index", i), "id", component.KindTrie, "f"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	got, err := tbl.List(ctx)
+	if err != nil || len(got) != checkpointInterval-4+racers {
+		t.Fatalf("list = %d, %v", len(got), err)
+	}
+}

@@ -1,0 +1,167 @@
+package objectstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+func TestContextCancellationRespected(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := s.Put(ctx, "k", []byte("v")); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Put: %v", err)
+			}
+			if _, err := s.Get(ctx, "k"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Get: %v", err)
+			}
+			if _, err := s.List(ctx, ""); !errors.Is(err, context.Canceled) {
+				t.Fatalf("List: %v", err)
+			}
+			if err := s.Delete(ctx, "k"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Head(ctx, "k"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Head: %v", err)
+			}
+			if err := s.PutIfAbsent(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+				t.Fatalf("PutIfAbsent: %v", err)
+			}
+		})
+	}
+}
+
+func TestDirStorePersistenceAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(ctx, "a/b", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ctx, "a/b")
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("Get via new handle: %q, %v", got, err)
+	}
+	if s1.Root() != s2.Root() {
+		t.Fatal("roots differ")
+	}
+}
+
+func TestInstrumentedDeleteAndHeadCharges(t *testing.T) {
+	s, metrics := Instrument(NewMemStore(nil), testModel())
+	sess := simtime.NewSession()
+	ctx := simtime.With(context.Background(), sess)
+	s.Put(ctx, "k", []byte("v"))
+	afterPut := sess.Elapsed()
+	if _, err := s.Head(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Elapsed() != afterPut+testModel().GetTTFB {
+		t.Fatalf("Head charge: %v", sess.Elapsed()-afterPut)
+	}
+	beforeDel := sess.Elapsed()
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Elapsed() != beforeDel+testModel().PutTTFB {
+		t.Fatalf("Delete charge: %v", sess.Elapsed()-beforeDel)
+	}
+	snap := metrics.Snapshot()
+	if snap.Heads != 1 || snap.Deletes != 1 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+}
+
+func TestFanGetWithoutSessionStillParallel(t *testing.T) {
+	s, metrics := Instrument(NewMemStore(nil), testModel())
+	ctx := context.Background()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		s.Put(ctx, k, []byte("x"))
+	}
+	reqs := []RangeRequest{{Key: "a", Length: -1}, {Key: "b", Length: -1}, {Key: "c", Length: -1}, {Key: "d", Length: -1}}
+	before := metrics.Snapshot()
+	res, err := FanGet(ctx, s, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if string(r) != "x" {
+			t.Fatalf("result %d = %q", i, r)
+		}
+	}
+	if metrics.Snapshot().Sub(before).Gets != 4 {
+		t.Fatal("fan GET count")
+	}
+}
+
+func TestPutLatencyScalesWithSize(t *testing.T) {
+	m := testModel()
+	small := m.PutLatency(1 << 10)
+	big := m.PutLatency(100 << 20)
+	if big <= small {
+		t.Fatalf("put latency flat: %v vs %v", small, big)
+	}
+	if small < m.PutTTFB {
+		t.Fatalf("put latency below TTFB: %v", small)
+	}
+}
+
+func TestVirtualClockTimestampsOrderVacuumDecisions(t *testing.T) {
+	// The vacuum protocol compares object Created timestamps against
+	// the timeout; verify ordering across clock advances.
+	clock := simtime.NewVirtualClock()
+	s := NewMemStore(clock)
+	ctx := context.Background()
+	s.Put(ctx, "old", []byte("1"))
+	clock.Advance(time.Hour)
+	s.Put(ctx, "new", []byte("2"))
+	oldInfo, _ := s.Head(ctx, "old")
+	newInfo, _ := s.Head(ctx, "new")
+	cutoff := clock.Now().Add(-30 * time.Minute)
+	if !oldInfo.Created.Before(cutoff) {
+		t.Fatal("old object not before cutoff")
+	}
+	if newInfo.Created.Before(cutoff) {
+		t.Fatal("new object before cutoff")
+	}
+}
+
+func TestFailNthScopedPerOpClass(t *testing.T) {
+	inner := NewMemStore(nil)
+	fs := NewFaultStore(inner, FailNth(OpGet, 2))
+	ctx := context.Background()
+	inner.Put(ctx, "k", []byte("v"))
+	// Puts never fire a Get fault.
+	for i := 0; i < 3; i++ {
+		if err := fs.Put(ctx, "p", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Get(ctx, "k"); err != nil {
+		t.Fatalf("first get: %v", err)
+	}
+	if _, err := fs.Get(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second get: %v", err)
+	}
+	if _, err := fs.GetRange(ctx, "k", 0, 1); err != nil {
+		t.Fatalf("third get: %v", err)
+	}
+	// Head faults fire separately.
+	fs2 := NewFaultStore(inner, FailNth(OpHead, 1))
+	if _, err := fs2.Head(ctx, "k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("head fault: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package objectstore
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by a FaultStore when a fault
+// fires. Tests use errors.Is against it to distinguish injected
+// failures from real ones.
+var ErrInjected = errors.New("objectstore: injected fault")
+
+// Op identifies a Store operation class for fault matching.
+type Op int
+
+// Operation classes.
+const (
+	OpPut Op = iota
+	OpGet
+	OpList
+	OpDelete
+	OpHead
+)
+
+// Fault decides whether a given operation should fail. It is called
+// with the operation class, the key (empty for List) and the 1-based
+// sequence number of the operation across the store's lifetime.
+type Fault func(op Op, key string, seq int64) bool
+
+// FaultStore wraps a Store and fails operations selected by the Fault
+// predicate with ErrInjected. It is used by protocol tests to model
+// indexer crashes before and after upload, failed commits, and vacuum
+// races (Section IV-D of the paper).
+type FaultStore struct {
+	inner Store
+	fault Fault
+	seq   atomic.Int64
+}
+
+// NewFaultStore wraps inner with the fault predicate. A nil predicate
+// never fires.
+func NewFaultStore(inner Store, fault Fault) *FaultStore {
+	if fault == nil {
+		fault = func(Op, string, int64) bool { return false }
+	}
+	return &FaultStore{inner: inner, fault: fault}
+}
+
+// FailNth returns a Fault firing exactly on the nth operation of the
+// given class (1-based count within that class).
+func FailNth(op Op, n int64) Fault {
+	var count atomic.Int64
+	return func(o Op, _ string, _ int64) bool {
+		if o != op {
+			return false
+		}
+		return count.Add(1) == n
+	}
+}
+
+func (s *FaultStore) check(op Op, key string) error {
+	if s.fault(op, key, s.seq.Add(1)) {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(ctx context.Context, key string, data []byte) error {
+	if err := s.check(OpPut, key); err != nil {
+		return err
+	}
+	return s.inner.Put(ctx, key, data)
+}
+
+// PutIfAbsent implements Store.
+func (s *FaultStore) PutIfAbsent(ctx context.Context, key string, data []byte) error {
+	if err := s.check(OpPut, key); err != nil {
+		return err
+	}
+	return s.inner.PutIfAbsent(ctx, key, data)
+}
+
+// Get implements Store.
+func (s *FaultStore) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := s.check(OpGet, key); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(ctx, key)
+}
+
+// GetRange implements Store.
+func (s *FaultStore) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	if err := s.check(OpGet, key); err != nil {
+		return nil, err
+	}
+	return s.inner.GetRange(ctx, key, offset, length)
+}
+
+// Head implements Store.
+func (s *FaultStore) Head(ctx context.Context, key string) (ObjectInfo, error) {
+	if err := s.check(OpHead, key); err != nil {
+		return ObjectInfo{}, err
+	}
+	return s.inner.Head(ctx, key)
+}
+
+// List implements Store.
+func (s *FaultStore) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	if err := s.check(OpList, prefix); err != nil {
+		return nil, err
+	}
+	return s.inner.List(ctx, prefix)
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(ctx context.Context, key string) error {
+	if err := s.check(OpDelete, key); err != nil {
+		return err
+	}
+	return s.inner.Delete(ctx, key)
+}

@@ -1,0 +1,267 @@
+package objectstore
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+// LatencyModel describes the request latency of a cloud object store.
+// It reproduces the access shape measured in Figure 10a of the paper:
+// byte-range GET latency is flat with respect to read size until about
+// 1 MB, after which it grows linearly with size at the per-stream
+// bandwidth.
+type LatencyModel struct {
+	// GetTTFB is the fixed time-to-first-byte of a GET request.
+	GetTTFB time.Duration
+	// PutTTFB is the fixed latency of a PUT request (before transfer).
+	PutTTFB time.Duration
+	// ListTTFB is the fixed latency of a LIST request page.
+	ListTTFB time.Duration
+	// FlatUntil is the transfer size absorbed into the TTFB window;
+	// reads at or below this size cost only GetTTFB.
+	FlatUntil int64
+	// BandwidthBps is the sustained per-stream transfer bandwidth in
+	// bytes per second, applied to bytes beyond FlatUntil.
+	BandwidthBps float64
+	// MaxGetRPSPerPrefix caps GET request throughput against a
+	// single key prefix, as S3 does at 5500 GET/s. It is enforced by
+	// FanGet for wide request fans (Section VII-D3). Zero disables
+	// the cap.
+	MaxGetRPSPerPrefix float64
+	// ListPageSize is the number of entries returned per LIST page;
+	// longer listings pay ListTTFB once per page. Zero means one page.
+	ListPageSize int
+}
+
+// DefaultS3Model returns latency parameters matching the paper's S3
+// measurements: ~30 ms TTFB, ~1 MiB flat window, ~90 MB/s per stream,
+// 5500 GET RPS per prefix.
+func DefaultS3Model() LatencyModel {
+	return LatencyModel{
+		GetTTFB:            30 * time.Millisecond,
+		PutTTFB:            40 * time.Millisecond,
+		ListTTFB:           60 * time.Millisecond,
+		FlatUntil:          1 << 20,
+		BandwidthBps:       90e6,
+		MaxGetRPSPerPrefix: 5500,
+		ListPageSize:       1000,
+	}
+}
+
+// GetLatency returns the modelled latency of a single byte-range GET
+// of the given size.
+func (m LatencyModel) GetLatency(size int64) time.Duration {
+	d := m.GetTTFB
+	if size > m.FlatUntil && m.BandwidthBps > 0 {
+		d += time.Duration(float64(size-m.FlatUntil) / m.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// PutLatency returns the modelled latency of a PUT of the given size.
+func (m LatencyModel) PutLatency(size int64) time.Duration {
+	d := m.PutTTFB
+	if m.BandwidthBps > 0 {
+		d += time.Duration(float64(size) / m.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// ListLatency returns the modelled latency of listing n entries.
+func (m LatencyModel) ListLatency(n int) time.Duration {
+	pages := 1
+	if m.ListPageSize > 0 && n > m.ListPageSize {
+		pages = (n + m.ListPageSize - 1) / m.ListPageSize
+	}
+	return time.Duration(pages) * m.ListTTFB
+}
+
+// Metrics accumulates request counts and byte volumes for a store.
+// All fields are updated atomically and may be read while in use.
+type Metrics struct {
+	Gets         atomic.Int64
+	Puts         atomic.Int64
+	Lists        atomic.Int64
+	Deletes      atomic.Int64
+	Heads        atomic.Int64
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of Metrics counters.
+type Snapshot struct {
+	Gets, Puts, Lists, Deletes, Heads int64
+	BytesRead, BytesWritten           int64
+}
+
+// Snapshot returns a copy of the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Gets:         m.Gets.Load(),
+		Puts:         m.Puts.Load(),
+		Lists:        m.Lists.Load(),
+		Deletes:      m.Deletes.Load(),
+		Heads:        m.Heads.Load(),
+		BytesRead:    m.BytesRead.Load(),
+		BytesWritten: m.BytesWritten.Load(),
+	}
+}
+
+// Sub returns the counter deltas from an earlier snapshot, for
+// attributing request costs to a single operation.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{
+		Gets:         s.Gets - earlier.Gets,
+		Puts:         s.Puts - earlier.Puts,
+		Lists:        s.Lists - earlier.Lists,
+		Deletes:      s.Deletes - earlier.Deletes,
+		Heads:        s.Heads - earlier.Heads,
+		BytesRead:    s.BytesRead - earlier.BytesRead,
+		BytesWritten: s.BytesWritten - earlier.BytesWritten,
+	}
+}
+
+// Requests returns the total request count in the snapshot.
+func (s Snapshot) Requests() int64 {
+	return s.Gets + s.Puts + s.Lists + s.Deletes + s.Heads
+}
+
+// Instrumented wraps a Store with a latency model and metrics. Request
+// latency is charged to the simtime.Session carried in the operation's
+// context, so dependent request chains accumulate virtual time while
+// parallel fans overlap.
+type Instrumented struct {
+	inner   Store
+	model   LatencyModel
+	metrics *Metrics
+}
+
+// Instrument wraps inner with the given latency model. The returned
+// Metrics is shared with the wrapper and accumulates across all
+// operations.
+func Instrument(inner Store, model LatencyModel) (*Instrumented, *Metrics) {
+	m := &Metrics{}
+	return &Instrumented{inner: inner, model: model, metrics: m}, m
+}
+
+// Inner returns the wrapped store.
+func (s *Instrumented) Inner() Store { return s.inner }
+
+// Model returns the latency model in effect.
+func (s *Instrumented) Model() LatencyModel { return s.model }
+
+// Put implements Store.
+func (s *Instrumented) Put(ctx context.Context, key string, data []byte) error {
+	simtime.Charge(ctx, s.model.PutLatency(int64(len(data))))
+	s.metrics.Puts.Add(1)
+	s.metrics.BytesWritten.Add(int64(len(data)))
+	return s.inner.Put(ctx, key, data)
+}
+
+// PutIfAbsent implements Store.
+func (s *Instrumented) PutIfAbsent(ctx context.Context, key string, data []byte) error {
+	simtime.Charge(ctx, s.model.PutLatency(int64(len(data))))
+	s.metrics.Puts.Add(1)
+	s.metrics.BytesWritten.Add(int64(len(data)))
+	return s.inner.PutIfAbsent(ctx, key, data)
+}
+
+// Get implements Store.
+func (s *Instrumented) Get(ctx context.Context, key string) ([]byte, error) {
+	data, err := s.inner.Get(ctx, key)
+	simtime.Charge(ctx, s.model.GetLatency(int64(len(data))))
+	s.metrics.Gets.Add(1)
+	s.metrics.BytesRead.Add(int64(len(data)))
+	return data, err
+}
+
+// GetRange implements Store.
+func (s *Instrumented) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	data, err := s.inner.GetRange(ctx, key, offset, length)
+	simtime.Charge(ctx, s.model.GetLatency(int64(len(data))))
+	s.metrics.Gets.Add(1)
+	s.metrics.BytesRead.Add(int64(len(data)))
+	return data, err
+}
+
+// Head implements Store.
+func (s *Instrumented) Head(ctx context.Context, key string) (ObjectInfo, error) {
+	simtime.Charge(ctx, s.model.GetTTFB)
+	s.metrics.Heads.Add(1)
+	return s.inner.Head(ctx, key)
+}
+
+// List implements Store.
+func (s *Instrumented) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	infos, err := s.inner.List(ctx, prefix)
+	simtime.Charge(ctx, s.model.ListLatency(len(infos)))
+	s.metrics.Lists.Add(1)
+	return infos, err
+}
+
+// Delete implements Store.
+func (s *Instrumented) Delete(ctx context.Context, key string) error {
+	simtime.Charge(ctx, s.model.PutTTFB)
+	s.metrics.Deletes.Add(1)
+	return s.inner.Delete(ctx, key)
+}
+
+// RangeRequest names one byte range of one object for a parallel fan.
+type RangeRequest struct {
+	Key    string
+	Offset int64
+	Length int64
+}
+
+// FanGet fetches every requested range concurrently and returns the
+// results in request order. Virtual time advances by the slowest
+// request in the fan plus, when the store is an Instrumented store
+// with a per-prefix RPS cap, the queueing delay of pushing len(reqs)
+// requests through that cap — the throughput effect discussed in
+// Section VII-D3 of the paper. The first error encountered is
+// returned, with results for the remaining requests still populated
+// where available.
+func FanGet(ctx context.Context, store Store, reqs []RangeRequest) ([][]byte, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	session := simtime.From(ctx)
+	results := make([][]byte, len(reqs))
+	errs := make([]error, len(reqs))
+
+	run := func(i int, branch *simtime.Session) {
+		bctx := ctx
+		if branch != nil {
+			bctx = simtime.With(ctx, branch)
+		}
+		results[i], errs[i] = store.GetRange(bctx, reqs[i].Key, reqs[i].Offset, reqs[i].Length)
+	}
+
+	if session != nil {
+		session.ParallelN(len(reqs), len(reqs), run)
+		if inst, ok := store.(*Instrumented); ok && inst.model.MaxGetRPSPerPrefix > 0 && len(reqs) > 1 {
+			queue := time.Duration(float64(len(reqs)) / inst.model.MaxGetRPSPerPrefix * float64(time.Second))
+			session.Add(queue)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i, nil)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,256 @@
+package objectstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+// storeFactories returns constructors for every Store backend so the
+// conformance tests run against all of them.
+func storeFactories(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore(simtime.NewVirtualClock()) },
+		"dir": func() Store {
+			s, err := NewDirStore(t.TempDir())
+			if err != nil {
+				t.Fatalf("NewDirStore: %v", err)
+			}
+			return s
+		},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			s := mk()
+
+			if _, err := s.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+			}
+			if _, err := s.Head(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Head missing: err = %v, want ErrNotFound", err)
+			}
+			if err := s.Delete(ctx, "missing"); err != nil {
+				t.Fatalf("Delete missing should be a no-op, got %v", err)
+			}
+
+			data := []byte("hello object storage")
+			if err := s.Put(ctx, "a/b/file1", data); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := s.Get(ctx, "a/b/file1")
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("Get = %q, %v", got, err)
+			}
+
+			// Read-after-write: Head and List observe the Put.
+			info, err := s.Head(ctx, "a/b/file1")
+			if err != nil || info.Size != int64(len(data)) {
+				t.Fatalf("Head = %+v, %v", info, err)
+			}
+			infos, err := s.List(ctx, "a/")
+			if err != nil || len(infos) != 1 || infos[0].Key != "a/b/file1" {
+				t.Fatalf("List = %+v, %v", infos, err)
+			}
+
+			// Overwrite.
+			if err := s.Put(ctx, "a/b/file1", []byte("v2")); err != nil {
+				t.Fatalf("overwrite Put: %v", err)
+			}
+			got, _ = s.Get(ctx, "a/b/file1")
+			if string(got) != "v2" {
+				t.Fatalf("after overwrite Get = %q", got)
+			}
+
+			// Conditional create.
+			if err := s.PutIfAbsent(ctx, "a/b/file1", []byte("v3")); !errors.Is(err, ErrExists) {
+				t.Fatalf("PutIfAbsent existing: err = %v, want ErrExists", err)
+			}
+			if err := s.PutIfAbsent(ctx, "a/b/file2", []byte("new")); err != nil {
+				t.Fatalf("PutIfAbsent new: %v", err)
+			}
+
+			// Delete removes.
+			if err := s.Delete(ctx, "a/b/file1"); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := s.Get(ctx, "a/b/file1"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get after Delete: err = %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreGetRange(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			s := mk()
+			data := []byte("0123456789")
+			if err := s.Put(ctx, "k", data); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			cases := []struct {
+				off, n int64
+				want   string
+			}{
+				{0, 4, "0123"},
+				{3, 4, "3456"},
+				{0, -1, "0123456789"},
+				{5, -1, "56789"},
+				{-3, 0, "789"},   // suffix range
+				{-100, 0, "0123456789"}, // suffix larger than object
+				{8, 100, "89"},   // clipped tail
+				{10, 5, ""},      // empty at end
+			}
+			for _, tc := range cases {
+				got, err := s.GetRange(ctx, "k", tc.off, tc.n)
+				if err != nil {
+					t.Fatalf("GetRange(%d,%d): %v", tc.off, tc.n, err)
+				}
+				if string(got) != tc.want {
+					t.Fatalf("GetRange(%d,%d) = %q, want %q", tc.off, tc.n, got, tc.want)
+				}
+			}
+			if _, err := s.GetRange(ctx, "k", 11, 1); !errors.Is(err, ErrInvalidRange) {
+				t.Fatalf("out-of-bounds range: err = %v, want ErrInvalidRange", err)
+			}
+		})
+	}
+}
+
+func TestStoreListOrderingAndPrefix(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			s := mk()
+			keys := []string{"p/z", "p/a", "q/b", "p/m/n"}
+			for _, k := range keys {
+				if err := s.Put(ctx, k, []byte(k)); err != nil {
+					t.Fatalf("Put %s: %v", k, err)
+				}
+			}
+			infos, err := s.List(ctx, "p/")
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			want := []string{"p/a", "p/m/n", "p/z"}
+			if len(infos) != len(want) {
+				t.Fatalf("List returned %d entries, want %d", len(infos), len(want))
+			}
+			for i, w := range want {
+				if infos[i].Key != w {
+					t.Fatalf("List[%d] = %s, want %s", i, infos[i].Key, w)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreConcurrentPutIfAbsent(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			s := mk()
+			const n = 16
+			var wins int
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					err := s.PutIfAbsent(ctx, "commit/0001", []byte(fmt.Sprintf("writer-%d", i)))
+					if err == nil {
+						mu.Lock()
+						wins++
+						mu.Unlock()
+					} else if !errors.Is(err, ErrExists) {
+						t.Errorf("unexpected error: %v", err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if wins != 1 {
+				t.Fatalf("PutIfAbsent winners = %d, want exactly 1", wins)
+			}
+		})
+	}
+}
+
+func TestMemStoreCreationTimestamps(t *testing.T) {
+	clock := simtime.NewVirtualClock()
+	s := NewMemStore(clock)
+	ctx := context.Background()
+	if err := s.Put(ctx, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour)
+	if err := s.Put(ctx, "b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := s.Head(ctx, "a")
+	ib, _ := s.Head(ctx, "b")
+	if !ib.Created.Equal(ia.Created.Add(time.Hour)) {
+		t.Fatalf("timestamps: a=%v b=%v", ia.Created, ib.Created)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore(nil)
+	ctx := context.Background()
+	data := []byte("mutable")
+	if err := s.Put(ctx, "k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // caller mutates its buffer after Put
+	got, _ := s.Get(ctx, "k")
+	if string(got) != "mutable" {
+		t.Fatalf("Put did not copy: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	got2, _ := s.Get(ctx, "k")
+	if string(got2) != "mutable" {
+		t.Fatalf("Get did not copy: %q", got2)
+	}
+}
+
+func TestMemStoreAccounting(t *testing.T) {
+	s := NewMemStore(nil)
+	ctx := context.Background()
+	s.Put(ctx, "a", make([]byte, 100))
+	s.Put(ctx, "b", make([]byte, 50))
+	if s.Len() != 2 || s.TotalBytes() != 150 {
+		t.Fatalf("Len=%d TotalBytes=%d", s.Len(), s.TotalBytes())
+	}
+}
+
+func TestDirStoreKeyEscapeRejected(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Cleaned to stay under root rather than escaping it.
+	if err := s.Put(ctx, "../../etc/passwd", []byte("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	infos, err := s.List(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Key == "" || info.Key[0] == '.' {
+			t.Fatalf("suspicious listed key %q", info.Key)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package parquet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/objectstore"
+)
+
+func benchBatch(n int) *Batch {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBatch(testSchema)
+	ints := make([]int64, n)
+	doubles := make([]float64, n)
+	bools := make([]bool, n)
+	bodies := make([][]byte, n)
+	ids := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		ints[i] = int64(i)
+		doubles[i] = rng.NormFloat64()
+		bools[i] = i%2 == 0
+		bodies[i] = []byte(fmt.Sprintf("log line %d with some filler text payload", i))
+		id := make([]byte, 16)
+		rng.Read(id)
+		ids[i] = id
+	}
+	b.Cols[0] = ColumnValues{Ints: ints}
+	b.Cols[1] = ColumnValues{Doubles: doubles}
+	b.Cols[2] = ColumnValues{Bools: bools}
+	b.Cols[3] = ColumnValues{Bytes: bodies}
+	b.Cols[4] = ColumnValues{Bytes: ids}
+	return b
+}
+
+// BenchmarkWriteFile measures columnar encode+compress throughput.
+func BenchmarkWriteFile(b *testing.B) {
+	batch := benchBatch(20000)
+	var bytes int64
+	for _, v := range batch.Cols[3].Bytes {
+		bytes += int64(len(v))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := NewFileWriter(testSchema, WriterOptions{})
+		if err := w.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadColumnChunk measures the traditional whole-chunk read
+// path.
+func BenchmarkReadColumnChunk(b *testing.B) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	meta, _, err := WriteFile(ctx, store, "f.rpq", benchBatch(20000), WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadColumnChunk(ctx, store, "f.rpq", meta, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadSinglePage measures the optimized page-granular read
+// path (one ranged GET + decode).
+func BenchmarkReadSinglePage(b *testing.B) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	_, tables, err := WriteFile(ctx, store, "f.rpq", benchBatch(20000), WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	table := tables[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadPages(ctx, store, "f.rpq", testSchema.Columns[3], table[i%len(table):i%len(table)+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package parquet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"rottnest/internal/objectstore"
+)
+
+func TestEmptyFileRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	w := NewFileWriter(testSchema, WriterOptions{})
+	data, meta, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRows != 0 || len(meta.RowGroups) != 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	store.Put(ctx, "empty.rpq", data)
+	got, err := ReadFileMeta(ctx, store, "empty.rpq")
+	if err != nil || got.NumRows != 0 {
+		t.Fatalf("ReadFileMeta: %+v, %v", got, err)
+	}
+	batch, _, err := ReadAll(ctx, store, "empty.rpq")
+	if err != nil || batch.NumRows() != 0 {
+		t.Fatalf("ReadAll: %d rows, %v", batch.NumRows(), err)
+	}
+}
+
+func TestSingleRowFile(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	b := testBatch(t, 1, 42)
+	meta, tables, err := WriteFile(ctx, store, "one.rpq", b, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.NumRows != 1 || len(meta.RowGroups) != 1 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	for ci := range testSchema.Columns {
+		if len(tables[ci]) != 1 || tables[ci][0].NumValues != 1 {
+			t.Fatalf("column %d page table = %+v", ci, tables[ci])
+		}
+	}
+	got, _, err := ReadAll(ctx, store, "one.rpq")
+	if err != nil || got.NumRows() != 1 {
+		t.Fatalf("ReadAll: %v", err)
+	}
+}
+
+func TestValueLargerThanPageTarget(t *testing.T) {
+	// A single value bigger than PageBytes must land in a page of its
+	// own and round-trip intact.
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	schema := MustSchema(Column{Name: "blob", Type: TypeByteArray})
+	big := bytes.Repeat([]byte("xyz"), 100000) // 300KB against a 4KB target
+	b := NewBatch(schema)
+	b.Cols[0] = ColumnValues{Bytes: [][]byte{[]byte("small"), big, []byte("tail")}}
+	_, tables, err := WriteFile(ctx, store, "big.rpq", b, WriterOptions{PageBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0]) < 2 {
+		t.Fatalf("pages = %d", len(tables[0]))
+	}
+	vals, _, _, err := ScanColumn(ctx, store, "big.rpq", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vals.Bytes[1], big) {
+		t.Fatal("big value corrupted")
+	}
+}
+
+func TestDisableStatsAndDict(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	vals := make([][]byte, 500)
+	for i := range vals {
+		vals[i] = []byte("repeated")
+	}
+	schema := MustSchema(Column{Name: "v", Type: TypeByteArray})
+	b := NewBatch(schema)
+	b.Cols[0] = ColumnValues{Bytes: vals}
+	meta, _, err := WriteFile(ctx, store, "nostats.rpq", b, WriterOptions{DisableStats: true, DisableDict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := meta.RowGroups[0].Chunks[0]
+	if chunk.Min != nil || chunk.Max != nil {
+		t.Fatalf("stats present despite DisableStats: %+v", chunk)
+	}
+	got, _, _, err := ScanColumn(ctx, store, "nostats.rpq", 0)
+	if err != nil || got.Len() != 500 {
+		t.Fatalf("scan: %d, %v", got.Len(), err)
+	}
+}
+
+func TestBoolColumnOddCounts(t *testing.T) {
+	// Bit-packing across non-multiple-of-8 page boundaries.
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	schema := MustSchema(Column{Name: "flag", Type: TypeBool})
+	for _, n := range []int{1, 7, 8, 9, 63, 65} {
+		bools := make([]bool, n)
+		for i := range bools {
+			bools[i] = i%3 == 0
+		}
+		b := NewBatch(schema)
+		b.Cols[0] = ColumnValues{Bools: bools}
+		if _, _, err := WriteFile(ctx, store, "bools.rpq", b, WriterOptions{PageBytes: 4}); err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := ScanColumn(ctx, store, "bools.rpq", 0)
+		if err != nil || got.Len() != n {
+			t.Fatalf("n=%d: %d, %v", n, got.Len(), err)
+		}
+		for i := range bools {
+			if got.Bools[i] != bools[i] {
+				t.Fatalf("n=%d row %d", n, i)
+			}
+		}
+	}
+}
+
+func TestHugeFooterBeyondSpeculativeRead(t *testing.T) {
+	// Thousands of row groups make the footer exceed the 64KB
+	// speculative tail; ReadFileMeta must fall back to an exact read.
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	schema := MustSchema(Column{Name: "v", Type: TypeInt64})
+	w := NewFileWriter(schema, WriterOptions{RowGroupRows: 2})
+	ints := make([]int64, 6000)
+	for i := range ints {
+		ints[i] = int64(i)
+	}
+	b := NewBatch(schema)
+	b.Cols[0] = ColumnValues{Ints: ints}
+	if err := w.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	data, meta, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.RowGroups) != 3000 {
+		t.Fatalf("row groups = %d", len(meta.RowGroups))
+	}
+	store.Put(ctx, "huge.rpq", data)
+	got, err := ReadFileMeta(ctx, store, "huge.rpq")
+	if err != nil || len(got.RowGroups) != 3000 {
+		t.Fatalf("ReadFileMeta: %d groups, %v", len(got.RowGroups), err)
+	}
+}
+
+func TestFixedLenColumnValidationOnWrite(t *testing.T) {
+	schema := MustSchema(Column{Name: "id", Type: TypeFixedLenByteArray, TypeLen: 4})
+	w := NewFileWriter(schema, WriterOptions{})
+	b := NewBatch(schema)
+	b.Cols[0] = ColumnValues{Bytes: [][]byte{[]byte("12345")}} // wrong width
+	if err := w.Append(b); err == nil {
+		t.Fatal("wrong-width value accepted")
+	}
+}
+
+func TestColumnValuesHelpers(t *testing.T) {
+	v := ColumnValues{Ints: []int64{1, 2, 3, 4}}
+	if v.Slice(1, 3).Len() != 2 {
+		t.Fatal("Slice")
+	}
+	v = v.Append(ColumnValues{Ints: []int64{5}})
+	if v.Len() != 5 {
+		t.Fatal("Append")
+	}
+	var empty ColumnValues
+	if empty.Len() != 0 || empty.Slice(0, 0).Len() != 0 {
+		t.Fatal("empty helpers")
+	}
+	if Type(42).String() == "" || !strings.Contains(Type(42).String(), "42") {
+		t.Fatal("unknown type string")
+	}
+	if TypeByteArray.String() != "BYTE_ARRAY" {
+		t.Fatal("type string")
+	}
+}
+
+func TestStatsMayContainEdges(t *testing.T) {
+	// Absent stats: always maybe.
+	if !StatsMayContain(nil, nil, []byte("x")) {
+		t.Fatal("absent stats must not prune")
+	}
+	// Value below min pruned; above max pruned; inside kept.
+	min, max := []byte("bbb"), []byte("ddd")
+	if StatsMayContain(min, max, []byte("aaa")) {
+		t.Fatal("below-min kept")
+	}
+	if StatsMayContain(min, max, []byte("eee")) {
+		t.Fatal("above-max kept")
+	}
+	if !StatsMayContain(min, max, []byte("ccc")) {
+		t.Fatal("inside pruned")
+	}
+	// A value extending a truncated max prefix is kept.
+	if !StatsMayContain(min, []byte("ddd"), []byte("ddd-more")) {
+		t.Fatal("prefix extension pruned")
+	}
+}

@@ -1,0 +1,283 @@
+package parquet
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+func doubleBits(f float64) uint64     { return math.Float64bits(f) }
+func doubleFromBits(u uint64) float64 { return math.Float64frombits(u) }
+
+// encodeValues serializes values of the given column using the chosen
+// encoding, appending to dst.
+func encodeValues(dst []byte, col Column, enc Encoding, v ColumnValues) ([]byte, error) {
+	switch enc {
+	case EncodingPlain:
+		return encodePlain(dst, col, v)
+	case EncodingDict:
+		if col.Type != TypeByteArray && col.Type != TypeFixedLenByteArray {
+			return nil, fmt.Errorf("parquet: dict encoding requires byte-array column, got %v", col.Type)
+		}
+		return encodeDict(dst, v.Bytes), nil
+	case EncodingDelta:
+		if col.Type != TypeInt64 {
+			return nil, fmt.Errorf("parquet: delta encoding requires int64 column, got %v", col.Type)
+		}
+		return encodeDelta(dst, v.Ints), nil
+	default:
+		return nil, fmt.Errorf("parquet: unknown encoding %d", enc)
+	}
+}
+
+// decodeValues parses count values of the given column from data.
+func decodeValues(col Column, enc Encoding, data []byte, count int) (ColumnValues, error) {
+	switch enc {
+	case EncodingPlain:
+		return decodePlain(col, data, count)
+	case EncodingDict:
+		vals, err := decodeDict(data, count)
+		return ColumnValues{Bytes: vals}, err
+	case EncodingDelta:
+		vals, err := decodeDelta(data, count)
+		return ColumnValues{Ints: vals}, err
+	default:
+		return ColumnValues{}, fmt.Errorf("parquet: unknown encoding %d", enc)
+	}
+}
+
+func encodePlain(dst []byte, col Column, v ColumnValues) ([]byte, error) {
+	switch col.Type {
+	case TypeBool:
+		// Bit-packed, LSB first.
+		nbytes := (len(v.Bools) + 7) / 8
+		start := len(dst)
+		dst = append(dst, make([]byte, nbytes)...)
+		for i, b := range v.Bools {
+			if b {
+				dst[start+i/8] |= 1 << (i % 8)
+			}
+		}
+		return dst, nil
+	case TypeInt64:
+		for _, x := range v.Ints {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
+		}
+		return dst, nil
+	case TypeDouble:
+		for _, x := range v.Doubles {
+			dst = binary.LittleEndian.AppendUint64(dst, doubleBits(x))
+		}
+		return dst, nil
+	case TypeByteArray:
+		for _, b := range v.Bytes {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+			dst = append(dst, b...)
+		}
+		return dst, nil
+	case TypeFixedLenByteArray:
+		for _, b := range v.Bytes {
+			if len(b) != col.TypeLen {
+				return nil, fmt.Errorf("parquet: fixed-len value of %d bytes, want %d", len(b), col.TypeLen)
+			}
+			dst = append(dst, b...)
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("parquet: unknown type %v", col.Type)
+	}
+}
+
+func decodePlain(col Column, data []byte, count int) (ColumnValues, error) {
+	switch col.Type {
+	case TypeBool:
+		if len(data) < (count+7)/8 {
+			return ColumnValues{}, fmt.Errorf("parquet: bool page truncated")
+		}
+		out := make([]bool, count)
+		for i := range out {
+			out[i] = data[i/8]&(1<<(i%8)) != 0
+		}
+		return ColumnValues{Bools: out}, nil
+	case TypeInt64:
+		if len(data) < 8*count {
+			return ColumnValues{}, fmt.Errorf("parquet: int64 page truncated")
+		}
+		out := make([]int64, count)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		return ColumnValues{Ints: out}, nil
+	case TypeDouble:
+		if len(data) < 8*count {
+			return ColumnValues{}, fmt.Errorf("parquet: double page truncated")
+		}
+		out := make([]float64, count)
+		for i := range out {
+			out[i] = doubleFromBits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		return ColumnValues{Doubles: out}, nil
+	case TypeByteArray:
+		out := make([][]byte, 0, count)
+		pos := 0
+		for i := 0; i < count; i++ {
+			if pos+4 > len(data) {
+				return ColumnValues{}, fmt.Errorf("parquet: byte-array page truncated at value %d", i)
+			}
+			n := int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if pos+n > len(data) {
+				return ColumnValues{}, fmt.Errorf("parquet: byte-array page truncated at value %d", i)
+			}
+			val := make([]byte, n)
+			copy(val, data[pos:pos+n])
+			out = append(out, val)
+			pos += n
+		}
+		return ColumnValues{Bytes: out}, nil
+	case TypeFixedLenByteArray:
+		if len(data) < col.TypeLen*count {
+			return ColumnValues{}, fmt.Errorf("parquet: fixed-len page truncated")
+		}
+		out := make([][]byte, count)
+		for i := range out {
+			val := make([]byte, col.TypeLen)
+			copy(val, data[i*col.TypeLen:])
+			out[i] = val
+		}
+		return ColumnValues{Bytes: out}, nil
+	default:
+		return ColumnValues{}, fmt.Errorf("parquet: unknown type %v", col.Type)
+	}
+}
+
+// encodeDict writes [u32 dictCount][dict entries: u32 len + bytes]
+// [uvarint indices...].
+func encodeDict(dst []byte, vals [][]byte) []byte {
+	dict := make(map[string]uint32)
+	var order [][]byte
+	indices := make([]uint32, len(vals))
+	for i, v := range vals {
+		id, ok := dict[string(v)]
+		if !ok {
+			id = uint32(len(order))
+			dict[string(v)] = id
+			order = append(order, v)
+		}
+		indices[i] = id
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(order)))
+	for _, e := range order {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e)))
+		dst = append(dst, e...)
+	}
+	for _, id := range indices {
+		dst = binary.AppendUvarint(dst, uint64(id))
+	}
+	return dst
+}
+
+func decodeDict(data []byte, count int) ([][]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("parquet: dict page truncated")
+	}
+	dictCount := int(binary.LittleEndian.Uint32(data))
+	pos := 4
+	dict := make([][]byte, dictCount)
+	for i := 0; i < dictCount; i++ {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("parquet: dict page truncated in dictionary")
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if pos+n > len(data) {
+			return nil, fmt.Errorf("parquet: dict page truncated in dictionary")
+		}
+		e := make([]byte, n)
+		copy(e, data[pos:pos+n])
+		dict[i] = e
+		pos += n
+	}
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		id, n := binary.Uvarint(data[pos:])
+		if n <= 0 || id >= uint64(dictCount) {
+			return nil, fmt.Errorf("parquet: dict page bad index at value %d", i)
+		}
+		pos += n
+		out[i] = dict[id]
+	}
+	return out, nil
+}
+
+// encodeDelta writes zig-zag varint deltas from the previous value.
+func encodeDelta(dst []byte, vals []int64) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		dst = binary.AppendVarint(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+func decodeDelta(data []byte, count int) ([]int64, error) {
+	out := make([]int64, count)
+	pos := 0
+	prev := int64(0)
+	for i := 0; i < count; i++ {
+		d, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("parquet: delta page truncated at value %d", i)
+		}
+		pos += n
+		prev += d
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// compressPage applies the codec to the encoded page body.
+func compressPage(codec Codec, data []byte) ([]byte, error) {
+	switch codec {
+	case CodecNone:
+		return data, nil
+	case CodecFlate:
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("parquet: flate: %w", err)
+		}
+		if _, err := w.Write(data); err != nil {
+			return nil, fmt.Errorf("parquet: flate: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return nil, fmt.Errorf("parquet: flate: %w", err)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("parquet: unknown codec %d", codec)
+	}
+}
+
+// decompressPage reverses compressPage; size is the expected
+// uncompressed length.
+func decompressPage(codec Codec, data []byte, size int) ([]byte, error) {
+	switch codec {
+	case CodecNone:
+		return data, nil
+	case CodecFlate:
+		r := flate.NewReader(bytes.NewReader(data))
+		defer r.Close()
+		out := make([]byte, 0, size)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.Copy(buf, r); err != nil {
+			return nil, fmt.Errorf("parquet: inflate: %w", err)
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("parquet: unknown codec %d", codec)
+	}
+}

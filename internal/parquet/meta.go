@@ -1,0 +1,118 @@
+package parquet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"rottnest/internal/objectstore"
+)
+
+// magic identifies files written by this package.
+var magic = []byte("RPQ1")
+
+// ChunkMeta describes one column chunk within a row group: its byte
+// extent and min/max statistics — the metadata a traditional reader
+// uses for predicate pushdown.
+type ChunkMeta struct {
+	// Column is the schema index of the chunk's column.
+	Column int `json:"column"`
+	// Offset is the absolute byte offset of the chunk's first page.
+	Offset int64 `json:"offset"`
+	// Size is the total encoded chunk size in bytes.
+	Size int64 `json:"size"`
+	// NumPages is the number of data pages in the chunk.
+	NumPages int `json:"num_pages"`
+	// Min and Max are chunk-level statistics (truncated byte
+	// representations; see stats.go). Empty means absent.
+	Min []byte `json:"min,omitempty"`
+	Max []byte `json:"max,omitempty"`
+}
+
+// RowGroupMeta describes one row group.
+type RowGroupMeta struct {
+	NumRows int64       `json:"num_rows"`
+	Chunks  []ChunkMeta `json:"chunks"`
+}
+
+// FileMeta is the footer content of a file.
+type FileMeta struct {
+	Version   int            `json:"version"`
+	Schema    *Schema        `json:"schema"`
+	NumRows   int64          `json:"num_rows"`
+	RowGroups []RowGroupMeta `json:"row_groups"`
+}
+
+// encodeFooter appends [json meta][u32 len][magic] to dst.
+func encodeFooter(dst []byte, meta *FileMeta) ([]byte, error) {
+	body, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("parquet: encode footer: %w", err)
+	}
+	dst = append(dst, body...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = append(dst, magic...)
+	return dst, nil
+}
+
+// decodeFooterTail parses the trailing 8 bytes of a file and returns
+// the footer body length.
+func decodeFooterTail(tail []byte) (int, error) {
+	if len(tail) < 8 || string(tail[len(tail)-4:]) != string(magic) {
+		return 0, fmt.Errorf("parquet: bad magic")
+	}
+	return int(binary.LittleEndian.Uint32(tail[len(tail)-8:])), nil
+}
+
+// parseFooter decodes a footer body.
+func parseFooter(body []byte) (*FileMeta, error) {
+	var meta FileMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return nil, fmt.Errorf("parquet: decode footer: %w", err)
+	}
+	if meta.Schema == nil {
+		return nil, fmt.Errorf("parquet: footer missing schema")
+	}
+	return &meta, nil
+}
+
+// ReadFileMeta fetches a file's footer from the store the way a
+// traditional Parquet reader does: one suffix-range GET for the tail,
+// then (if the speculative tail read did not already cover it) one
+// more GET for the footer body. This two-request pattern is exactly
+// the footer overhead the Rottnest optimized reader avoids.
+func ReadFileMeta(ctx context.Context, store objectstore.Store, key string) (*FileMeta, error) {
+	// Speculatively read the last 64 KiB, which covers most footers
+	// in one request.
+	const speculative = 64 << 10
+	tail, err := store.GetRange(ctx, key, -speculative, 0)
+	if err != nil {
+		return nil, fmt.Errorf("parquet: read footer tail of %s: %w", key, err)
+	}
+	footerLen, err := decodeFooterTail(tail)
+	if err != nil {
+		return nil, fmt.Errorf("parquet: %s: %w", key, err)
+	}
+	if footerLen+8 <= len(tail) {
+		body := tail[len(tail)-8-footerLen : len(tail)-8]
+		return parseFooter(body)
+	}
+	body, err := store.GetRange(ctx, key, -int64(footerLen+8), 0)
+	if err != nil {
+		return nil, fmt.Errorf("parquet: read footer of %s: %w", key, err)
+	}
+	return parseFooter(body[:footerLen])
+}
+
+// ParseFileMeta decodes the footer from a fully in-memory file.
+func ParseFileMeta(data []byte) (*FileMeta, error) {
+	footerLen, err := decodeFooterTail(data)
+	if err != nil {
+		return nil, err
+	}
+	if footerLen+8 > len(data) {
+		return nil, fmt.Errorf("parquet: footer length %d exceeds file", footerLen)
+	}
+	return parseFooter(data[len(data)-8-footerLen : len(data)-8])
+}

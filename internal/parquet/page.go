@@ -1,0 +1,157 @@
+package parquet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// pageHeaderFixedSize is the byte length of the fixed portion of a
+// page header; variable-length statistics follow.
+const pageHeaderFixedSize = 4 + 4 + 4 + 1 + 1 + 2
+
+// pageHeader is the inline header preceding every data page, like
+// Parquet's PageHeader. It is what makes pages independently
+// addressable: a reader holding (offset, size) can fetch and decode a
+// page with a single ranged GET and no footer access.
+type pageHeader struct {
+	NumValues        uint32
+	UncompressedSize uint32
+	CompressedSize   uint32
+	Encoding         Encoding
+	Codec            Codec
+	// Min and Max are optional page-level statistics (truncated
+	// byte representations; empty means absent).
+	Min, Max []byte
+}
+
+func (h *pageHeader) size() int {
+	n := pageHeaderFixedSize
+	if len(h.Min) > 0 || len(h.Max) > 0 {
+		n += 2 + len(h.Min) + 2 + len(h.Max)
+	}
+	return n
+}
+
+func (h *pageHeader) append(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, h.NumValues)
+	dst = binary.LittleEndian.AppendUint32(dst, h.UncompressedSize)
+	dst = binary.LittleEndian.AppendUint32(dst, h.CompressedSize)
+	dst = append(dst, byte(h.Encoding), byte(h.Codec))
+	statsLen := 0
+	if len(h.Min) > 0 || len(h.Max) > 0 {
+		statsLen = 2 + len(h.Min) + 2 + len(h.Max)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(statsLen))
+	if statsLen > 0 {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(h.Min)))
+		dst = append(dst, h.Min...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(h.Max)))
+		dst = append(dst, h.Max...)
+	}
+	return dst
+}
+
+// parsePageHeader decodes a header from the start of data, returning
+// the header and its encoded length.
+func parsePageHeader(data []byte) (pageHeader, int, error) {
+	if len(data) < pageHeaderFixedSize {
+		return pageHeader{}, 0, fmt.Errorf("parquet: page header truncated")
+	}
+	h := pageHeader{
+		NumValues:        binary.LittleEndian.Uint32(data[0:]),
+		UncompressedSize: binary.LittleEndian.Uint32(data[4:]),
+		CompressedSize:   binary.LittleEndian.Uint32(data[8:]),
+		Encoding:         Encoding(data[12]),
+		Codec:            Codec(data[13]),
+	}
+	statsLen := int(binary.LittleEndian.Uint16(data[14:]))
+	n := pageHeaderFixedSize
+	if statsLen > 0 {
+		if len(data) < n+statsLen {
+			return pageHeader{}, 0, fmt.Errorf("parquet: page header stats truncated")
+		}
+		stats := data[n : n+statsLen]
+		minLen := int(binary.LittleEndian.Uint16(stats))
+		if 2+minLen+2 > len(stats) {
+			return pageHeader{}, 0, fmt.Errorf("parquet: page header stats malformed")
+		}
+		h.Min = append([]byte(nil), stats[2:2+minLen]...)
+		maxLen := int(binary.LittleEndian.Uint16(stats[2+minLen:]))
+		if 2+minLen+2+maxLen > len(stats) {
+			return pageHeader{}, 0, fmt.Errorf("parquet: page header stats malformed")
+		}
+		h.Max = append([]byte(nil), stats[4+minLen:4+minLen+maxLen]...)
+		n += statsLen
+	}
+	return h, n, nil
+}
+
+// PageInfo locates one data page of one column within a file. A slice
+// of PageInfo for a whole column is a PageTable — the structure
+// Rottnest stores inside its indices so queries can read pages
+// directly, bypassing the file footer (Section V-A, "position zone
+// maps" in NoDB terms).
+type PageInfo struct {
+	// Ordinal is the page's index within its column across the whole
+	// file (row groups flattened). Posting lists reference pages by
+	// this ordinal.
+	Ordinal int `json:"ordinal"`
+	// Offset is the absolute byte offset of the page header in the
+	// file.
+	Offset int64 `json:"offset"`
+	// Size is the total encoded size of the page including its
+	// header; [Offset, Offset+Size) is the exact GET range.
+	Size int64 `json:"size"`
+	// NumValues is the number of rows in the page.
+	NumValues int `json:"num_values"`
+	// FirstRow is the file-global row index of the page's first row.
+	FirstRow int64 `json:"first_row"`
+}
+
+// PageTable is the page-location map for one column of one file.
+type PageTable []PageInfo
+
+// TotalRows returns the number of rows covered by the table.
+func (t PageTable) TotalRows() int64 {
+	if len(t) == 0 {
+		return 0
+	}
+	last := t[len(t)-1]
+	return last.FirstRow + int64(last.NumValues)
+}
+
+// FindRow returns the index within the table of the page containing
+// the file-global row, or -1 if out of range.
+func (t PageTable) FindRow(row int64) int {
+	lo, hi := 0, len(t)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		p := t[mid]
+		switch {
+		case row < p.FirstRow:
+			hi = mid - 1
+		case row >= p.FirstRow+int64(p.NumValues):
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// decodePage decompresses and decodes a full page given its raw bytes
+// (header included).
+func decodePage(col Column, raw []byte) (ColumnValues, error) {
+	h, n, err := parsePageHeader(raw)
+	if err != nil {
+		return ColumnValues{}, err
+	}
+	if len(raw) < n+int(h.CompressedSize) {
+		return ColumnValues{}, fmt.Errorf("parquet: page body truncated: have %d, want %d", len(raw)-n, h.CompressedSize)
+	}
+	body, err := decompressPage(h.Codec, raw[n:n+int(h.CompressedSize)], int(h.UncompressedSize))
+	if err != nil {
+		return ColumnValues{}, err
+	}
+	return decodeValues(col, h.Encoding, body, int(h.NumValues))
+}

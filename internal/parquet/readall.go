@@ -1,0 +1,28 @@
+package parquet
+
+import (
+	"context"
+
+	"rottnest/internal/objectstore"
+)
+
+// ReadAll reads every column of a file into a single batch. Lake
+// compaction uses it to rewrite small files into large ones; it is a
+// full-file scan, not a search path.
+func ReadAll(ctx context.Context, store objectstore.Store, key string) (*Batch, *FileMeta, error) {
+	meta, err := ReadFileMeta(ctx, store, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := NewBatch(meta.Schema)
+	for gi := range meta.RowGroups {
+		for ci := range meta.Schema.Columns {
+			vals, err := ReadColumnChunk(ctx, store, key, meta, gi, ci)
+			if err != nil {
+				return nil, nil, err
+			}
+			batch.Cols[ci] = batch.Cols[ci].Append(vals)
+		}
+	}
+	return batch, meta, nil
+}

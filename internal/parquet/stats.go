@@ -1,0 +1,173 @@
+package parquet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+)
+
+// statTruncate caps the stored length of byte-array statistics so wide
+// values (long text) don't bloat headers and footers.
+const statTruncate = 32
+
+// OrderableInt64 encodes x so that bytes.Compare on the result
+// matches numeric order; it is the representation file statistics use
+// for int64 columns. Callers use it to compare query bounds against
+// stored stats.
+func OrderableInt64(x int64) []byte { return orderableInt64(x) }
+
+// DecodeOrderableInt64 inverts OrderableInt64.
+func DecodeOrderableInt64(b []byte) int64 { return decodeOrderableInt64(b) }
+
+// orderableInt64 encodes x so that bytes.Compare matches numeric
+// order: big-endian with the sign bit flipped.
+func orderableInt64(x int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(x)^(1<<63))
+	return b[:]
+}
+
+// decodeOrderableInt64 inverts orderableInt64.
+func decodeOrderableInt64(b []byte) int64 {
+	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63))
+}
+
+// orderableDouble encodes f so that bytes.Compare matches numeric
+// order (the usual IEEE-754 total-order trick; NaNs sort high).
+func orderableDouble(f float64) []byte {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u ^= 1 << 63
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return b[:]
+}
+
+// decodeOrderableDouble inverts orderableDouble.
+func decodeOrderableDouble(b []byte) float64 {
+	u := binary.BigEndian.Uint64(b)
+	if u&(1<<63) != 0 {
+		u ^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u)
+}
+
+// truncateMin returns a lower bound of v of at most statTruncate
+// bytes: any prefix of v is <= v.
+func truncateMin(v []byte) []byte {
+	if len(v) <= statTruncate {
+		return append([]byte(nil), v...)
+	}
+	return append([]byte(nil), v[:statTruncate]...)
+}
+
+// truncateMax returns an upper bound of v of at most statTruncate+1
+// bytes, by incrementing the last kept byte (carrying as needed). If
+// every kept byte is 0xFF the full prefix is kept and padded with
+// 0xFF, which remains a valid upper bound for comparisons up to that
+// length; in the worst case we return v itself.
+func truncateMax(v []byte) []byte {
+	if len(v) <= statTruncate {
+		return append([]byte(nil), v...)
+	}
+	out := append([]byte(nil), v[:statTruncate]...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] < 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	// All 0xFF: cannot increment; fall back to the full value.
+	return append([]byte(nil), v...)
+}
+
+// statAcc accumulates min/max statistics for one column chunk or page
+// in orderable-bytes form.
+type statAcc struct {
+	min, max []byte
+	set      bool
+}
+
+func (a *statAcc) updateBytes(v []byte) {
+	if !a.set {
+		a.min = truncateMin(v)
+		a.max = truncateMax(v)
+		a.set = true
+		return
+	}
+	if bytes.Compare(v, a.min) < 0 {
+		a.min = truncateMin(v)
+	}
+	if bytes.Compare(v, a.max) > 0 {
+		a.max = truncateMax(v)
+	}
+}
+
+// update folds every value of v (typed per col) into the accumulator.
+func (a *statAcc) update(col Column, v ColumnValues) {
+	switch col.Type {
+	case TypeInt64:
+		for _, x := range v.Ints {
+			a.updateBytes(orderableInt64(x))
+		}
+	case TypeDouble:
+		for _, x := range v.Doubles {
+			a.updateBytes(orderableDouble(x))
+		}
+	case TypeByteArray, TypeFixedLenByteArray:
+		for _, x := range v.Bytes {
+			a.updateBytes(x)
+		}
+	case TypeBool:
+		for _, x := range v.Bools {
+			if x {
+				a.updateBytes([]byte{1})
+			} else {
+				a.updateBytes([]byte{0})
+			}
+		}
+	}
+}
+
+// merge folds another accumulator in.
+func (a *statAcc) merge(b statAcc) {
+	if !b.set {
+		return
+	}
+	if !a.set {
+		*a = statAcc{min: b.min, max: b.max, set: true}
+		return
+	}
+	if bytes.Compare(b.min, a.min) < 0 {
+		a.min = b.min
+	}
+	if bytes.Compare(b.max, a.max) > 0 {
+		a.max = b.max
+	}
+}
+
+// StatsMayContain reports whether a value could be present in a chunk
+// with the given min/max statistics; absent stats mean "maybe". This
+// is the predicate-pushdown check a query engine runs against chunk
+// metadata — the one the paper observes is useless for unsorted
+// high-cardinality columns (Section II-B).
+func StatsMayContain(min, max, value []byte) bool {
+	if len(min) == 0 && len(max) == 0 {
+		return true
+	}
+	if len(min) > 0 && bytes.Compare(value, min) < 0 {
+		return false
+	}
+	if len(max) > 0 {
+		// Compare against the (possibly truncated, rounded-up) max.
+		if bytes.Compare(value, max) > 0 && !bytes.HasPrefix(value, max) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+// Package postings defines the physical-location references Rottnest
+// indices resolve to. Posting lists point to data pages rather than
+// individual rows (Section V-A): in-situ probing downloads the page
+// and re-checks the predicate, so page-granular postings keep the
+// index small at the cost of a little query-time filtering.
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageRef locates one data page of one indexed file. File is an index
+// into the index file's own file table; Page is the page ordinal
+// within that file's indexed column.
+type PageRef struct {
+	File uint32
+	Page uint32
+}
+
+// Less orders refs by (File, Page).
+func (r PageRef) Less(o PageRef) bool {
+	if r.File != o.File {
+		return r.File < o.File
+	}
+	return r.Page < o.Page
+}
+
+// RowRef locates one row of one indexed file by file-global row
+// number. Vector indices use row-level refs so the refine step can
+// fetch exactly the candidate vectors.
+type RowRef struct {
+	File uint32
+	Row  int64
+}
+
+// Sort sorts refs by (File, Page).
+func Sort(refs []PageRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+}
+
+// Dedup sorts and deduplicates refs in place, returning the shortened
+// slice.
+func Dedup(refs []PageRef) []PageRef {
+	if len(refs) < 2 {
+		return refs
+	}
+	Sort(refs)
+	out := refs[:1]
+	for _, r := range refs[1:] {
+		if r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AppendList serializes a posting list as a count followed by
+// delta-encoded (file, page) pairs; the list must be sorted.
+func AppendList(dst []byte, refs []PageRef) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(refs)))
+	prev := PageRef{}
+	for i, r := range refs {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(r.File))
+			dst = binary.AppendUvarint(dst, uint64(r.Page))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(r.File-prev.File))
+			if r.File == prev.File {
+				dst = binary.AppendUvarint(dst, uint64(r.Page-prev.Page))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(r.Page))
+			}
+		}
+		prev = r
+	}
+	return dst
+}
+
+// DecodeList parses a posting list from data, returning the refs and
+// the number of bytes consumed.
+func DecodeList(data []byte) ([]PageRef, int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("postings: truncated list header")
+	}
+	// Each ref needs at least two bytes; a larger claimed count can
+	// only come from corruption and must not drive the allocation.
+	if count > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("postings: list claims %d refs in %d bytes", count, len(data))
+	}
+	pos := n
+	refs := make([]PageRef, count)
+	prev := PageRef{}
+	for i := range refs {
+		df, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("postings: truncated list at %d", i)
+		}
+		pos += n
+		dp, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("postings: truncated list at %d", i)
+		}
+		pos += n
+		if i == 0 {
+			prev = PageRef{File: uint32(df), Page: uint32(dp)}
+		} else if df == 0 {
+			prev = PageRef{File: prev.File, Page: prev.Page + uint32(dp)}
+		} else {
+			prev = PageRef{File: prev.File + uint32(df), Page: uint32(dp)}
+		}
+		refs[i] = prev
+	}
+	return refs, pos, nil
+}
+
+// Remap rewrites the File field of each ref through the mapping,
+// dropping refs whose file is absent. Index merging uses it to rebase
+// posting lists onto the merged file table.
+func Remap(refs []PageRef, mapping map[uint32]uint32) []PageRef {
+	out := refs[:0]
+	for _, r := range refs {
+		if nf, ok := mapping[r.File]; ok {
+			out = append(out, PageRef{File: nf, Page: r.Page})
+		}
+	}
+	return out
+}

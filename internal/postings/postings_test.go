@@ -1,0 +1,93 @@
+package postings
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSortDedup(t *testing.T) {
+	refs := []PageRef{{2, 1}, {1, 5}, {2, 1}, {1, 2}, {1, 5}}
+	got := Dedup(refs)
+	want := []PageRef{{1, 2}, {1, 5}, {2, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dedup[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := Dedup(nil); len(out) != 0 {
+		t.Fatal("Dedup(nil)")
+	}
+	single := []PageRef{{1, 1}}
+	if out := Dedup(single); len(out) != 1 {
+		t.Fatal("Dedup(single)")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	refs := []PageRef{{0, 0}, {0, 3}, {0, 100}, {5, 0}, {5, 7}, {1000, 42}}
+	data := AppendList(nil, refs)
+	got, n, err := DecodeList(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("DecodeList: n=%d err=%v", n, err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("got %d refs", len(got))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %v, want %v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestListRoundTripProperty(t *testing.T) {
+	f := func(files []uint32, pages []uint32) bool {
+		n := len(files)
+		if len(pages) < n {
+			n = len(pages)
+		}
+		refs := make([]PageRef, n)
+		for i := 0; i < n; i++ {
+			refs[i] = PageRef{File: files[i] % 1000, Page: pages[i] % 1000}
+		}
+		refs = Dedup(refs)
+		data := AppendList(nil, refs)
+		got, _, err := DecodeList(data)
+		if err != nil || len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeListErrors(t *testing.T) {
+	if _, _, err := DecodeList(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Claim 10 refs, provide none.
+	data := AppendList(nil, []PageRef{{1, 1}})
+	if _, _, err := DecodeList(data[:1]); err == nil {
+		t.Fatal("truncated list accepted")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	refs := []PageRef{{0, 1}, {1, 2}, {2, 3}}
+	mapping := map[uint32]uint32{0: 10, 2: 20}
+	got := Remap(refs, mapping)
+	want := []PageRef{{10, 1}, {20, 3}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Remap = %v", got)
+	}
+}

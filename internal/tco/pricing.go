@@ -1,0 +1,39 @@
+package tco
+
+// Pricing holds the cloud prices the cost model multiplies measured
+// resource usage by. Defaults are AWS us-east-1 public prices
+// contemporaneous with the paper.
+type Pricing struct {
+	// S3StoragePerGBMonth is object storage, $/GB-month.
+	S3StoragePerGBMonth float64
+	// S3GetPerMillion and S3PutPerMillion are request prices, $/1M.
+	S3GetPerMillion float64
+	S3PutPerMillion float64
+	// WorkerPerHour is the scan/search instance price (r6i.4xlarge
+	// in the paper's brute-force and Rottnest configurations).
+	WorkerPerHour float64
+	// DedicatedPerHour is the always-on search instance price
+	// (r6g.large class).
+	DedicatedPerHour float64
+	// EBSPerGBMonth is replicated SSD storage for the dedicated
+	// system's index.
+	EBSPerGBMonth float64
+}
+
+// DefaultPricing returns AWS us-east-1 prices.
+func DefaultPricing() Pricing {
+	return Pricing{
+		S3StoragePerGBMonth: 0.023,
+		S3GetPerMillion:     0.40,
+		S3PutPerMillion:     5.00,
+		WorkerPerHour:       1.008,  // r6i.4xlarge
+		DedicatedPerHour:    0.1008, // r6g.large
+		EBSPerGBMonth:       0.08,   // gp3
+	}
+}
+
+// hoursPerMonth converts instance pricing to monthly cost.
+const hoursPerMonth = 730.0
+
+// gb converts bytes to gigabytes.
+func gb(bytes int64) float64 { return float64(bytes) / 1e9 }

@@ -1,0 +1,302 @@
+// Package tco implements the paper's evaluation framework (Section
+// VI): total-cost-of-ownership models for the three approaches —
+// copy-data, brute-force, and Rottnest — and the physics-inspired
+// phase diagrams that map which approach is cheapest at each (months
+// of operation, total normalized queries) point.
+package tco
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Approach identifies one of the three architectures compared.
+type Approach int
+
+// The three approaches of Figure 2.
+const (
+	// BruteForce scans the lake with an on-demand cluster.
+	BruteForce Approach = iota
+	// Rottnest maintains lazy object-storage indices over the lake.
+	Rottnest
+	// CopyData replicates the data into an always-on dedicated
+	// system.
+	CopyData
+)
+
+// String implements fmt.Stringer.
+func (a Approach) String() string {
+	switch a {
+	case BruteForce:
+		return "brute-force"
+	case Rottnest:
+		return "rottnest"
+	case CopyData:
+		return "copy-data"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// Params are the six cost parameters of Section VI, in USD. Each
+// approach's TCO at (months, queries) is:
+//
+//	copy-data:   CPMCopyData * months
+//	brute-force: CPMBruteForce * months + CPQBruteForce * queries
+//	rottnest:    ICRottnest + CPMRottnest * months + CPQRottnest * queries
+type Params struct {
+	// CPMCopyData (cpm_i) is the dedicated cluster's monthly cost,
+	// folding in its indexing and query costs.
+	CPMCopyData float64
+	// CPMBruteForce (cpm_bf) is S3 storage of the compressed raw
+	// data per month.
+	CPMBruteForce float64
+	// CPQBruteForce (cpq_bf) is the compute cost of one full-scan
+	// normalized query.
+	CPQBruteForce float64
+	// ICRottnest (ic_r) is the one-time index construction cost,
+	// including adequate compaction.
+	ICRottnest float64
+	// CPMRottnest (cpm_r) is S3 storage of raw data plus index per
+	// month.
+	CPMRottnest float64
+	// CPQRottnest (cpq_r) is the compute cost of one indexed query.
+	CPQRottnest float64
+}
+
+// TCO returns the approach's total cost of ownership at the given
+// operating point.
+func (p Params) TCO(a Approach, months, queries float64) float64 {
+	switch a {
+	case CopyData:
+		return p.CPMCopyData * months
+	case BruteForce:
+		return p.CPMBruteForce*months + p.CPQBruteForce*queries
+	case Rottnest:
+		return p.ICRottnest + p.CPMRottnest*months + p.CPQRottnest*queries
+	default:
+		return math.Inf(1)
+	}
+}
+
+// Best returns the cheapest approach at the operating point, with
+// ties resolved in favour of the simplest system (brute force, then
+// Rottnest, then copy-data).
+func (p Params) Best(months, queries float64) Approach {
+	best, bestCost := BruteForce, p.TCO(BruteForce, months, queries)
+	for _, a := range []Approach{Rottnest, CopyData} {
+		if c := p.TCO(a, months, queries); c < bestCost {
+			best, bestCost = a, c
+		}
+	}
+	return best
+}
+
+// RottnestWindow returns the range of total query counts [lo, hi] at
+// the given month for which Rottnest is the cheapest approach, or ok
+// = false if it never wins. The window ends are found by bisection on
+// the log-query axis, matching the log-log phase diagrams of
+// Figures 7 and 9.
+func (p Params) RottnestWindow(months float64) (lo, hi float64, ok bool) {
+	const minQ, maxQ = 1.0, 1e12
+	// Scan coarsely for any winning point.
+	found := math.NaN()
+	for lq := 0.0; lq <= 12; lq += 0.05 {
+		q := math.Pow(10, lq)
+		if p.Best(months, q) == Rottnest {
+			found = q
+			break
+		}
+	}
+	if math.IsNaN(found) {
+		return 0, 0, false
+	}
+	bisect := func(isLow bool) float64 {
+		a, b := minQ, found
+		if !isLow {
+			a, b = found, maxQ
+		}
+		for i := 0; i < 80; i++ {
+			mid := math.Sqrt(a * b) // geometric midpoint
+			winner := p.Best(months, mid) == Rottnest
+			if isLow {
+				if winner {
+					b = mid
+				} else {
+					a = mid
+				}
+			} else {
+				if winner {
+					a = mid
+				} else {
+					b = mid
+				}
+			}
+		}
+		if isLow {
+			return b
+		}
+		return a
+	}
+	return bisect(true), bisect(false), true
+}
+
+// BreakEvenMonths returns the operating duration at which Rottnest
+// first beats brute force for a workload issuing queriesPerMonth
+// normalized queries per month (the "2 days for substring search"
+// numbers of VII-B1). Returns ok=false if it never does within 10
+// years.
+func (p Params) BreakEvenMonths(queriesPerMonth float64) (float64, bool) {
+	for m := 0.001; m <= 120; m *= 1.02 {
+		q := queriesPerMonth * m
+		if p.Best(m, q) == Rottnest {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// PhaseDiagram is the winner at every cell of a log-log grid.
+type PhaseDiagram struct {
+	// Months and Queries are the grid axes (ascending).
+	Months  []float64
+	Queries []float64
+	// Winner[qi][mi] is the cheapest approach at
+	// (Months[mi], Queries[qi]).
+	Winner [][]Approach
+}
+
+// ComputeDiagram evaluates the winner over a log-log grid spanning
+// [minMonths, maxMonths] x [minQueries, maxQueries] with the given
+// resolution per axis.
+func ComputeDiagram(p Params, minMonths, maxMonths, minQueries, maxQueries float64, resolution int) *PhaseDiagram {
+	if resolution < 2 {
+		resolution = 2
+	}
+	months := logspace(minMonths, maxMonths, resolution)
+	queries := logspace(minQueries, maxQueries, resolution)
+	winner := make([][]Approach, len(queries))
+	for qi, q := range queries {
+		winner[qi] = make([]Approach, len(months))
+		for mi, m := range months {
+			winner[qi][mi] = p.Best(m, q)
+		}
+	}
+	return &PhaseDiagram{Months: months, Queries: queries, Winner: winner}
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Render draws the diagram as ASCII art (months on x, queries on y,
+// largest query count on top), the textual analogue of Figures 7 and
+// 9: B = brute force, R = Rottnest, C = copy data.
+func (d *PhaseDiagram) Render() string {
+	var sb strings.Builder
+	glyph := map[Approach]byte{BruteForce: 'B', Rottnest: 'R', CopyData: 'C'}
+	for qi := len(d.Queries) - 1; qi >= 0; qi-- {
+		fmt.Fprintf(&sb, "%8.1e |", d.Queries[qi])
+		for mi := range d.Months {
+			sb.WriteByte(glyph[d.Winner[qi][mi]])
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%8s  +%s\n", "queries", strings.Repeat("-", len(d.Months)))
+	fmt.Fprintf(&sb, "%8s   %.2g ... %.2g months\n", "", d.Months[0], d.Months[len(d.Months)-1])
+	return sb.String()
+}
+
+// Share returns the fraction of grid cells won by the approach.
+func (d *PhaseDiagram) Share(a Approach) float64 {
+	total, won := 0, 0
+	for _, row := range d.Winner {
+		for _, w := range row {
+			total++
+			if w == a {
+				won++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(won) / float64(total)
+}
+
+// Measurement converts measured resources into the six parameters.
+// It implements the cost accounting of Section VII: query and index
+// costs are instance-hours times instance price; monthly costs are
+// storage at S3/EBS prices; the dedicated system is always-on
+// replicated instances plus replicated EBS.
+type Measurement struct {
+	Pricing Pricing
+
+	// RawBytes is the compressed dataset size in the lake.
+	RawBytes int64
+	// IndexBytes is the total Rottnest index size.
+	IndexBytes int64
+	// CopyBytes is the dedicated system's data+index footprint
+	// (before replication).
+	CopyBytes int64
+
+	// IndexSeconds is single-worker time to build (and adequately
+	// compact) the Rottnest index.
+	IndexSeconds float64
+	// RottnestQuerySeconds is single-worker latency of one Rottnest
+	// query (post-compaction).
+	RottnestQuerySeconds float64
+	// BruteForceWorkers and BruteForceQuerySeconds describe one
+	// normalized brute-force query at its cost-efficient cluster
+	// size.
+	BruteForceWorkers      int
+	BruteForceQuerySeconds float64
+
+	// DedicatedReplicas is the always-on instance count.
+	DedicatedReplicas int
+
+	// ScaleFactor linearly extrapolates byte- and build-time-derived
+	// parameters from the measured dataset to the paper-scale
+	// dataset (Section VII-D2: all parameters except cpq_r scale
+	// linearly with dataset size under a fixed distribution, and
+	// post-compaction cpq_r is size-insensitive). 1 means no
+	// extrapolation.
+	ScaleFactor float64
+}
+
+// Params derives the six TCO parameters.
+func (m Measurement) Params() Params {
+	pr := m.Pricing
+	scale := m.ScaleFactor
+	if scale <= 0 {
+		scale = 1
+	}
+	workers := m.BruteForceWorkers
+	if workers <= 0 {
+		workers = 8
+	}
+	replicas := m.DedicatedReplicas
+	if replicas <= 0 {
+		replicas = 3
+	}
+	perSecond := pr.WorkerPerHour / 3600
+	return Params{
+		CPMCopyData: float64(replicas)*pr.DedicatedPerHour*hoursPerMonth +
+			3*gb(m.CopyBytes)*scale*pr.EBSPerGBMonth,
+		CPMBruteForce: gb(m.RawBytes) * scale * pr.S3StoragePerGBMonth,
+		CPQBruteForce: m.BruteForceQuerySeconds * scale * float64(workers) * perSecond,
+		ICRottnest:    m.IndexSeconds * scale * perSecond,
+		CPMRottnest:   gb(m.RawBytes+m.IndexBytes) * scale * pr.S3StoragePerGBMonth,
+		CPQRottnest:   m.RottnestQuerySeconds * perSecond, // size-insensitive
+	}
+}
+
+// Seconds converts a virtual duration to float seconds.
+func Seconds(d time.Duration) float64 { return d.Seconds() }

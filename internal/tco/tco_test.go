@@ -1,0 +1,281 @@
+package tco
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// paperLikeParams returns parameters in the regime of the paper's
+// UUID evaluation: cheap tiny index queries, expensive scans, and a
+// pricey always-on cluster.
+func paperLikeParams() Params {
+	return Params{
+		CPMCopyData:   250,    // 3 always-on instances + EBS
+		CPMBruteForce: 7,      // ~300GB on S3
+		CPQBruteForce: 0.5,    // 8 workers for minutes
+		ICRottnest:    5,      // one-time indexing
+		CPMRottnest:   8,      // raw + small index
+		CPQRottnest:   0.0006, // ~2s on one instance
+	}
+}
+
+func TestTCOFormulas(t *testing.T) {
+	p := paperLikeParams()
+	if got := p.TCO(CopyData, 10, 1e6); got != 2500 {
+		t.Fatalf("copy-data TCO = %v", got)
+	}
+	if got := p.TCO(BruteForce, 2, 10); got != 14+5 {
+		t.Fatalf("brute-force TCO = %v", got)
+	}
+	if got := p.TCO(Rottnest, 1, 1000); got != 5+8+0.6 {
+		t.Fatalf("rottnest TCO = %v", got)
+	}
+}
+
+func TestBestRegions(t *testing.T) {
+	p := paperLikeParams()
+	// Almost no queries: brute force (no index cost).
+	if got := p.Best(1, 1); got != BruteForce {
+		t.Fatalf("low-load winner = %v", got)
+	}
+	// Moderate queries over months: Rottnest.
+	if got := p.Best(10, 1e4); got != Rottnest {
+		t.Fatalf("mid-load winner = %v", got)
+	}
+	// Enormous query load: copy data.
+	if got := p.Best(10, 1e9); got != CopyData {
+		t.Fatalf("high-load winner = %v", got)
+	}
+}
+
+func TestRottnestWindowSpansOrdersOfMagnitude(t *testing.T) {
+	p := paperLikeParams()
+	lo, hi, ok := p.RottnestWindow(10)
+	if !ok {
+		t.Fatal("rottnest never wins")
+	}
+	if lo >= hi {
+		t.Fatalf("window [%v, %v]", lo, hi)
+	}
+	// The paper reports >= 4 orders of magnitude at 10 months.
+	if math.Log10(hi/lo) < 3 {
+		t.Fatalf("window spans only %.1f orders of magnitude", math.Log10(hi/lo))
+	}
+	// Window boundaries are consistent with Best.
+	if p.Best(10, lo*1.1) != Rottnest || p.Best(10, hi*0.9) != Rottnest {
+		t.Fatal("window interior not won by rottnest")
+	}
+	if p.Best(10, lo*0.5) == Rottnest || p.Best(10, hi*2) == Rottnest {
+		t.Fatal("window exterior won by rottnest")
+	}
+}
+
+func TestBreakEvenMonths(t *testing.T) {
+	p := paperLikeParams()
+	// A steady workload of 3000 queries/month breaks even quickly.
+	m, ok := p.BreakEvenMonths(3000)
+	if !ok {
+		t.Fatal("no break-even")
+	}
+	if m > 3 {
+		t.Fatalf("break-even at %v months", m)
+	}
+	// Near-zero load never justifies the index.
+	if _, ok := p.BreakEvenMonths(0.0001); ok {
+		t.Fatal("break-even with no queries")
+	}
+}
+
+func TestPhaseDiagramStructure(t *testing.T) {
+	p := paperLikeParams()
+	d := ComputeDiagram(p, 0.1, 100, 1, 1e9, 40)
+	if len(d.Months) != 40 || len(d.Queries) != 40 {
+		t.Fatalf("grid %dx%d", len(d.Months), len(d.Queries))
+	}
+	// Every approach wins somewhere, and shares sum to 1.
+	var sum float64
+	for _, a := range []Approach{BruteForce, Rottnest, CopyData} {
+		share := d.Share(a)
+		if share == 0 {
+			t.Fatalf("%v wins nowhere", a)
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	// Monotone structure on the query axis: at fixed months, as
+	// queries rise the winner moves brute-force -> rottnest ->
+	// copy-data (never backwards).
+	rank := map[Approach]int{BruteForce: 0, Rottnest: 1, CopyData: 2}
+	for mi := range d.Months {
+		prev := -1
+		for qi := range d.Queries {
+			r := rank[d.Winner[qi][mi]]
+			if r < prev {
+				t.Fatalf("winner regressed at month %v", d.Months[mi])
+			}
+			prev = r
+		}
+	}
+	// Render produces one row per query level plus axes.
+	rendered := d.Render()
+	if strings.Count(rendered, "\n") != 42 {
+		t.Fatalf("render rows = %d", strings.Count(rendered, "\n"))
+	}
+	for _, g := range []string{"B", "R", "C"} {
+		if !strings.Contains(rendered, g) {
+			t.Fatalf("render missing %s region", g)
+		}
+	}
+}
+
+func TestMeasurementDerivesParams(t *testing.T) {
+	m := Measurement{
+		Pricing:                DefaultPricing(),
+		RawBytes:               300e9,
+		IndexBytes:             30e9,
+		CopyBytes:              330e9,
+		IndexSeconds:           3600,
+		RottnestQuerySeconds:   2,
+		BruteForceWorkers:      8,
+		BruteForceQuerySeconds: 600,
+		DedicatedReplicas:      3,
+		ScaleFactor:            1,
+	}
+	p := m.Params()
+	// Sanity: brute-force query = 8 workers * 600s at ~$1/h ≈ $1.34.
+	if p.CPQBruteForce < 1 || p.CPQBruteForce > 2 {
+		t.Fatalf("cpq_bf = %v", p.CPQBruteForce)
+	}
+	// Rottnest query = 2s of one instance: well under a cent.
+	if p.CPQRottnest <= 0 || p.CPQRottnest > 0.01 {
+		t.Fatalf("cpq_r = %v", p.CPQRottnest)
+	}
+	// Storage: raw 300GB ≈ $6.9/mo; with index ≈ $7.6/mo.
+	if p.CPMBruteForce < 6 || p.CPMBruteForce > 8 {
+		t.Fatalf("cpm_bf = %v", p.CPMBruteForce)
+	}
+	if p.CPMRottnest <= p.CPMBruteForce {
+		t.Fatal("index storage must cost something")
+	}
+	// Dedicated: 3 instances always on ≈ $220/mo + 3x EBS ≈ $79/mo.
+	if p.CPMCopyData < 200 || p.CPMCopyData > 400 {
+		t.Fatalf("cpm_i = %v", p.CPMCopyData)
+	}
+	// Scale factor doubles size-derived params, leaves cpq_r alone.
+	m.ScaleFactor = 2
+	p2 := m.Params()
+	if math.Abs(p2.CPMBruteForce-2*p.CPMBruteForce) > 1e-9 {
+		t.Fatal("cpm_bf did not scale")
+	}
+	if p2.CPQRottnest != p.CPQRottnest {
+		t.Fatal("cpq_r must not scale with dataset size")
+	}
+}
+
+func TestSensitivityDirections(t *testing.T) {
+	// The two observations of Section VII-D1.
+	p := paperLikeParams()
+	at := func(pp Params) (lo, hi float64) {
+		lo, hi, ok := pp.RottnestWindow(10)
+		if !ok {
+			t.Fatal("no window")
+		}
+		return lo, hi
+	}
+	_, hi0 := at(p)
+
+	// 1) Cheaper queries (cpq_r /4) push the copy-data boundary up,
+	// with virtually no effect on the brute-force boundary.
+	cheapQ := p
+	cheapQ.CPQRottnest /= 4
+	lo0, _ := at(p)
+	lo1, hi1 := at(cheapQ)
+	if hi1 < hi0 {
+		t.Fatal("cheaper queries must not shrink the top boundary")
+	}
+	if math.Abs(math.Log10(lo1/lo0)) > 0.5 {
+		t.Fatal("cheaper queries moved the brute-force boundary a lot")
+	}
+
+	// 2) Smaller index (cpm_r -> cpm_bf) pushes the brute-force
+	// boundary down.
+	smallIdx := p
+	smallIdx.CPMRottnest = p.CPMBruteForce
+	lo2, _ := at(smallIdx)
+	if lo2 > lo0 {
+		t.Fatal("smaller index must not raise the brute-force boundary")
+	}
+}
+
+func TestBoundariesMatchClosedForm(t *testing.T) {
+	// The brute-force/Rottnest boundary has a closed form:
+	// queries* = (ic_r + (cpm_r - cpm_bf) * months) / (cpq_bf - cpq_r),
+	// and the Rottnest/copy-data boundary:
+	// queries* = (cpm_i*months - ic_r - cpm_r*months) / cpq_r.
+	// The bisection-based window must agree within grid tolerance.
+	p := paperLikeParams()
+	for _, months := range []float64{2, 10, 40} {
+		lo, hi, ok := p.RottnestWindow(months)
+		if !ok {
+			t.Fatalf("no window at %v months", months)
+		}
+		wantLo := (p.ICRottnest + (p.CPMRottnest-p.CPMBruteForce)*months) / (p.CPQBruteForce - p.CPQRottnest)
+		wantHi := (p.CPMCopyData*months - p.ICRottnest - p.CPMRottnest*months) / p.CPQRottnest
+		if rel := math.Abs(lo-wantLo) / wantLo; rel > 0.01 {
+			t.Fatalf("months %v: lo %.4g vs closed form %.4g (%.2f%%)", months, lo, wantLo, rel*100)
+		}
+		if rel := math.Abs(hi-wantHi) / wantHi; rel > 0.01 {
+			t.Fatalf("months %v: hi %.4g vs closed form %.4g (%.2f%%)", months, hi, wantHi, rel*100)
+		}
+	}
+}
+
+func TestApproachString(t *testing.T) {
+	if BruteForce.String() != "brute-force" || Rottnest.String() != "rottnest" || CopyData.String() != "copy-data" {
+		t.Fatal("approach names")
+	}
+	if Approach(9).String() == "" {
+		t.Fatal("unknown approach name empty")
+	}
+}
+
+func TestTCOUnknownApproachIsInfinite(t *testing.T) {
+	p := paperLikeParams()
+	if !math.IsInf(p.TCO(Approach(42), 1, 1), 1) {
+		t.Fatal("unknown approach must never win")
+	}
+}
+
+func TestRottnestWindowNoWin(t *testing.T) {
+	// If Rottnest's query cost exceeds brute force's and its storage
+	// exceeds both, it never wins.
+	p := Params{
+		CPMCopyData:   10,
+		CPMBruteForce: 1,
+		CPQBruteForce: 0.001,
+		ICRottnest:    100,
+		CPMRottnest:   50,
+		CPQRottnest:   0.01,
+	}
+	if _, _, ok := p.RottnestWindow(10); ok {
+		t.Fatal("hopeless params won a window")
+	}
+	if _, ok := p.BreakEvenMonths(100); ok {
+		t.Fatal("hopeless params broke even")
+	}
+}
+
+func TestLogspaceEndpoints(t *testing.T) {
+	xs := logspace(0.1, 100, 13)
+	if math.Abs(xs[0]-0.1) > 1e-12 || math.Abs(xs[12]-100) > 1e-9 {
+		t.Fatalf("endpoints %v %v", xs[0], xs[12])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatal("not increasing")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trie
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// TestCorruptedTrieNeverPanics mutates index bytes and drives the
+// full open/lookup path: damaged indices must error (or return wrong
+// refs, which in-situ probing filters), never panic.
+func TestCorruptedTrieNeverPanics(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	keys := workload.NewUUIDGen(11).Batch(2000)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i)}
+	}
+	valid, err := Build(keys, refs, BuildOptions{TargetComponentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		for f := 0; f <= rng.Intn(3); f++ {
+			corrupted[rng.Intn(len(corrupted))] ^= byte(1 + rng.Intn(255))
+		}
+		store := objectstore.NewMemStore(nil)
+		store.Put(ctx, "t.index", corrupted)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d panicked: %v", trial, p)
+				}
+			}()
+			r, err := component.Open(ctx, store, "t.index", component.OpenOptions{})
+			if err != nil {
+				return
+			}
+			ix, err := Open(ctx, r)
+			if err != nil {
+				return
+			}
+			for probe := 0; probe < 5; probe++ {
+				ix.Lookup(ctx, keys[rng.Intn(len(keys))])
+			}
+			ix.Entries(ctx)
+		}()
+	}
+}

@@ -1,0 +1,391 @@
+package trie
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+func buildAndOpen(t *testing.T, store *objectstore.MemStore, key string, keys [][16]byte, refs []postings.PageRef, opts BuildOptions) *Index {
+	t.Helper()
+	ctx := context.Background()
+	data, err := Build(keys, refs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := component.Open(ctx, store, key, component.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestLookupFindsEveryKey(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(1)
+	const n = 5000
+	keys := gen.Batch(n)
+	refs := make([]postings.PageRef, n)
+	for i := range refs {
+		refs[i] = postings.PageRef{File: uint32(i % 7), Page: uint32(i / 100)}
+	}
+	ix := buildAndOpen(t, store, "t.index", keys, refs, BuildOptions{})
+	if ix.NumEntries() != n {
+		t.Fatalf("NumEntries = %d, want %d", ix.NumEntries(), n)
+	}
+	for i, k := range keys {
+		got, err := ix.Lookup(ctx, k)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", i, err)
+		}
+		found := false
+		for _, r := range got {
+			if r == refs[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d: ref %v missing from %v (false negative)", i, refs[i], got)
+		}
+	}
+}
+
+func TestLookupMissingKeysMostlyEmpty(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(2)
+	keys := gen.Batch(5000)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i)}
+	}
+	ix := buildAndOpen(t, store, "t.index", keys, refs, BuildOptions{})
+	// Random probes: with LCP+8 truncation, false positives are
+	// possible but must be rare.
+	probes := workload.NewUUIDGen(999).Batch(2000)
+	falsePos := 0
+	for _, p := range probes {
+		got, err := ix.Lookup(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 0 {
+			falsePos++
+		}
+	}
+	if falsePos > 20 { // 1% of probes
+		t.Fatalf("%d/%d random probes hit (too many false positives)", falsePos, len(probes))
+	}
+}
+
+func TestDuplicateKeysMergeRefs(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	k := workload.NewUUIDGen(3).Next()
+	keys := [][16]byte{k, k, k}
+	refs := []postings.PageRef{{File: 0, Page: 1}, {File: 1, Page: 2}, {File: 0, Page: 1}}
+	ix := buildAndOpen(t, store, "t.index", keys, refs, BuildOptions{})
+	got, err := ix.Lookup(ctx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Lookup = %v, want 2 deduped refs", got)
+	}
+}
+
+func TestLookupRequestCount(t *testing.T) {
+	// The componentized trie answers a lookup with the open's suffix
+	// read plus at most one leaf-component GET (Figure 6).
+	ctx := context.Background()
+	inner := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(4)
+	keys := gen.Batch(20000)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i)}
+	}
+	data, err := Build(keys, refs, BuildOptions{TargetComponentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner.Put(ctx, "t.index", data)
+	store, metrics := objectstore.Instrument(inner, objectstore.DefaultS3Model())
+	r, err := component.Open(ctx, store, "t.index", component.OpenOptions{TailBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.Snapshot()
+	if _, err := ix.Lookup(ctx, keys[7]); err != nil {
+		t.Fatal(err)
+	}
+	if d := metrics.Snapshot().Sub(before); d.Gets > 1 {
+		t.Fatalf("lookup issued %d GETs, want <= 1", d.Gets)
+	}
+}
+
+func TestMergeEquivalentToFreshBuild(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(5)
+	keysA := gen.Batch(1500)
+	keysB := gen.Batch(1500)
+	refsA := make([]postings.PageRef, len(keysA))
+	refsB := make([]postings.PageRef, len(keysB))
+	for i := range refsA {
+		refsA[i] = postings.PageRef{File: 0, Page: uint32(i)}
+	}
+	for i := range refsB {
+		refsB[i] = postings.PageRef{File: 0, Page: uint32(i)}
+	}
+	ixA := buildAndOpen(t, store, "a.index", keysA, refsA, BuildOptions{})
+	ixB := buildAndOpen(t, store, "b.index", keysB, refsB, BuildOptions{})
+
+	// Merged file table: A's file 0 -> 0, B's file 0 -> 1.
+	merged, err := Merge(ctx, []*Index{ixA, ixB}, []map[uint32]uint32{{0: 0}, {0: 1}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ctx, "m.index", merged)
+	r, err := component.Open(ctx, store, "m.index", component.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixM, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, k := range keysA {
+		got, err := ixM.Lookup(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := postings.PageRef{File: 0, Page: uint32(i)}
+		if !containsRef(got, want) {
+			t.Fatalf("merged lookup keyA %d: %v missing %v", i, got, want)
+		}
+	}
+	for i, k := range keysB {
+		got, err := ixM.Lookup(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := postings.PageRef{File: 1, Page: uint32(i)}
+		if !containsRef(got, want) {
+			t.Fatalf("merged lookup keyB %d: %v missing %v", i, got, want)
+		}
+	}
+}
+
+func TestMergeDropsUnmappedFiles(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(6)
+	keys := gen.Batch(100)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{File: uint32(i % 2), Page: uint32(i)}
+	}
+	ix := buildAndOpen(t, store, "t.index", keys, refs, BuildOptions{})
+	// Only file 0 survives the merge.
+	merged, err := Merge(ctx, []*Index{ix}, []map[uint32]uint32{{0: 0}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(ctx, "m.index", merged)
+	r, _ := component.Open(ctx, store, "m.index", component.OpenOptions{})
+	ixM, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got, err := ixM.Lookup(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ref := range got {
+			if ref.File != 0 {
+				t.Fatalf("unmapped file leaked: %v", ref)
+			}
+		}
+		if i%2 == 0 && !containsRef(got, postings.PageRef{File: 0, Page: uint32(i)}) {
+			t.Fatalf("mapped ref lost for key %d", i)
+		}
+	}
+}
+
+func TestIndexSizeMuchSmallerThanKeys(t *testing.T) {
+	// The LCP+8 truncation keeps the index well under raw key size
+	// (the property that keeps cpm_r low for UUID search, Fig 7b).
+	gen := workload.NewUUIDGen(7)
+	const n = 50000
+	keys := gen.Batch(n)
+	refs := make([]postings.PageRef, n)
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i / 1000)}
+	}
+	data, err := Build(keys, refs, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := n * KeyLen
+	if len(data) > rawBytes/2 {
+		t.Fatalf("index %d bytes for %d raw key bytes", len(data), rawBytes)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(make([][16]byte, 2), make([]postings.PageRef, 1), BuildOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	ix := buildAndOpen(t, store, "e.index", nil, nil, BuildOptions{})
+	got, err := ix.Lookup(ctx, workload.NewUUIDGen(8).Next())
+	if err != nil || got != nil {
+		t.Fatalf("empty trie lookup = %v, %v", got, err)
+	}
+}
+
+func TestOpenWrongKind(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	b := component.NewBuilder(component.KindFM)
+	b.Add([]byte("x"))
+	data, _ := b.Finish()
+	store.Put(ctx, "fm.index", data)
+	r, err := component.Open(ctx, store, "fm.index", component.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ctx, r); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestAdversarialSharedPrefixes(t *testing.T) {
+	// Keys differing only in the last bits stress deep LCP paths.
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	var keys [][16]byte
+	var refs []postings.PageRef
+	base := workload.NewUUIDGen(9).Next()
+	for i := 0; i < 64; i++ {
+		k := base
+		k[15] = byte(i)
+		keys = append(keys, k)
+		refs = append(refs, postings.PageRef{Page: uint32(i)})
+	}
+	ix := buildAndOpen(t, store, "deep.index", keys, refs, BuildOptions{})
+	for i, k := range keys {
+		got, err := ix.Lookup(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsRef(got, refs[i]) {
+			t.Fatalf("deep key %d lost", i)
+		}
+	}
+}
+
+func TestLCPBits(t *testing.T) {
+	a := [16]byte{0xFF, 0x00}
+	b := [16]byte{0xFF, 0x80}
+	if got := lcpBits(a[:], b[:]); got != 8 {
+		t.Fatalf("lcpBits = %d, want 8", got)
+	}
+	if got := lcpBits(a[:], a[:]); got != 128 {
+		t.Fatalf("identical keys lcp = %d", got)
+	}
+	c := [16]byte{0x00}
+	d := [16]byte{0x80}
+	if got := lcpBits(c[:], d[:]); got != 0 {
+		t.Fatalf("lcpBits = %d, want 0", got)
+	}
+}
+
+func containsRef(refs []postings.PageRef, want postings.PageRef) bool {
+	for _, r := range refs {
+		if r == want {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewUUIDGen(10)
+	keys := gen.Batch(100000)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i)}
+	}
+	data, err := Build(keys, refs, BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	store.Put(ctx, "t.index", data)
+	r, _ := component.Open(ctx, store, "t.index", component.OpenOptions{})
+	ix, err := Open(ctx, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Lookup(ctx, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrieBuild(b *testing.B) {
+	gen := workload.NewUUIDGen(11)
+	keys := gen.Batch(50000)
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{Page: uint32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(keys, refs, BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleBuild() {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	keys := workload.NewUUIDGen(42).Batch(3)
+	refs := []postings.PageRef{{File: 0, Page: 0}, {File: 0, Page: 1}, {File: 1, Page: 0}}
+	data, _ := Build(keys, refs, BuildOptions{})
+	store.Put(ctx, "uuids.index", data)
+	r, _ := component.Open(ctx, store, "uuids.index", component.OpenOptions{})
+	ix, _ := Open(ctx, r)
+	got, _ := ix.Lookup(ctx, keys[1])
+	fmt.Println(got)
+	// Output: [{0 1}]
+}

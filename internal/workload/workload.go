@@ -1,0 +1,297 @@
+// Package workload generates the synthetic datasets and query sets
+// used by the evaluation, replacing the paper's external data: a
+// Zipfian word-mixture text corpus stands in for C4/FineWeb (substring
+// search), seeded uniform 128-bit hashes stand in for the 2B-UUID
+// enterprise workload, and Gaussian-cluster embeddings stand in for
+// SIFT (vector search). All generators are deterministic under a seed
+// so experiments are reproducible.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TextConfig parameterizes the synthetic text corpus.
+type TextConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// VocabSize is the number of distinct words.
+	VocabSize int
+	// ZipfS is the Zipf skew exponent (>1). Web text is roughly 1.1.
+	ZipfS float64
+	// DocWords is the mean number of words per document.
+	DocWords int
+}
+
+// DefaultTextConfig mimics web-crawl text statistics at laptop scale.
+func DefaultTextConfig(seed int64) TextConfig {
+	return TextConfig{Seed: seed, VocabSize: 30000, ZipfS: 1.1, DocWords: 80}
+}
+
+// TextGen generates documents with Zipf-distributed word frequencies.
+type TextGen struct {
+	cfg   TextConfig
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	vocab []string
+}
+
+// NewTextGen returns a generator for the given configuration.
+func NewTextGen(cfg TextConfig) *TextGen {
+	if cfg.VocabSize <= 0 {
+		cfg.VocabSize = 30000
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.DocWords <= 0 {
+		cfg.DocWords = 80
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	vocab := make([]string, cfg.VocabSize)
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for i := range vocab {
+		n := 3 + rng.Intn(8)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		vocab[i] = string(b)
+	}
+	return &TextGen{cfg: cfg, rng: rng, zipf: zipf, vocab: vocab}
+}
+
+// Doc returns the next synthetic document.
+func (g *TextGen) Doc() string {
+	n := g.cfg.DocWords/2 + g.rng.Intn(g.cfg.DocWords)
+	buf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, g.vocab[g.zipf.Uint64()]...)
+	}
+	return string(buf)
+}
+
+// Docs returns the next n documents.
+func (g *TextGen) Docs(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = g.Doc()
+	}
+	return docs
+}
+
+// PlantNeedle inserts needle into the middle of every doc whose index
+// is in positions, returning the modified slice. Experiments use it to
+// create substring queries with known ground truth.
+func PlantNeedle(docs []string, needle string, positions []int) []string {
+	for _, p := range positions {
+		if p < 0 || p >= len(docs) {
+			continue
+		}
+		d := docs[p]
+		mid := len(d) / 2
+		docs[p] = d[:mid] + needle + d[mid:]
+	}
+	return docs
+}
+
+// UUIDGen generates seeded 16-byte identifiers, mirroring the paper's
+// synthetic high-cardinality hash workload.
+type UUIDGen struct {
+	rng *rand.Rand
+}
+
+// NewUUIDGen returns a deterministic UUID generator.
+func NewUUIDGen(seed int64) *UUIDGen {
+	return &UUIDGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next 16-byte identifier.
+func (g *UUIDGen) Next() [16]byte {
+	var id [16]byte
+	binary.BigEndian.PutUint64(id[0:8], g.rng.Uint64())
+	binary.BigEndian.PutUint64(id[8:16], g.rng.Uint64())
+	return id
+}
+
+// Batch returns the next n identifiers.
+func (g *UUIDGen) Batch(n int) [][16]byte {
+	out := make([][16]byte, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// UUIDString formats id in canonical 8-4-4-4-12 hex form.
+func UUIDString(id [16]byte) string {
+	return fmt.Sprintf("%x-%x-%x-%x-%x", id[0:4], id[4:6], id[6:8], id[8:10], id[10:16])
+}
+
+// VectorConfig parameterizes the synthetic embedding dataset.
+type VectorConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Dim is the vector dimensionality (SIFT uses 128).
+	Dim int
+	// Clusters is the number of Gaussian modes.
+	Clusters int
+	// Spread is the intra-cluster standard deviation relative to the
+	// unit-scale inter-cluster distances.
+	Spread float64
+}
+
+// DefaultVectorConfig mimics SIFT-like clustered structure at reduced
+// dimensionality for laptop-scale runs.
+func DefaultVectorConfig(seed int64) VectorConfig {
+	return VectorConfig{Seed: seed, Dim: 64, Clusters: 64, Spread: 0.15}
+}
+
+// VectorGen generates vectors from a Gaussian mixture.
+type VectorGen struct {
+	cfg     VectorConfig
+	rng     *rand.Rand
+	centers [][]float32
+}
+
+// NewVectorGen returns a generator with freshly sampled mixture
+// centers.
+func NewVectorGen(cfg VectorConfig) *VectorGen {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 64
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 64
+	}
+	if cfg.Spread <= 0 {
+		cfg.Spread = 0.15
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([][]float32, cfg.Clusters)
+	for i := range centers {
+		c := make([]float32, cfg.Dim)
+		for j := range c {
+			c[j] = float32(rng.NormFloat64())
+		}
+		centers[i] = c
+	}
+	return &VectorGen{cfg: cfg, rng: rng, centers: centers}
+}
+
+// Dim returns the vector dimensionality.
+func (g *VectorGen) Dim() int { return g.cfg.Dim }
+
+// Next returns the next vector, drawn from a random mixture component.
+func (g *VectorGen) Next() []float32 {
+	c := g.centers[g.rng.Intn(len(g.centers))]
+	v := make([]float32, g.cfg.Dim)
+	for j := range v {
+		v[j] = c[j] + float32(g.rng.NormFloat64()*g.cfg.Spread)
+	}
+	return v
+}
+
+// Batch returns the next n vectors.
+func (g *VectorGen) Batch(n int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Queries returns n query vectors drawn from the same mixture, so that
+// nearest neighbors exist in the dataset.
+func (g *VectorGen) Queries(n int) [][]float32 {
+	return g.Batch(n)
+}
+
+// L2Squared returns the squared Euclidean distance between a and b,
+// which must have equal length.
+func L2Squared(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// ExactNearest returns the indices of the k nearest vectors to q under
+// L2 distance by exhaustive scan. It provides recall ground truth.
+func ExactNearest(vectors [][]float32, q []float32, k int) []int {
+	type cand struct {
+		idx  int
+		dist float32
+	}
+	if k > len(vectors) {
+		k = len(vectors)
+	}
+	best := make([]cand, 0, k+1)
+	for i, v := range vectors {
+		d := L2Squared(q, v)
+		if len(best) < k || d < best[len(best)-1].dist {
+			// insertion sort into the running top-k
+			pos := len(best)
+			for pos > 0 && best[pos-1].dist > d {
+				pos--
+			}
+			best = append(best, cand{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = cand{idx: i, dist: d}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// Recall computes |got ∩ truth| / |truth|, the recall@k metric used in
+// the paper's vector evaluation.
+func Recall(got, truth []int) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[int]bool, len(truth))
+	for _, t := range truth {
+		set[t] = true
+	}
+	hits := 0
+	for _, g := range got {
+		if set[g] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// Float32sToBytes encodes vectors as little-endian float32 fixed-width
+// payloads, the representation stored in the lake's vector column.
+func Float32sToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+// BytesToFloat32s decodes a fixed-width float32 payload.
+func BytesToFloat32s(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

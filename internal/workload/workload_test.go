@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTextGenDeterministic(t *testing.T) {
+	a := NewTextGen(DefaultTextConfig(7)).Docs(20)
+	b := NewTextGen(DefaultTextConfig(7)).Docs(20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("doc %d differs under same seed", i)
+		}
+	}
+	c := NewTextGen(DefaultTextConfig(8)).Docs(20)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestTextGenZipfSkew(t *testing.T) {
+	g := NewTextGen(DefaultTextConfig(1))
+	counts := map[string]int{}
+	total := 0
+	for _, d := range g.Docs(500) {
+		for _, w := range strings.Fields(d) {
+			counts[w]++
+			total++
+		}
+	}
+	// Zipf text: the most frequent word should dominate.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.05 {
+		t.Fatalf("top word frequency %.3f, want skewed distribution", float64(max)/float64(total))
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct words", len(counts))
+	}
+}
+
+func TestPlantNeedle(t *testing.T) {
+	docs := []string{"aaaa bbbb", "cccc dddd", "eeee ffff"}
+	docs = PlantNeedle(docs, "NEEDLE", []int{1, 5, -1})
+	if !strings.Contains(docs[1], "NEEDLE") {
+		t.Fatal("needle not planted at index 1")
+	}
+	if strings.Contains(docs[0], "NEEDLE") || strings.Contains(docs[2], "NEEDLE") {
+		t.Fatal("needle planted at wrong index")
+	}
+}
+
+func TestUUIDGenDeterministicAndDistinct(t *testing.T) {
+	a := NewUUIDGen(3).Batch(1000)
+	b := NewUUIDGen(3).Batch(1000)
+	seen := make(map[[16]byte]bool, len(a))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("uuid %d differs under same seed", i)
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate uuid at %d", i)
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestUUIDString(t *testing.T) {
+	id := [16]byte{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88}
+	want := "12345678-9abc-def0-1122-334455667788"
+	if got := UUIDString(id); got != want {
+		t.Fatalf("UUIDString = %s, want %s", got, want)
+	}
+}
+
+func TestVectorGenShape(t *testing.T) {
+	cfg := DefaultVectorConfig(11)
+	g := NewVectorGen(cfg)
+	if g.Dim() != cfg.Dim {
+		t.Fatalf("Dim = %d", g.Dim())
+	}
+	vecs := g.Batch(100)
+	for i, v := range vecs {
+		if len(v) != cfg.Dim {
+			t.Fatalf("vector %d has dim %d", i, len(v))
+		}
+	}
+	// Clustered data: the average nearest-neighbor distance should be
+	// much smaller than the average pairwise distance.
+	var nnSum, pairSum float64
+	var pairs int
+	for i := 0; i < 30; i++ {
+		nn := math.Inf(1)
+		for j := 0; j < len(vecs); j++ {
+			if i == j {
+				continue
+			}
+			d := float64(L2Squared(vecs[i], vecs[j]))
+			pairSum += d
+			pairs++
+			if d < nn {
+				nn = d
+			}
+		}
+		nnSum += nn
+	}
+	if nnSum/30 >= pairSum/float64(pairs) {
+		t.Fatal("vectors show no cluster structure")
+	}
+}
+
+func TestExactNearestAndRecall(t *testing.T) {
+	vecs := [][]float32{{0, 0}, {1, 0}, {5, 5}, {0.1, 0}, {10, 10}}
+	got := ExactNearest(vecs, []float32{0, 0}, 3)
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("ExactNearest = %v", got)
+	}
+	if r := Recall([]int{0, 3, 2}, got); math.Abs(r-2.0/3.0) > 1e-9 {
+		t.Fatalf("Recall = %v", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("Recall(nil,nil) = %v", r)
+	}
+	// k larger than dataset.
+	all := ExactNearest(vecs, []float32{0, 0}, 100)
+	if len(all) != len(vecs) {
+		t.Fatalf("ExactNearest big k returned %d", len(all))
+	}
+}
+
+func TestVectorByteRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		v := make([]float32, len(raw))
+		for i, u := range raw {
+			v[i] = math.Float32frombits(u)
+			if math.IsNaN(float64(v[i])) {
+				v[i] = 0
+			}
+		}
+		got := BytesToFloat32s(Float32sToBytes(v))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

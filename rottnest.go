@@ -1,0 +1,233 @@
+// Package rottnest is a Go implementation of Rottnest ("Rottnest:
+// Indexing Data Lakes for Search", ICDE 2025): a bolt-on system that
+// maintains lightweight, object-storage-resident search indices —
+// high-cardinality UUID lookup, exact substring search, and vector
+// nearest-neighbor search — on top of a Parquet-based transactional
+// data lake.
+//
+// The library is self-contained: it ships its own object-store
+// abstraction (in-memory simulated S3 and a directory-backed store),
+// a Parquet-equivalent columnar format with both a traditional reader
+// and Rottnest's page-granular optimized reader, a Delta-Lake-style
+// transactional table format with deletion vectors, the three
+// componentized index families, the lazy consistent-on-demand index
+// protocol with its four APIs (index, search, compact, vacuum), both
+// evaluation baselines, and the paper's TCO phase-diagram framework.
+//
+// # Quick start
+//
+//	store := rottnest.NewMemStore()
+//	schema := rottnest.MustSchema(rottnest.Column{
+//		Name: "id", Type: rottnest.TypeFixedLenByteArray, TypeLen: 16,
+//	})
+//	table, _ := rottnest.CreateTable(ctx, store, "my-lake", schema)
+//	// ... table.Append batches ...
+//	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "my-index"})
+//	client.Index(ctx, "id", rottnest.KindTrie)
+//	res, _ := client.Search(ctx, rottnest.Query{Column: "id", UUID: &key, K: 10, Snapshot: -1})
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for
+// the architecture.
+package rottnest
+
+import (
+	"context"
+
+	"rottnest/internal/component"
+	"rottnest/internal/core"
+	"rottnest/internal/insitu"
+	"rottnest/internal/lake"
+	"rottnest/internal/meta"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+)
+
+// Core client types. Client is the Rottnest handle offering the four
+// protocol APIs: Index, Search, Compact, and Vacuum.
+type (
+	// Client is the Rottnest client (see core.Client).
+	Client = core.Client
+	// Config tunes a Client.
+	Config = core.Config
+	// Query describes one search.
+	Query = core.Query
+	// PartitionFilter prunes searched files by a structured-attribute
+	// range (file-granular).
+	PartitionFilter = core.PartitionFilter
+	// Result is a search outcome.
+	Result = core.Result
+	// Stats summarizes a search's work.
+	Stats = core.Stats
+	// Match is one matching row.
+	Match = insitu.Match
+	// IndexEntry is one metadata-table row.
+	IndexEntry = meta.IndexEntry
+	// CompactOptions tunes index compaction.
+	CompactOptions = core.CompactOptions
+	// VacuumOptions tunes index garbage collection.
+	VacuumOptions = core.VacuumOptions
+	// VacuumReport summarizes a vacuum.
+	VacuumReport = core.VacuumReport
+	// IndexStatus describes one index's state vs the latest snapshot.
+	IndexStatus = core.IndexStatus
+	// IndexSpec names one maintained (column, kind) index.
+	IndexSpec = core.IndexSpec
+	// MaintainPolicy tunes the automated maintenance pass.
+	MaintainPolicy = core.MaintainPolicy
+	// MaintainReport summarizes one maintenance pass.
+	MaintainReport = core.MaintainReport
+)
+
+// IndexKind identifies an index family.
+type IndexKind = component.Kind
+
+// The three index kinds of the paper's Section V-C.
+const (
+	// KindTrie is the binary-trie UUID index.
+	KindTrie = component.KindTrie
+	// KindFM is the FM-index substring index.
+	KindFM = component.KindFM
+	// KindIVFPQ is the IVF-PQ vector index.
+	KindIVFPQ = component.KindIVFPQ
+)
+
+// Errors surfaced by the client.
+var (
+	// ErrAborted: an index/compact operation must be retried.
+	ErrAborted = core.ErrAborted
+	// ErrTimeout: the operation exceeded the index timeout.
+	ErrTimeout = core.ErrTimeout
+	// ErrBadColumn: the column's type cannot host the index kind.
+	ErrBadColumn = core.ErrBadColumn
+	// ErrBelowMinRows: too few new rows for a vector index file.
+	ErrBelowMinRows = core.ErrBelowMinRows
+)
+
+// Schema types (the columnar format's schema language).
+type (
+	// Schema is an ordered set of columns.
+	Schema = parquet.Schema
+	// Column describes one field.
+	Column = parquet.Column
+	// ColumnType is a physical column type.
+	ColumnType = parquet.Type
+	// Batch is a set of rows appended to a table.
+	Batch = parquet.Batch
+	// ColumnValues holds one column of a batch.
+	ColumnValues = parquet.ColumnValues
+	// WriterOptions tune data file layout (row groups, pages,
+	// compression).
+	WriterOptions = parquet.WriterOptions
+)
+
+// Physical column types.
+const (
+	TypeBool              = parquet.TypeBool
+	TypeInt64             = parquet.TypeInt64
+	TypeDouble            = parquet.TypeDouble
+	TypeByteArray         = parquet.TypeByteArray
+	TypeFixedLenByteArray = parquet.TypeFixedLenByteArray
+)
+
+// NewSchema validates and builds a schema.
+func NewSchema(cols ...Column) (*Schema, error) { return parquet.NewSchema(cols...) }
+
+// MustSchema is NewSchema panicking on error.
+func MustSchema(cols ...Column) *Schema { return parquet.MustSchema(cols...) }
+
+// NewBatch returns an empty batch for the schema.
+func NewBatch(schema *Schema) *Batch { return parquet.NewBatch(schema) }
+
+// Lake types (the transactional table format).
+type (
+	// Table is a transactional lake table.
+	Table = lake.Table
+	// Snapshot is a point-in-time view of a table.
+	Snapshot = lake.Snapshot
+	// DataFile describes one active data file.
+	DataFile = lake.DataFile
+)
+
+// Store types (the object-storage substrate).
+type (
+	// Store is a strongly consistent object store.
+	Store = objectstore.Store
+	// LatencyModel shapes simulated request latency.
+	LatencyModel = objectstore.LatencyModel
+	// StoreMetrics meters requests and bytes.
+	StoreMetrics = objectstore.Metrics
+)
+
+// Clock abstracts time for simulation; see NewVirtualClock.
+type Clock = simtime.Clock
+
+// Session tracks virtual latency of one logical operation.
+type Session = simtime.Session
+
+// NewMemStore returns an in-memory object store with real-time
+// timestamps, suitable for tests and embedded use.
+func NewMemStore() *objectstore.MemStore {
+	return objectstore.NewMemStore(nil)
+}
+
+// NewSimulatedStore returns an in-memory object store stamped by a
+// fresh virtual clock and wrapped in the paper's S3 latency model.
+// Operations run inside a Session (see WithSession) accumulate
+// virtual latency; the returned metrics meter requests and bytes.
+func NewSimulatedStore() (Store, *simtime.VirtualClock, *StoreMetrics) {
+	clock := simtime.NewVirtualClock()
+	store, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	return store, clock, metrics
+}
+
+// NewDirStore returns an object store backed by a local directory, so
+// lakes and indices persist across process runs.
+func NewDirStore(dir string) (Store, error) {
+	return objectstore.NewDirStore(dir)
+}
+
+// NewVirtualClock returns a manually advanced clock for simulations.
+func NewVirtualClock() *simtime.VirtualClock { return simtime.NewVirtualClock() }
+
+// NewSession returns a fresh virtual-latency session.
+func NewSession() *Session { return simtime.NewSession() }
+
+// WithSession attaches a session to the context; store operations
+// under it accumulate virtual latency (parallel fans overlap).
+func WithSession(ctx context.Context, s *Session) context.Context {
+	return simtime.With(ctx, s)
+}
+
+// CreateTable initializes a new lake table at root on the store.
+func CreateTable(ctx context.Context, store Store, root string, schema *Schema) (*Table, error) {
+	return lake.Create(ctx, store, nil, root, schema)
+}
+
+// CreateTableWithClock is CreateTable stamping commits from the given
+// clock (used by simulations).
+func CreateTableWithClock(ctx context.Context, store Store, clock Clock, root string, schema *Schema) (*Table, error) {
+	return lake.Create(ctx, store, clock, root, schema)
+}
+
+// OpenTable opens an existing lake table at root.
+func OpenTable(ctx context.Context, store Store, root string) (*Table, error) {
+	return lake.Open(ctx, store, nil, root)
+}
+
+// OpenTableWithClock is OpenTable with an explicit clock.
+func OpenTableWithClock(ctx context.Context, store Store, clock Clock, root string) (*Table, error) {
+	return lake.Open(ctx, store, clock, root)
+}
+
+// NewClient returns a Rottnest client over the table using the real
+// wall clock.
+func NewClient(table *Table, cfg Config) *Client {
+	return core.NewClient(table, nil, cfg)
+}
+
+// NewClientWithClock is NewClient with an explicit clock (used by
+// simulations, whose vacuum timeouts run on virtual time).
+func NewClientWithClock(table *Table, clock Clock, cfg Config) *Client {
+	return core.NewClient(table, clock, cfg)
+}
