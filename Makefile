@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench-cache
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the PR gate: vet, formatting, and the race detector over the
+# packages with real concurrency (protocol core and the object store).
+check:
+	$(GO) vet ./...
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) test -race ./internal/core/... ./internal/objectstore/...
+
+# bench-cache records the read-cache warm-vs-cold experiment.
+bench-cache:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_cache.json cache

@@ -133,3 +133,13 @@ func BenchmarkDistributionSensitivity(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchCacheWarm measures the read cache's warm-vs-cold
+// effect on repeated UUID/substring/vector query sets.
+func BenchmarkSearchCacheWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.CacheWarmth(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

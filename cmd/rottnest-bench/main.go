@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,63 +25,55 @@ import (
 var experiments = []struct {
 	name string
 	desc string
-	run  func(bench.Options) error
+	run  func(bench.Options) (any, error)
 }{
-	{"fig7", "TCO phase diagrams: substring and UUID search", func(o bench.Options) error {
-		_, err := bench.Fig7PhaseDiagrams(o)
-		return err
+	{"fig7", "TCO phase diagrams: substring and UUID search", func(o bench.Options) (any, error) {
+		return bench.Fig7PhaseDiagrams(o)
 	}},
-	{"fig8", "brute-force and Rottnest scaling with cluster size", func(o bench.Options) error {
-		_, err := bench.Fig8Scaling(o)
-		return err
+	{"fig8", "brute-force and Rottnest scaling with cluster size", func(o bench.Options) (any, error) {
+		return bench.Fig8Scaling(o)
 	}},
-	{"fig9", "vector phase diagrams at recall 0.87/0.92/0.97", func(o bench.Options) error {
-		_, err := bench.Fig9VectorPhases(o)
-		return err
+	{"fig9", "vector phase diagrams at recall 0.87/0.92/0.97", func(o bench.Options) (any, error) {
+		return bench.Fig9VectorPhases(o)
 	}},
-	{"fig10", "read granularity and page-read overhead", func(o bench.Options) error {
-		_, err := bench.Fig10ReadGranularity(o)
-		return err
+	{"fig10", "read granularity and page-read overhead", func(o bench.Options) (any, error) {
+		return bench.Fig10ReadGranularity(o)
 	}},
-	{"fig11", "in-situ querying ablation", func(o bench.Options) error {
-		_, err := bench.Fig11InSitu(o)
-		return err
+	{"fig11", "in-situ querying ablation", func(o bench.Options) (any, error) {
+		return bench.Fig11InSitu(o)
 	}},
-	{"fig12", "TCO parameter sensitivity", func(o bench.Options) error {
-		_, err := bench.Fig12Sensitivity(o)
-		return err
+	{"fig12", "TCO parameter sensitivity", func(o bench.Options) (any, error) {
+		return bench.Fig12Sensitivity(o)
 	}},
-	{"fig13", "compaction vs search latency", func(o bench.Options) error {
-		_, err := bench.Fig13Compaction(o)
-		return err
+	{"fig13", "compaction vs search latency", func(o bench.Options) (any, error) {
+		return bench.Fig13Compaction(o)
 	}},
-	{"latency", "minimum latency thresholds (VII-A)", func(o bench.Options) error {
-		_, err := bench.MinimumLatency(o)
-		return err
+	{"latency", "minimum latency thresholds (VII-A)", func(o bench.Options) (any, error) {
+		return bench.MinimumLatency(o)
 	}},
-	{"lance", "in-situ Parquet vs ideal custom format (VII-C)", func(o bench.Options) error {
-		_, err := bench.CustomFormatComparison(o)
-		return err
+	{"lance", "in-situ Parquet vs ideal custom format (VII-C)", func(o bench.Options) (any, error) {
+		return bench.CustomFormatComparison(o)
 	}},
-	{"throughput", "QPS caps from the per-prefix GET limit (VII-D3)", func(o bench.Options) error {
-		_, err := bench.Throughput(o)
-		return err
+	{"throughput", "QPS caps from the per-prefix GET limit (VII-D3)", func(o bench.Options) (any, error) {
+		return bench.Throughput(o)
 	}},
-	{"ablation", "design-choice ablations (componentization, block/page sizes, PQ M)", func(o bench.Options) error {
-		_, err := bench.Ablations(o)
-		return err
+	{"ablation", "design-choice ablations (componentization, block/page sizes, PQ M)", func(o bench.Options) (any, error) {
+		return bench.Ablations(o)
 	}},
-	{"distribution", "data-distribution sensitivity: text entropy vs phase boundary (VII-D2)", func(o bench.Options) error {
-		_, err := bench.DistributionSensitivity(o)
-		return err
+	{"distribution", "data-distribution sensitivity: text entropy vs phase boundary (VII-D2)", func(o bench.Options) (any, error) {
+		return bench.DistributionSensitivity(o)
+	}},
+	{"cache", "read cache warm-vs-cold: repeated query latency and GET footprint", func(o bench.Options) (any, error) {
+		return bench.CacheWarmth(o)
 	}},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	jsonPath := flag.String("json", "", "write the experiment results as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rottnest-bench [-quick] [-seed N] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "usage: rottnest-bench [-quick] [-seed N] [-json FILE] <experiment|all>")
 		fmt.Fprintln(os.Stderr, "\nexperiments:")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
@@ -93,6 +86,7 @@ func main() {
 	}
 	target := flag.Arg(0)
 	opts := bench.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
+	results := make(map[string]any)
 	ran := false
 	for _, e := range experiments {
 		if target != "all" && target != e.name {
@@ -101,15 +95,36 @@ func main() {
 		ran = true
 		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
 		start := time.Now()
-		if err := e.run(opts); err != nil {
+		res, err := e.run(opts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "rottnest-bench %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		results[e.name] = res
 		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "rottnest-bench: unknown experiment %q\n\n", target)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		var payload any = results
+		if len(results) == 1 {
+			for _, r := range results {
+				payload = r // single experiment: write its result directly
+			}
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
 	}
 }

@@ -372,6 +372,9 @@ func cmdSearch(args []string) error {
 	fmt.Printf("%d match(es) in %v (index files: %d, pages probed: %d, files scanned: %d)\n",
 		len(res.Matches), time.Since(start).Round(time.Millisecond),
 		res.Stats.IndexFiles, res.Stats.PagesProbed, res.Stats.FilesScanned)
+	fmt.Printf("reads: %d GETs, %.1f KB (cache: %d hits, %d misses, %.1f KB saved)\n",
+		res.Stats.GETs, float64(res.Stats.BytesRead)/1e3,
+		res.Stats.CacheHits, res.Stats.CacheMisses, float64(res.Stats.CacheBytesSaved)/1e3)
 	for i, m := range res.Matches {
 		val := m.Value
 		if len(val) > 80 {

@@ -47,8 +47,8 @@ func main() {
 			msgs[i] = []byte("INFO " + text.Doc())
 		}
 		if hour == incidentHour {
-			msgs[700] = []byte("ERROR payment declined code 502 retrying")
-			msgs[900] = []byte("ERROR payment declined code 700 giving up")
+			msgs[300] = []byte("ERROR payment declined code 502 retrying")
+			msgs[700] = []byte("ERROR payment declined code 700 giving up")
 		}
 		b.Cols[0] = rottnest.ColumnValues{Ints: tss}
 		b.Cols[1] = rottnest.ColumnValues{Bytes: msgs}
@@ -93,9 +93,9 @@ func main() {
 	// drives the FM-index over the whole table.
 	investigate("whole table:", nil)
 
-	// The on-call knows the incident window: prune to hours 30-32.
+	// The on-call knows the incident window: prune to that hour.
 	investigate("incident window only:", &rottnest.PartitionFilter{
-		Column: "ts", Min: 30 * 3600, Max: 33*3600 - 1,
+		Column: "ts", Min: incidentHour * 3600, Max: (incidentHour+1)*3600 - 1,
 	})
 
 	snapReq := metrics.Snapshot()

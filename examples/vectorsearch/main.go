@@ -15,10 +15,10 @@ import (
 )
 
 const (
-	dim     = 32
-	nVecs   = 20000
-	nQuery  = 30
-	topK    = 10
+	dim    = 32
+	nVecs  = 20000
+	nQuery = 30
+	topK   = 10
 )
 
 func main() {

@@ -73,13 +73,29 @@ type world struct {
 func newWorld(schema *parquet.Schema, cfg core.Config) (*world, error) {
 	ctx := context.Background()
 	clock := simtime.NewVirtualClock()
-	store, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	inst, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	var store objectstore.Store = inst
+	// When an experiment asks for a warm deployment, share one cache
+	// between the lake and the client (NewClient joins it via
+	// FindCached), so snapshot log reads are accelerated too.
+	if cfg.CacheBytes > 0 {
+		store = objectstore.NewCachedStore(store, objectstore.CacheOptions{
+			MaxBytes:    cfg.CacheBytes,
+			CoalesceGap: cfg.CoalesceGap,
+		})
+	}
 	table, err := lake.Create(ctx, store, clock, "lake", schema)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.IndexDir == "" {
 		cfg.IndexDir = "rottnest"
+	}
+	// Figure reproductions model the paper's uncached read path: every
+	// GET pays the Figure 10a latency. Keep the client's read cache off
+	// unless an experiment (e.g. CacheWarmth) asks for it explicitly.
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = -1
 	}
 	return &world{
 		clock:   clock,

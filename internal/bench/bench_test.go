@@ -297,3 +297,33 @@ func TestDistributionSensitivityShapes(t *testing.T) {
 		t.Fatalf("boundary did not track the ratio: %.3g -> %.3g", first.WindowLo, last.WindowLo)
 	}
 }
+
+func TestCacheWarmthShapes(t *testing.T) {
+	res, err := CacheWarmth(Options{Seed: 13, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 3 {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	for _, w := range res.Workloads {
+		// The tentpole bars: repeated queries must get at least 2x
+		// cheaper in virtual latency and 3x cheaper in GET requests
+		// once the cache is warm.
+		if w.Speedup < 2 {
+			t.Fatalf("%s: warm speedup %.2fx < 2x (cold %v, warm %v)",
+				w.Workload, w.Speedup, w.ColdLatency, w.WarmLatency)
+		}
+		if w.GETReduction < 3 {
+			t.Fatalf("%s: GET reduction %.2fx < 3x (cold %d, warm %d)",
+				w.Workload, w.GETReduction, w.ColdGETs, w.WarmGETs)
+		}
+		if w.Hits == 0 || w.BytesSaved == 0 {
+			t.Fatalf("%s: warm pass recorded no cache hits: %+v", w.Workload, w)
+		}
+		// An uncached run must never report cache traffic.
+		if w.ColdGETs == 0 {
+			t.Fatalf("%s: cold pass issued no GETs", w.Workload)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/core"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/simtime"
+)
+
+// CacheWorkloadResult reports one workload's cold-vs-warm comparison:
+// the same query set executed against an uncached deployment and
+// against a cache-enabled deployment after one priming pass.
+type CacheWorkloadResult struct {
+	Workload string `json:"workload"`
+	Queries  int    `json:"queries"`
+	// ColdLatency and WarmLatency are mean virtual latencies per query.
+	ColdLatency time.Duration `json:"cold_latency_ns"`
+	WarmLatency time.Duration `json:"warm_latency_ns"`
+	// ColdGETs and WarmGETs count object-store GET requests across the
+	// measured pass.
+	ColdGETs int64 `json:"cold_gets"`
+	WarmGETs int64 `json:"warm_gets"`
+	// Speedup is ColdLatency/WarmLatency; GETReduction is
+	// ColdGETs/WarmGETs (capped at ColdGETs when WarmGETs is zero).
+	Speedup      float64 `json:"speedup"`
+	GETReduction float64 `json:"get_reduction"`
+	// Cache counters over the measured warm pass.
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	BytesSaved int64 `json:"bytes_saved"`
+}
+
+// CacheWarmthResult aggregates the experiment across workloads.
+type CacheWarmthResult struct {
+	Workloads []CacheWorkloadResult `json:"workloads"`
+}
+
+// measurePass runs the query set once, returning total virtual
+// latency and total GETs issued to the (instrumented) store.
+func (w *world) measurePass(ctx context.Context, queries []core.Query) (time.Duration, int64, error) {
+	before := w.metrics.Snapshot()
+	var total time.Duration
+	for _, q := range queries {
+		session := simtime.NewSession()
+		res, err := w.client.Search(simtime.With(ctx, session), q)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += res.Stats.Latency
+	}
+	return total, w.metrics.Snapshot().Sub(before).Gets, nil
+}
+
+// cacheWorkload compares one workload cold vs warm. build constructs a
+// deployment (data appended, index built and compacted) under the
+// given client config and returns the repeated-query set to measure.
+func cacheWorkload(ctx context.Context, name string, build func(cfg core.Config) (*world, []core.Query, error)) (CacheWorkloadResult, error) {
+	r := CacheWorkloadResult{Workload: name}
+
+	// Cold: the paper's read path — no cache, every GET pays Fig 10a.
+	cold, queries, err := build(core.Config{CacheBytes: -1})
+	if err != nil {
+		return r, err
+	}
+	r.Queries = len(queries)
+	coldLat, coldGets, err := cold.measurePass(ctx, queries)
+	if err != nil {
+		return r, err
+	}
+
+	// Warm: cache on, one priming pass, then measure the repeat.
+	warm, queries, err := build(core.Config{CacheBytes: objectstore.DefaultCacheBytes})
+	if err != nil {
+		return r, err
+	}
+	if _, _, err := warm.measurePass(ctx, queries); err != nil {
+		return r, err
+	}
+	primed := warm.client.CacheStats()
+	warmLat, warmGets, err := warm.measurePass(ctx, queries)
+	if err != nil {
+		return r, err
+	}
+	delta := warm.client.CacheStats().Sub(primed)
+
+	n := time.Duration(len(queries))
+	r.ColdLatency = coldLat / n
+	r.WarmLatency = warmLat / n
+	r.ColdGETs = coldGets
+	r.WarmGETs = warmGets
+	if warmLat > 0 {
+		r.Speedup = float64(coldLat) / float64(warmLat)
+	}
+	if warmGets > 0 {
+		r.GETReduction = float64(coldGets) / float64(warmGets)
+	} else {
+		r.GETReduction = float64(coldGets)
+	}
+	r.Hits = delta.Hits
+	r.Misses = delta.Misses
+	r.BytesSaved = delta.BytesSaved
+	return r, nil
+}
+
+// CacheWarmth measures what the shared read cache buys repeated
+// queries on each workload: per-query virtual latency and GET count,
+// cold (no cache) versus warm (cache primed by one earlier pass of
+// the same query set). Immutable objects — index tails and
+// components, data pages, deletion vectors, log records — dominate
+// the search read path, so the warm pass should collapse to cache
+// hits, which charge zero virtual latency and issue zero GETs.
+func CacheWarmth(o Options) (*CacheWarmthResult, error) {
+	ctx := context.Background()
+	out := o.out()
+	res := &CacheWarmthResult{}
+
+	uuid, err := cacheWorkload(ctx, "uuid", func(cfg core.Config) (*world, []core.Query, error) {
+		uw, err := newUUIDWorld(o.Seed, o.scaleInt(8, 3), o.scaleInt(2000, 600), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := uw.indexAndCompact(ctx, "id", component.KindTrie); err != nil {
+			return nil, nil, err
+		}
+		return uw.world, uw.queries(o.scaleInt(30, 10)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Workloads = append(res.Workloads, uuid)
+
+	text, err := cacheWorkload(ctx, "substring", func(cfg core.Config) (*world, []core.Query, error) {
+		tw, err := newTextWorld(o.Seed, o.scaleInt(6, 3), o.scaleInt(400, 150), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := tw.indexAndCompact(ctx, "body", component.KindFM); err != nil {
+			return nil, nil, err
+		}
+		return tw.world, tw.queries(o.scaleInt(24, 9)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Workloads = append(res.Workloads, text)
+
+	vector, err := cacheWorkload(ctx, "vector", func(cfg core.Config) (*world, []core.Query, error) {
+		vw, err := newVectorWorld(o.Seed, o.scaleInt(6000, 2000), 16, o.scaleInt(12, 6), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := vw.indexAndCompact(ctx, "emb", component.KindIVFPQ); err != nil {
+			return nil, nil, err
+		}
+		qs := make([]core.Query, len(vw.queryVs))
+		for i, qv := range vw.queryVs {
+			qs[i] = core.Query{Column: "emb", Vector: qv, K: 10, NProbe: 4, Refine: 2, Snapshot: -1}
+		}
+		return vw.world, qs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Workloads = append(res.Workloads, vector)
+
+	fmt.Fprintf(out, "Read cache warm-vs-cold (repeated query sets)\n")
+	fmt.Fprintf(out, "%-10s %9s %12s %12s %8s %9s %9s %8s %7s\n",
+		"workload", "queries", "cold_lat", "warm_lat", "speedup", "cold_GETs", "warm_GETs", "GET_red", "hits")
+	for _, w := range res.Workloads {
+		fmt.Fprintf(out, "%-10s %9d %12v %12v %7.1fx %9d %9d %7.1fx %7d\n",
+			w.Workload, w.Queries, w.ColdLatency.Round(time.Microsecond), w.WarmLatency.Round(time.Microsecond),
+			w.Speedup, w.ColdGETs, w.WarmGETs, w.GETReduction, w.Hits)
+	}
+	return res, nil
+}

@@ -194,4 +194,3 @@ func MinimumLatency(opts Options) (*MinimumLatencyResult, error) {
 	}
 	return res, nil
 }
-

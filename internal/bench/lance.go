@@ -66,12 +66,23 @@ func CustomFormatComparison(opts Options) (*CustomFormatResult, error) {
 	// storage on every query, then probes and fetches exactly the
 	// candidate rows' bytes.
 	customSearch := func(ctx context.Context, q []float32, nprobe, refine, k int) error {
-		if _, err := vw.table.Snapshot(ctx); err != nil {
-			return err
+		// Resolve the table version and open the index concurrently,
+		// mirroring the parallel planning of the Rottnest search path.
+		var reader *component.Reader
+		var snapErr, openErr error
+		simtime.From(ctx).Parallel(
+			func(s *simtime.Session) {
+				_, snapErr = vw.table.Snapshot(simtime.With(ctx, s))
+			},
+			func(s *simtime.Session) {
+				reader, openErr = component.Open(simtime.With(ctx, s), vw.store, indexKey, component.OpenOptions{})
+			},
+		)
+		if snapErr != nil {
+			return snapErr
 		}
-		reader, err := component.Open(ctx, vw.store, indexKey, component.OpenOptions{})
-		if err != nil {
-			return err
+		if openErr != nil {
+			return openErr
 		}
 		ivf, err := ivfpq.Open(ctx, reader)
 		if err != nil {

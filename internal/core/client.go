@@ -35,7 +35,6 @@ import (
 	"rottnest/internal/trie"
 )
 
-
 // Errors returned by the client APIs.
 var (
 	// ErrAborted reports that an index or compact operation observed
@@ -77,6 +76,20 @@ type Config struct {
 	// fan-outs over many index files proceed in waves of this width.
 	// Defaults to 32.
 	SearchWidth int
+	// CacheBytes bounds the shared read cache the client layers over
+	// the table's store: component tails, index components, data
+	// pages, deletion vectors, and meta-log records are immutable, so
+	// repeated and concurrent searches reuse them without re-GETting.
+	// 0 means the 64 MiB default; negative disables the cache (and
+	// range coalescing with it). Ignored when the table's store is
+	// already a CachedStore — the client then joins that cache.
+	CacheBytes int64
+	// CoalesceGap merges adjacent ranged GETs of the same object
+	// whose gap is at most this many bytes into one request (the
+	// latency model is flat until ~1 MiB, so nearby pages cost one
+	// TTFB instead of two). 0 means the 128 KiB default; negative
+	// disables coalescing.
+	CoalesceGap int64
 }
 
 func (c Config) withDefaults() Config {
@@ -105,21 +118,43 @@ type Client struct {
 	clock simtime.Clock
 	cfg   Config
 	meta  *meta.Table
+	// cache is the read cache on the client's store chain (nil when
+	// disabled); inst is the instrumented store underneath, if any.
+	// Both feed per-query request accounting in Stats.
+	cache *objectstore.CachedStore
+	inst  *objectstore.Instrumented
 }
 
 // NewClient returns a client over the table, storing its index under
 // cfg.IndexDir on the table's object store.
+//
+// Unless cfg.CacheBytes is negative, the client's reads (index files,
+// probed data pages, deletion vectors, metadata log) flow through a
+// shared LRU read cache with singleflight coalescing, layered over
+// the table's store. If the table was itself built on a CachedStore,
+// that cache is reused — then lake snapshot reads share it too.
 func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
 	if clock == nil {
 		clock = simtime.RealClock{}
 	}
 	cfg = cfg.withDefaults()
+	store := table.Store()
+	cache := objectstore.FindCached(store)
+	if cache == nil && cfg.CacheBytes >= 0 {
+		cache = objectstore.NewCachedStore(store, objectstore.CacheOptions{
+			MaxBytes:    cfg.CacheBytes,
+			CoalesceGap: cfg.CoalesceGap,
+		})
+		store = cache
+	}
 	return &Client{
 		table: table,
-		store: table.Store(),
+		store: store,
 		clock: clock,
 		cfg:   cfg,
-		meta:  meta.New(table.Store(), clock, cfg.IndexDir+"_meta/"),
+		meta:  meta.New(store, clock, cfg.IndexDir+"_meta/"),
+		cache: cache,
+		inst:  objectstore.FindInstrumented(store),
 	}
 }
 
@@ -128,6 +163,15 @@ func (c *Client) Meta() *meta.Table { return c.meta }
 
 // Table returns the underlying lake table.
 func (c *Client) Table() *lake.Table { return c.table }
+
+// CacheStats returns cumulative read-cache counters, or a zero value
+// when the cache is disabled.
+func (c *Client) CacheStats() objectstore.CacheStats {
+	if c.cache == nil {
+		return objectstore.CacheStats{}
+	}
+	return c.cache.Stats()
+}
 
 // indexFilePrefix is where index files live under IndexDir.
 const indexFilePrefix = "files/"

@@ -24,7 +24,10 @@ func TestCompactFMIndexPreservesResults(t *testing.T) {
 		}
 	}
 	// Baseline results before compaction.
-	type key struct{ path string; row int64 }
+	type key struct {
+		path string
+		row  int64
+	}
 	baseline := make(map[string][]key)
 	for _, n := range needles {
 		res, err := e.cli.Search(ctx, Query{Column: "body", Substring: []byte(n), K: 0, Snapshot: -1})
@@ -158,4 +161,3 @@ func TestCompactMixedSizeThreshold(t *testing.T) {
 		t.Fatalf("vacuum: %+v, %v", report, err)
 	}
 }
-

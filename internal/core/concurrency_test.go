@@ -30,7 +30,7 @@ func TestConcurrentProtocolInvariants(t *testing.T) {
 	gen := workload.NewUUIDGen(100)
 
 	var mu sync.Mutex
-	live := make(map[[16]byte]string)   // key -> file path at insert
+	live := make(map[[16]byte]string) // key -> file path at insert
 	deleted := make(map[[16]byte]bool)
 
 	appendBatch := func(rng *rand.Rand) error {

@@ -19,11 +19,11 @@ func TestRequiredLiteral(t *testing.T) {
 		{`conn(ection)? reset`, " reset"},
 		{`user-[0-9a-f]{8} logged in`, " logged in"},
 		{`(payment failed)+`, "payment failed"},
-		{`foo|bar`, ""},       // alternation: no required literal
-		{`(?i)error`, ""},     // case folding: bytes not exact
-		{`\d+`, ""},           // no literal at all
-		{`a*`, ""},            // optional: not required
-		{`x`, "x"},            // single byte
+		{`foo|bar`, ""},   // alternation: no required literal
+		{`(?i)error`, ""}, // case folding: bytes not exact
+		{`\d+`, ""},       // no literal at all
+		{`a*`, ""},        // optional: not required
+		{`x`, "x"},        // single byte
 		{`prefix.{0,5}suffix-longer`, "suffix-longer"},
 	}
 	for _, tc := range cases {

@@ -14,6 +14,7 @@ import (
 	"rottnest/internal/ivfpq"
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
+	"rottnest/internal/objectstore"
 	"rottnest/internal/parquet"
 	"rottnest/internal/postings"
 	"rottnest/internal/simtime"
@@ -106,6 +107,19 @@ type Stats struct {
 	// Latency is the virtual latency of the search when run inside a
 	// simtime session.
 	Latency time.Duration
+	// GETs and BytesRead are the search's object-store request
+	// footprint: GET requests issued and bytes fetched, after cache
+	// hits and range coalescing. Counters are store-global, so
+	// concurrent operations on the same store may bleed into each
+	// other's deltas.
+	GETs      int64
+	BytesRead int64
+	// CacheHits, CacheMisses, and CacheBytesSaved report the read
+	// cache's activity during this search (all zero when the cache is
+	// disabled).
+	CacheHits       int64
+	CacheMisses     int64
+	CacheBytesSaved int64
 }
 
 // Result is a search outcome.
@@ -129,22 +143,41 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 	}
 	session := simtime.From(ctx)
 	startElapsed := session.Elapsed()
+	var startMetrics objectstore.Snapshot
+	if c.inst != nil {
+		startMetrics = c.inst.Metrics().Snapshot()
+	}
+	var startCache objectstore.CacheStats
+	if c.cache != nil {
+		startCache = c.cache.Stats()
+	}
 
-	// Plan.
+	// Plan. The lake snapshot and the metadata table are independent
+	// logs; read them in parallel so planning pays one round of LIST
+	// latency, not two.
 	snapVersion := q.Snapshot
 	if snapVersion == 0 {
 		snapVersion = -1
 	}
-	snap, err := c.table.SnapshotAt(ctx, snapVersion)
-	if err != nil {
-		return nil, err
+	var snap *lake.Snapshot
+	var entries []meta.IndexEntry
+	var snapErr, metaErr error
+	session.Parallel(
+		func(s *simtime.Session) {
+			snap, snapErr = c.table.SnapshotAt(simtime.With(ctx, s), snapVersion)
+		},
+		func(s *simtime.Session) {
+			entries, metaErr = c.meta.ListFor(simtime.With(ctx, s), q.Column, kind)
+		},
+	)
+	if snapErr != nil {
+		return nil, snapErr
 	}
 	if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
 		return nil, err
 	}
-	entries, err := c.meta.ListFor(ctx, q.Column, kind)
-	if err != nil {
-		return nil, err
+	if metaErr != nil {
+		return nil, metaErr
 	}
 	// Regex planning: extract the required literal that drives the
 	// FM-index. Patterns with no usable literal bypass the index and
@@ -204,6 +237,24 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		return nil, err
 	}
 	result.Stats.Latency = session.Elapsed() - startElapsed
+	var cacheDelta objectstore.CacheStats
+	if c.cache != nil {
+		cacheDelta = c.cache.Stats().Sub(startCache)
+		result.Stats.CacheHits = cacheDelta.Hits
+		result.Stats.CacheMisses = cacheDelta.Misses
+		result.Stats.CacheBytesSaved = cacheDelta.BytesSaved
+	}
+	switch {
+	case c.inst != nil:
+		m := c.inst.Metrics().Snapshot().Sub(startMetrics)
+		result.Stats.GETs = m.Gets
+		result.Stats.BytesRead = m.BytesRead
+	case c.cache != nil:
+		// No instrumented store underneath (e.g. a bare directory
+		// store): meter requests at the cache boundary instead.
+		result.Stats.GETs = cacheDelta.UpstreamGets
+		result.Stats.BytesRead = cacheDelta.UpstreamBytes
+	}
 	return result, nil
 }
 

@@ -41,7 +41,9 @@ func ProbePages(ctx context.Context, store objectstore.Store, key string, col pa
 	if len(pages) == 0 {
 		return nil, nil
 	}
-	// Dedup by ordinal, preserving ascending order.
+	// Dedup by ordinal, preserving ascending order. Sort a copy: the
+	// caller's slice (often a shared page table) must not be reordered.
+	pages = append([]parquet.PageInfo(nil), pages...)
 	sort.Slice(pages, func(i, j int) bool { return pages[i].Ordinal < pages[j].Ordinal })
 	uniq := pages[:1]
 	for _, p := range pages[1:] {

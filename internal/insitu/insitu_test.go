@@ -92,6 +92,36 @@ func TestProbePagesDedupsAndAppliesDV(t *testing.T) {
 	}
 }
 
+func TestProbePagesDoesNotReorderCallerSlice(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	docs := make([]string, 300)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("document number %d with filler text", i)
+	}
+	pages := writeDocs(t, store, "f.rpq", docs)
+	if len(pages) < 3 {
+		t.Fatalf("want >= 3 pages, got %d", len(pages))
+	}
+
+	// Hand ProbePages a descending-ordinal slice (as an index might
+	// emit refs); the probe must not reorder the caller's array.
+	arg := append([]parquet.PageInfo(nil), pages...)
+	for i, j := 0, len(arg)-1; i < j; i, j = i+1, j-1 {
+		arg[i], arg[j] = arg[j], arg[i]
+	}
+	want := append([]parquet.PageInfo(nil), arg...)
+
+	if _, err := ProbePages(ctx, store, "f.rpq", schema.Columns[0], "f.rpq", arg, nil, contains("document")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if arg[i].Ordinal != want[i].Ordinal {
+			t.Fatalf("caller slice reordered at %d: got ordinal %d, want %d", i, arg[i].Ordinal, want[i].Ordinal)
+		}
+	}
+}
+
 func TestScanFile(t *testing.T) {
 	ctx := context.Background()
 	store := objectstore.NewMemStore(nil)

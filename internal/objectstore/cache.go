@@ -1,0 +1,367 @@
+package objectstore
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rottnest/internal/simtime"
+)
+
+// Cache sizing defaults.
+const (
+	// DefaultCacheBytes is the read cache's default byte budget.
+	DefaultCacheBytes = 64 << 20
+	// DefaultCoalesceGap is the default maximum gap between two
+	// ranged GETs of the same object that FanGet merges into one
+	// request. It sits well below the latency model's ~1 MiB flat
+	// window (Figure 10a of the paper), so merging costs near-zero
+	// extra latency while saving whole requests.
+	DefaultCoalesceGap = 128 << 10
+)
+
+// CacheStats is a point-in-time snapshot of a CachedStore's counters.
+type CacheStats struct {
+	// Hits and Misses count cache lookups on the GET path.
+	Hits, Misses int64
+	// BytesSaved is the total size of reads served from the cache
+	// instead of the store.
+	BytesSaved int64
+	// Evictions counts entries dropped to stay within the byte
+	// budget.
+	Evictions int64
+	// CoalescedGets counts GETs absorbed by singleflight: concurrent
+	// requests for a range that another goroutine was already
+	// fetching.
+	CoalescedGets int64
+	// UpstreamGets and UpstreamBytes count the GET requests and bytes
+	// the cache actually forwarded to the wrapped store. They let
+	// callers meter request footprints even when no Instrumented
+	// store is underneath (e.g. the CLI's directory store).
+	UpstreamGets, UpstreamBytes int64
+}
+
+// Sub returns the counter deltas from an earlier snapshot, for
+// attributing cache activity to a single operation.
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	return CacheStats{
+		Hits:          s.Hits - earlier.Hits,
+		Misses:        s.Misses - earlier.Misses,
+		BytesSaved:    s.BytesSaved - earlier.BytesSaved,
+		Evictions:     s.Evictions - earlier.Evictions,
+		CoalescedGets: s.CoalescedGets - earlier.CoalescedGets,
+		UpstreamGets:  s.UpstreamGets - earlier.UpstreamGets,
+		UpstreamBytes: s.UpstreamBytes - earlier.UpstreamBytes,
+	}
+}
+
+// CacheOptions tune a CachedStore.
+type CacheOptions struct {
+	// MaxBytes is the cache's byte budget. <= 0 means
+	// DefaultCacheBytes.
+	MaxBytes int64
+	// CoalesceGap is the adjacent-range merge threshold used by
+	// FanGet when fanning requests through this store. 0 means
+	// DefaultCoalesceGap; negative disables coalescing.
+	CoalesceGap int64
+}
+
+// CachedStore wraps a Store with a concurrency-safe, size-bounded LRU
+// read cache keyed on (key, offset, length), plus singleflight
+// coalescing of concurrent identical reads.
+//
+// The wrapper exploits the lake's immutability invariant: objects are
+// written once and never overwritten — data files, deletion vectors,
+// and index files all get fresh crypto-random names, and log records
+// commit with PutIfAbsent — so a cached range can only go stale by
+// deletion, and invalidation is delete-only. Writes and deletes
+// through the wrapper invalidate the key's entries as belt and
+// braces.
+//
+// Virtual-time accounting: a cache hit bypasses the wrapped store
+// entirely, so an Instrumented store underneath charges it zero
+// latency — the simtime model sees exactly the requests that would
+// hit S3. A singleflight follower still rides an in-flight GET, so it
+// is charged the full modelled GET latency (conservative: it may join
+// partway through) while saving the request itself.
+//
+// Callers must treat returned byte slices as read-only: hits alias
+// the cached buffer.
+type CachedStore struct {
+	inner       Store
+	model       *LatencyModel // latency model of the wrapped chain, if instrumented
+	maxBytes    int64
+	coalesceGap int64
+
+	flights flightGroup
+
+	hits, misses, bytesSaved   atomic.Int64
+	evictions, coalesced       atomic.Int64
+	upstreamGets, upstreamByts atomic.Int64
+
+	mu    sync.Mutex
+	lru   *list.List               // front = most recently used
+	items map[string]*list.Element // composite range key -> element
+	byObj map[string]map[string]*list.Element
+	bytes int64
+}
+
+type cacheEntry struct {
+	ckey   string // composite (key, offset, length) cache key
+	objKey string // object key, for delete-time invalidation
+	data   []byte
+}
+
+// NewCachedStore wraps inner with a read cache. If inner (or a store
+// it wraps) is an Instrumented store, its latency model is used to
+// charge singleflight followers.
+func NewCachedStore(inner Store, opts CacheOptions) *CachedStore {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	gap := opts.CoalesceGap
+	if gap == 0 {
+		gap = DefaultCoalesceGap
+	}
+	c := &CachedStore{
+		inner:       inner,
+		maxBytes:    maxBytes,
+		coalesceGap: gap,
+		lru:         list.New(),
+		items:       make(map[string]*list.Element),
+		byObj:       make(map[string]map[string]*list.Element),
+	}
+	if inst := FindInstrumented(inner); inst != nil {
+		m := inst.Model()
+		c.model = &m
+	}
+	return c
+}
+
+// Inner returns the wrapped store.
+func (c *CachedStore) Inner() Store { return c.inner }
+
+// CoalesceGap returns the adjacent-range merge threshold in bytes
+// (negative means coalescing is disabled). FanGet consults it.
+func (c *CachedStore) CoalesceGap() int64 { return c.coalesceGap }
+
+// Stats returns a snapshot of the cache counters.
+func (c *CachedStore) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		BytesSaved:    c.bytesSaved.Load(),
+		Evictions:     c.evictions.Load(),
+		CoalescedGets: c.coalesced.Load(),
+		UpstreamGets:  c.upstreamGets.Load(),
+		UpstreamBytes: c.upstreamByts.Load(),
+	}
+}
+
+// Flush drops every cached entry (counters are kept).
+func (c *CachedStore) Flush() {
+	c.mu.Lock()
+	c.lru.Init()
+	c.items = make(map[string]*list.Element)
+	c.byObj = make(map[string]map[string]*list.Element)
+	c.bytes = 0
+	c.mu.Unlock()
+}
+
+func cacheKey(key string, offset, length int64) string {
+	return fmt.Sprintf("%s\x00%d\x00%d", key, offset, length)
+}
+
+// lookup returns the cached bytes for the composite key, promoting
+// the entry to most-recently-used.
+func (c *CachedStore) lookup(ckey string) ([]byte, bool) {
+	c.mu.Lock()
+	elem, ok := c.items[ckey]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(elem)
+	data := elem.Value.(*cacheEntry).data
+	c.mu.Unlock()
+	return data, true
+}
+
+// insert stores data under the composite key, evicting LRU entries to
+// stay within the byte budget. Entries larger than a quarter of the
+// budget are not cached (one oversized read must not wipe the cache).
+func (c *CachedStore) insert(objKey, ckey string, data []byte) {
+	size := int64(len(data))
+	if size > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[ckey]; ok {
+		return // raced with another inserter; keep the resident copy
+	}
+	elem := c.lru.PushFront(&cacheEntry{ckey: ckey, objKey: objKey, data: data})
+	c.items[ckey] = elem
+	ranges := c.byObj[objKey]
+	if ranges == nil {
+		ranges = make(map[string]*list.Element)
+		c.byObj[objKey] = ranges
+	}
+	ranges[ckey] = elem
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *CachedStore) removeLocked(elem *list.Element) {
+	e := elem.Value.(*cacheEntry)
+	c.lru.Remove(elem)
+	delete(c.items, e.ckey)
+	if ranges := c.byObj[e.objKey]; ranges != nil {
+		delete(ranges, e.ckey)
+		if len(ranges) == 0 {
+			delete(c.byObj, e.objKey)
+		}
+	}
+	c.bytes -= int64(len(e.data))
+}
+
+// invalidate drops every cached range of the object key.
+func (c *CachedStore) invalidate(objKey string) {
+	c.mu.Lock()
+	for _, elem := range c.byObj[objKey] {
+		c.removeLocked(elem)
+	}
+	c.mu.Unlock()
+}
+
+// cachedGet is the shared hit/singleflight/fill path of Get and
+// GetRange.
+func (c *CachedStore) cachedGet(ctx context.Context, key, ckey string, fetch func() ([]byte, error)) ([]byte, error) {
+	if data, ok := c.lookup(ckey); ok {
+		c.hits.Add(1)
+		c.bytesSaved.Add(int64(len(data)))
+		return data, nil
+	}
+	data, err, shared := c.flights.Do(ckey, func() ([]byte, error) {
+		d, err := fetch()
+		if err != nil {
+			return nil, err
+		}
+		c.upstreamGets.Add(1)
+		c.upstreamByts.Add(int64(len(d)))
+		c.insert(key, ckey, d)
+		return d, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		// The follower saved a request but still waited for the
+		// leader's in-flight GET; charge the full modelled latency.
+		c.coalesced.Add(1)
+		if c.model != nil {
+			simtime.Charge(ctx, c.model.GetLatency(int64(len(data))))
+		}
+	} else {
+		c.misses.Add(1)
+	}
+	return data, nil
+}
+
+// Get implements Store.
+func (c *CachedStore) Get(ctx context.Context, key string) ([]byte, error) {
+	return c.cachedGet(ctx, key, cacheKey(key, 0, -1), func() ([]byte, error) {
+		return c.inner.Get(ctx, key)
+	})
+}
+
+// GetRange implements Store.
+func (c *CachedStore) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	return c.cachedGet(ctx, key, cacheKey(key, offset, length), func() ([]byte, error) {
+		return c.inner.GetRange(ctx, key, offset, length)
+	})
+}
+
+// Put implements Store, invalidating any cached ranges of the key.
+func (c *CachedStore) Put(ctx context.Context, key string, data []byte) error {
+	if err := c.inner.Put(ctx, key, data); err != nil {
+		return err
+	}
+	c.invalidate(key)
+	return nil
+}
+
+// PutIfAbsent implements Store. A successful conditional create means
+// the key did not exist, so nothing can be cached under it; no
+// invalidation is needed.
+func (c *CachedStore) PutIfAbsent(ctx context.Context, key string, data []byte) error {
+	return c.inner.PutIfAbsent(ctx, key, data)
+}
+
+// Head implements Store. Metadata is never cached: vacuum's existence
+// checks and age reads must observe the store's truth.
+func (c *CachedStore) Head(ctx context.Context, key string) (ObjectInfo, error) {
+	return c.inner.Head(ctx, key)
+}
+
+// List implements Store. Listings are never cached (new objects must
+// become visible immediately for read-after-write consistency).
+func (c *CachedStore) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	return c.inner.List(ctx, prefix)
+}
+
+// Delete implements Store, invalidating the key's cached ranges —
+// the only invalidation the immutability invariant requires.
+func (c *CachedStore) Delete(ctx context.Context, key string) error {
+	if err := c.inner.Delete(ctx, key); err != nil {
+		return err
+	}
+	c.invalidate(key)
+	return nil
+}
+
+// InnerStore is implemented by store wrappers that expose the store
+// they wrap.
+type InnerStore interface{ Inner() Store }
+
+// FindInstrumented walks a chain of store wrappers and returns the
+// first Instrumented store found, or nil.
+func FindInstrumented(s Store) *Instrumented {
+	for s != nil {
+		if inst, ok := s.(*Instrumented); ok {
+			return inst
+		}
+		w, ok := s.(InnerStore)
+		if !ok {
+			return nil
+		}
+		s = w.Inner()
+	}
+	return nil
+}
+
+// FindCached walks a chain of store wrappers and returns the first
+// CachedStore found, or nil.
+func FindCached(s Store) *CachedStore {
+	for s != nil {
+		if c, ok := s.(*CachedStore); ok {
+			return c
+		}
+		w, ok := s.(InnerStore)
+		if !ok {
+			return nil
+		}
+		s = w.Inner()
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+package objectstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+func newCachedWorld(t *testing.T, opts CacheOptions) (*CachedStore, *Metrics, *MemStore) {
+	t.Helper()
+	mem := NewMemStore(simtime.NewVirtualClock())
+	inst, metrics := Instrument(mem, DefaultS3Model())
+	return NewCachedStore(inst, opts), metrics, mem
+}
+
+func TestCachedStoreHitSkipsStoreAndLatency(t *testing.T) {
+	ctx := context.Background()
+	cached, metrics, _ := newCachedWorld(t, CacheOptions{})
+	if err := cached.Put(ctx, "a", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+
+	session := simtime.NewSession()
+	sctx := simtime.With(ctx, session)
+	got, err := cached.GetRange(sctx, "a", 0, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("cold read = %q, %v", got, err)
+	}
+	coldLatency := session.Elapsed()
+	if coldLatency == 0 {
+		t.Fatal("cold read charged no latency")
+	}
+	coldGets := metrics.Gets.Load()
+
+	session2 := simtime.NewSession()
+	got, err = cached.GetRange(simtime.With(ctx, session2), "a", 0, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("warm read = %q, %v", got, err)
+	}
+	if session2.Elapsed() != 0 {
+		t.Fatalf("cache hit charged %v, want zero store latency", session2.Elapsed())
+	}
+	if metrics.Gets.Load() != coldGets {
+		t.Fatalf("cache hit issued a GET (%d -> %d)", coldGets, metrics.Gets.Load())
+	}
+	st := cached.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.BytesSaved != 5 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 5 bytes saved", st)
+	}
+}
+
+func TestCachedStoreKeyedByRange(t *testing.T) {
+	ctx := context.Background()
+	cached, _, _ := newCachedWorld(t, CacheOptions{})
+	if err := cached.Put(ctx, "a", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := cached.GetRange(ctx, "a", 0, 4)
+	second, _ := cached.GetRange(ctx, "a", 4, 4)
+	if string(first) != "0123" || string(second) != "4567" {
+		t.Fatalf("got %q / %q", first, second)
+	}
+	if st := cached.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("distinct ranges must be distinct entries: %+v", st)
+	}
+	// Suffix range and full Get are their own entries too.
+	if got, err := cached.GetRange(ctx, "a", -3, 0); err != nil || string(got) != "789" {
+		t.Fatalf("suffix = %q, %v", got, err)
+	}
+	if got, err := cached.Get(ctx, "a"); err != nil || string(got) != "0123456789" {
+		t.Fatalf("full = %q, %v", got, err)
+	}
+	if got, err := cached.GetRange(ctx, "a", -3, 0); err != nil || string(got) != "789" {
+		t.Fatalf("suffix rehit = %q, %v", got, err)
+	}
+	if st := cached.Stats(); st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("stats = %+v, want 1 hit / 4 misses", st)
+	}
+}
+
+func TestCachedStoreLRUEviction(t *testing.T) {
+	ctx := context.Background()
+	// Budget of 1000 bytes with 250-byte objects: the cache holds
+	// four; the fifth insert evicts the least recently used.
+	cached, _, _ := newCachedWorld(t, CacheOptions{MaxBytes: 1000})
+	payload := bytes.Repeat([]byte("x"), 250)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("obj-%d", i)
+		if err := cached.Put(ctx, key, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cached.Get(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cached.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// obj-0 was evicted; obj-4 is resident.
+	if _, err := cached.Get(ctx, "obj-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Get(ctx, "obj-4"); err != nil {
+		t.Fatal(err)
+	}
+	st = cached.Stats()
+	if st.Hits != 1 || st.Misses != 6 {
+		t.Fatalf("stats = %+v, want obj-0 re-miss and obj-4 hit", st)
+	}
+}
+
+func TestCachedStoreOversizedEntryNotCached(t *testing.T) {
+	ctx := context.Background()
+	cached, _, _ := newCachedWorld(t, CacheOptions{MaxBytes: 1024})
+	big := bytes.Repeat([]byte("y"), 600) // > 1024/4
+	if err := cached.Put(ctx, "big", big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if got, err := cached.Get(ctx, "big"); err != nil || len(got) != 600 {
+			t.Fatalf("read %d = %d bytes, %v", i, len(got), err)
+		}
+	}
+	if st := cached.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("oversized entry was cached: %+v", st)
+	}
+}
+
+func TestCachedStoreDeleteInvalidates(t *testing.T) {
+	ctx := context.Background()
+	cached, _, _ := newCachedWorld(t, CacheOptions{})
+	if err := cached.Put(ctx, "a", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.GetRange(ctx, "a", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// All ranges of the key are gone: reads must see the store's
+	// truth (NotFound), not cached bytes.
+	if _, err := cached.Get(ctx, "a"); err != ErrNotFound {
+		t.Fatalf("read after delete = %v, want ErrNotFound", err)
+	}
+	if _, err := cached.GetRange(ctx, "a", 0, 3); err != ErrNotFound {
+		t.Fatalf("range read after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCachedStorePutInvalidates(t *testing.T) {
+	ctx := context.Background()
+	cached, _, _ := newCachedWorld(t, CacheOptions{})
+	if err := cached.Put(ctx, "a", []byte("old-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cached.GetRange(ctx, "a", 0, 3); string(got) != "old" {
+		t.Fatalf("got %q", got)
+	}
+	// The lake never overwrites, but the wrapper still invalidates if
+	// someone does.
+	if err := cached.Put(ctx, "a", []byte("new-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cached.GetRange(ctx, "a", 0, 3); string(got) != "new" {
+		t.Fatalf("stale read after overwrite: %q", got)
+	}
+}
+
+// blockingStore delays GetRange until released, to hold reads
+// in flight.
+type blockingStore struct {
+	Store
+	mu      sync.Mutex
+	gets    int
+	release chan struct{}
+}
+
+func (b *blockingStore) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	b.mu.Lock()
+	b.gets++
+	b.mu.Unlock()
+	<-b.release
+	return b.Store.GetRange(ctx, key, offset, length)
+}
+
+func (b *blockingStore) Get(ctx context.Context, key string) ([]byte, error) {
+	return b.GetRange(ctx, key, 0, -1)
+}
+
+func TestCachedStoreSingleflight(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemStore(simtime.NewVirtualClock())
+	if err := mem.Put(ctx, "a", []byte("shared-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	blocking := &blockingStore{Store: mem, release: make(chan struct{})}
+	cached := NewCachedStore(blocking, CacheOptions{})
+
+	const readers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, readers)
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = cached.GetRange(ctx, "a", 0, 6)
+		}(i)
+	}
+	// Let every reader reach the flight, then release the one
+	// upstream GET.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := cached.Stats()
+		blocking.mu.Lock()
+		started := blocking.gets
+		blocking.mu.Unlock()
+		if started == 1 && st.CoalescedGets+1 >= 1 {
+			// One leader in flight. Give followers a moment to park.
+			time.Sleep(10 * time.Millisecond)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never reached the store (gets=%d)", started)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(blocking.release)
+	wg.Wait()
+
+	for i := 0; i < readers; i++ {
+		if errs[i] != nil || string(results[i]) != "shared" {
+			t.Fatalf("reader %d = %q, %v", i, results[i], errs[i])
+		}
+	}
+	blocking.mu.Lock()
+	upstream := blocking.gets
+	blocking.mu.Unlock()
+	if upstream != 1 {
+		t.Fatalf("upstream GETs = %d, want 1 (singleflight)", upstream)
+	}
+	st := cached.Stats()
+	if st.Misses+st.CoalescedGets+st.Hits != readers {
+		t.Fatalf("stats don't account for all readers: %+v", st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 leader", st.Misses)
+	}
+}
+
+func TestFanGetCoalescesAdjacentRanges(t *testing.T) {
+	ctx := context.Background()
+	cached, metrics, _ := newCachedWorld(t, CacheOptions{CoalesceGap: 16})
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := cached.Put(ctx, "obj", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cached.Put(ctx, "other", data); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []RangeRequest{
+		{Key: "obj", Offset: 0, Length: 100},   // |
+		{Key: "obj", Offset: 110, Length: 50},  // | gap 10 <= 16: merge
+		{Key: "obj", Offset: 500, Length: 100}, // gap 340: separate
+		{Key: "other", Offset: 20, Length: 30}, // different key
+		{Key: "obj", Offset: 160, Length: 40},  // adjacent to second: merge
+		{Key: "obj", Offset: -24, Length: 0},   // suffix: never merged
+	}
+	before := metrics.Gets.Load()
+	session := simtime.NewSession()
+	got, err := FanGet(simtime.With(ctx, session), cached, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		var want []byte
+		if r.Offset < 0 {
+			want = data[len(data)+int(r.Offset):]
+		} else {
+			want = data[r.Offset : r.Offset+r.Length]
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("req %d: got %d bytes, want %d (first diff at content)", i, len(got[i]), len(want))
+		}
+	}
+	// 6 requests collapse into 4 GETs: [0,200) merged, [500,600),
+	// other, suffix.
+	if gets := metrics.Gets.Load() - before; gets != 4 {
+		t.Fatalf("issued %d GETs, want 4", gets)
+	}
+}
+
+func TestFanGetCoalescingDisabledWithoutCache(t *testing.T) {
+	ctx := context.Background()
+	mem := NewMemStore(simtime.NewVirtualClock())
+	inst, metrics := Instrument(mem, DefaultS3Model())
+	if err := inst.Put(ctx, "obj", bytes.Repeat([]byte("z"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	before := metrics.Gets.Load()
+	reqs := []RangeRequest{
+		{Key: "obj", Offset: 0, Length: 10},
+		{Key: "obj", Offset: 10, Length: 10},
+	}
+	if _, err := FanGet(ctx, inst, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if gets := metrics.Gets.Load() - before; gets != 2 {
+		t.Fatalf("uncached FanGet issued %d GETs, want 2 (no coalescing)", gets)
+	}
+}
+
+func TestCoalesceRangesMapping(t *testing.T) {
+	reqs := []RangeRequest{
+		{Key: "k", Offset: 100, Length: 10},
+		{Key: "k", Offset: 100, Length: 10}, // duplicate
+		{Key: "k", Offset: 105, Length: 20}, // overlap
+		{Key: "k", Offset: 300, Length: 5},
+	}
+	issued, refs := coalesceRanges(reqs, 8)
+	if len(issued) != 2 {
+		t.Fatalf("issued = %v, want 2 merged requests", issued)
+	}
+	if issued[0].Offset != 100 || issued[0].Length != 25 {
+		t.Fatalf("merged = %+v, want [100,125)", issued[0])
+	}
+	for i, r := range reqs[:3] {
+		if refs[i].issued != 0 || refs[i].off != r.Offset-100 || refs[i].length != r.Length {
+			t.Fatalf("ref %d = %+v", i, refs[i])
+		}
+	}
+	if refs[3].issued != 1 || refs[3].off != 0 {
+		t.Fatalf("ref 3 = %+v", refs[3])
+	}
+}
+
+func TestCachedStoreConcurrentMixedOps(t *testing.T) {
+	// Race-detector workout: concurrent reads, writes, deletes, and
+	// flushes over a small keyspace.
+	ctx := context.Background()
+	cached, _, _ := newCachedWorld(t, CacheOptions{MaxBytes: 4096})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%5)
+				switch i % 5 {
+				case 0:
+					_ = cached.Put(ctx, key, bytes.Repeat([]byte{byte(i)}, 64))
+				case 1, 2:
+					_, _ = cached.GetRange(ctx, key, 0, 16)
+				case 3:
+					_ = cached.Delete(ctx, key)
+				default:
+					if i%40 == 4 {
+						cached.Flush()
+					}
+					_, _ = cached.Get(ctx, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package objectstore
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -154,6 +155,9 @@ func (s *Instrumented) Inner() Store { return s.inner }
 // Model returns the latency model in effect.
 func (s *Instrumented) Model() LatencyModel { return s.model }
 
+// Metrics returns the wrapper's shared counters.
+func (s *Instrumented) Metrics() *Metrics { return s.metrics }
+
 // Put implements Store.
 func (s *Instrumented) Put(ctx context.Context, key string, data []byte) error {
 	simtime.Charge(ctx, s.model.PutLatency(int64(len(data))))
@@ -219,37 +223,51 @@ type RangeRequest struct {
 
 // FanGet fetches every requested range concurrently and returns the
 // results in request order. Virtual time advances by the slowest
-// request in the fan plus, when the store is an Instrumented store
-// with a per-prefix RPS cap, the queueing delay of pushing len(reqs)
-// requests through that cap — the throughput effect discussed in
-// Section VII-D3 of the paper. The first error encountered is
-// returned, with results for the remaining requests still populated
-// where available.
+// request in the fan plus, when the store chain contains an
+// Instrumented store with a per-prefix RPS cap, the queueing delay of
+// pushing the issued requests through that cap — the throughput
+// effect discussed in Section VII-D3 of the paper.
+//
+// When the store chain contains a CachedStore with a non-negative
+// coalesce gap, adjacent ranges of the same object whose gap is at
+// most that threshold are merged into one ranged GET and sliced back
+// afterwards: below the latency model's flat window extra bytes are
+// nearly free, while every merged request saves a full TTFB and a
+// unit of the per-prefix RPS budget.
+//
+// The first error encountered is returned, with results for the
+// remaining requests still populated where available.
 func FanGet(ctx context.Context, store Store, reqs []RangeRequest) ([][]byte, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	gap := int64(-1)
+	if c := FindCached(store); c != nil {
+		gap = c.CoalesceGap()
+	}
+	issued, refs := coalesceRanges(reqs, gap)
+
 	session := simtime.From(ctx)
-	results := make([][]byte, len(reqs))
-	errs := make([]error, len(reqs))
+	fetched := make([][]byte, len(issued))
+	errs := make([]error, len(issued))
 
 	run := func(i int, branch *simtime.Session) {
 		bctx := ctx
 		if branch != nil {
 			bctx = simtime.With(ctx, branch)
 		}
-		results[i], errs[i] = store.GetRange(bctx, reqs[i].Key, reqs[i].Offset, reqs[i].Length)
+		fetched[i], errs[i] = store.GetRange(bctx, issued[i].Key, issued[i].Offset, issued[i].Length)
 	}
 
 	if session != nil {
-		session.ParallelN(len(reqs), len(reqs), run)
-		if inst, ok := store.(*Instrumented); ok && inst.model.MaxGetRPSPerPrefix > 0 && len(reqs) > 1 {
-			queue := time.Duration(float64(len(reqs)) / inst.model.MaxGetRPSPerPrefix * float64(time.Second))
+		session.ParallelN(len(issued), len(issued), run)
+		if inst := FindInstrumented(store); inst != nil && inst.model.MaxGetRPSPerPrefix > 0 && len(issued) > 1 {
+			queue := time.Duration(float64(len(issued)) / inst.model.MaxGetRPSPerPrefix * float64(time.Second))
 			session.Add(queue)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for i := range reqs {
+		for i := range issued {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -258,10 +276,103 @@ func FanGet(ctx context.Context, store Store, reqs []RangeRequest) ([][]byte, er
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
-		if err != nil {
-			return results, err
+	results := make([][]byte, len(reqs))
+	var firstErr error
+	for i, ref := range refs {
+		if errs[ref.issued] != nil {
+			if firstErr == nil {
+				firstErr = errs[ref.issued]
+			}
+			continue
+		}
+		data := fetched[ref.issued]
+		if ref.direct {
+			results[i] = data
+			continue
+		}
+		// Slice the original request back out of the merged read,
+		// clamping at the object end the way the individual GetRange
+		// would have.
+		if ref.off >= int64(len(data)) {
+			results[i] = nil
+			continue
+		}
+		end := ref.off + ref.length
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		results[i] = data[ref.off:end]
+	}
+	return results, firstErr
+}
+
+// sliceRef maps one original fan request onto the issued request that
+// carries its bytes.
+type sliceRef struct {
+	issued int
+	// direct passes the issued result through unsliced (the request
+	// was not merged).
+	direct bool
+	// off/length locate the original range within the merged read.
+	off, length int64
+}
+
+// coalesceRanges merges same-key requests whose byte gap is at most
+// gap into single ranged GETs. Requests with suffix or to-end ranges
+// (negative offset or length) are never merged. A negative gap
+// disables merging entirely. Overlapping and duplicate ranges also
+// collapse into one request.
+func coalesceRanges(reqs []RangeRequest, gap int64) ([]RangeRequest, []sliceRef) {
+	refs := make([]sliceRef, len(reqs))
+	if gap < 0 {
+		out := make([]RangeRequest, len(reqs))
+		copy(out, reqs)
+		for i := range refs {
+			refs[i] = sliceRef{issued: i, direct: true}
+		}
+		return out, refs
+	}
+	// Indices of mergeable requests per key, insertion-ordered keys.
+	byKey := make(map[string][]int)
+	var keys []string
+	var issued []RangeRequest
+	for i, r := range reqs {
+		if r.Offset < 0 || r.Length < 0 {
+			refs[i] = sliceRef{issued: len(issued), direct: true}
+			issued = append(issued, r)
+			continue
+		}
+		if _, ok := byKey[r.Key]; !ok {
+			keys = append(keys, r.Key)
+		}
+		byKey[r.Key] = append(byKey[r.Key], i)
+	}
+	for _, key := range keys {
+		idxs := byKey[key]
+		sort.Slice(idxs, func(a, b int) bool {
+			ra, rb := reqs[idxs[a]], reqs[idxs[b]]
+			if ra.Offset != rb.Offset {
+				return ra.Offset < rb.Offset
+			}
+			return ra.Length < rb.Length
+		})
+		for run := 0; run < len(idxs); {
+			start := reqs[idxs[run]].Offset
+			end := start + reqs[idxs[run]].Length
+			next := run + 1
+			for next < len(idxs) && reqs[idxs[next]].Offset <= end+gap {
+				if e := reqs[idxs[next]].Offset + reqs[idxs[next]].Length; e > end {
+					end = e
+				}
+				next++
+			}
+			mi := len(issued)
+			issued = append(issued, RangeRequest{Key: key, Offset: start, Length: end - start})
+			for _, i := range idxs[run:next] {
+				refs[i] = sliceRef{issued: mi, off: reqs[i].Offset - start, length: reqs[i].Length}
+			}
+			run = next
 		}
 	}
-	return results, nil
+	return issued, refs
 }

@@ -1,0 +1,52 @@
+package objectstore
+
+import "sync"
+
+// flightGroup is a minimal, stdlib-only request coalescer in the style
+// of golang.org/x/sync/singleflight (which this repo cannot depend
+// on): concurrent Do calls with the same key share one execution of
+// fn. The cache wrapper uses it so N concurrent searches probing the
+// same component tail or Parquet footer issue exactly one upstream
+// GET.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do executes fn for key, unless another goroutine is already
+// executing it, in which case the caller blocks until the in-flight
+// execution finishes and receives its result. shared reports whether
+// this caller received the result of another caller's execution.
+//
+// Results are not memoized past the in-flight window: once the leader
+// returns, the next Do for the same key executes fn again. Durable
+// reuse is the cache's job, not the flight group's.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

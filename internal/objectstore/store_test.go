@@ -107,10 +107,10 @@ func TestStoreGetRange(t *testing.T) {
 				{3, 4, "3456"},
 				{0, -1, "0123456789"},
 				{5, -1, "56789"},
-				{-3, 0, "789"},   // suffix range
+				{-3, 0, "789"},          // suffix range
 				{-100, 0, "0123456789"}, // suffix larger than object
-				{8, 100, "89"},   // clipped tail
-				{10, 5, ""},      // empty at end
+				{8, 100, "89"},          // clipped tail
+				{10, 5, ""},             // empty at end
 			}
 			for _, tc := range cases {
 				got, err := s.GetRange(ctx, "k", tc.off, tc.n)

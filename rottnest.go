@@ -157,6 +157,10 @@ type (
 	LatencyModel = objectstore.LatencyModel
 	// StoreMetrics meters requests and bytes.
 	StoreMetrics = objectstore.Metrics
+	// CacheOptions tune a cached store (byte budget, coalesce gap).
+	CacheOptions = objectstore.CacheOptions
+	// CacheStats snapshots read-cache counters.
+	CacheStats = objectstore.CacheStats
 )
 
 // Clock abstracts time for simulation; see NewVirtualClock.
@@ -172,13 +176,25 @@ func NewMemStore() *objectstore.MemStore {
 }
 
 // NewSimulatedStore returns an in-memory object store stamped by a
-// fresh virtual clock and wrapped in the paper's S3 latency model.
-// Operations run inside a Session (see WithSession) accumulate
-// virtual latency; the returned metrics meter requests and bytes.
+// fresh virtual clock, wrapped in the paper's S3 latency model and a
+// shared read cache. Operations run inside a Session (see
+// WithSession) accumulate virtual latency; cache hits are free (zero
+// latency, zero requests). The returned metrics meter the requests
+// and bytes that actually reach the simulated store. A client built
+// over a table on this store joins the same cache (see Config's
+// CacheBytes), so lake snapshot reads are accelerated too.
 func NewSimulatedStore() (Store, *simtime.VirtualClock, *StoreMetrics) {
 	clock := simtime.NewVirtualClock()
-	store, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
-	return store, clock, metrics
+	inst, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	return NewCachedStore(inst, CacheOptions{}), clock, metrics
+}
+
+// NewCachedStore layers a size-bounded LRU read cache with
+// singleflight and adjacent-range GET coalescing over a store. Safe
+// for immutable-object workloads like Rottnest's lake and index files
+// (stale entries only arise from deletion, which invalidates).
+func NewCachedStore(inner Store, opts CacheOptions) *objectstore.CachedStore {
+	return objectstore.NewCachedStore(inner, opts)
 }
 
 // NewDirStore returns an object store backed by a local directory, so
