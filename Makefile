@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-cache
+.PHONY: build test check fuzz-smoke bench-cache
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,26 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the PR gate: vet, formatting, and the race detector over the
-# packages with real concurrency (protocol core and the object store).
+# check is the PR gate: vet, formatting, the race detector over every
+# package, and a short fuzz pass over the byte-level decoders. The
+# experiment shape tests in internal/bench skip themselves under -race
+# (their latency thresholds mix in real wall-clock CPU time, which
+# race instrumentation inflates), so they get a separate plain run.
 check:
 	$(GO) vet ./...
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
-	$(GO) test -race ./internal/core/... ./internal/objectstore/...
+	$(GO) test -race ./...
+	$(GO) test ./internal/bench/
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
+# one -fuzz pattern per package invocation): corrupted bytes must
+# error, never panic.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzTrieNodeDecode -fuzztime=10s ./internal/trie/
+	$(GO) test -fuzz=FuzzPageDecode -fuzztime=10s ./internal/parquet/
+	$(GO) test -fuzz=FuzzFMIndexOpen -fuzztime=10s ./internal/fmindex/
 
 # bench-cache records the read-cache warm-vs-cold experiment.
 bench-cache:

@@ -143,3 +143,13 @@ func BenchmarkSearchCacheWarm(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchUnderFaults measures the retry layer's latency
+// overhead when a seeded fault storm hits the search path.
+func BenchmarkSearchUnderFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Chaos(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -66,6 +66,9 @@ var experiments = []struct {
 	{"cache", "read cache warm-vs-cold: repeated query latency and GET footprint", func(o bench.Options) (any, error) {
 		return bench.CacheWarmth(o)
 	}},
+	{"chaos", "search latency overhead under a fault storm with retries on", func(o bench.Options) (any, error) {
+		return bench.Chaos(o)
+	}},
 }
 
 func main() {

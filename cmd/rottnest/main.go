@@ -91,6 +91,7 @@ type common struct {
 	storeDir *string
 	table    *string
 	indexDir *string
+	retries  *bool
 }
 
 func newCommon(name string) *common {
@@ -100,6 +101,7 @@ func newCommon(name string) *common {
 		storeDir: fs.String("store", "", "store directory (required)"),
 		table:    fs.String("table", "lake", "table key prefix"),
 		indexDir: fs.String("index-dir", "", "index key prefix (default <table>-index)"),
+		retries:  fs.Bool("retries", false, "retry transient store failures with bounded backoff"),
 	}
 }
 
@@ -125,7 +127,10 @@ func (c *common) open(ctx context.Context) (rottnest.Store, *rottnest.Table, *ro
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	client := rottnest.NewClient(table, rottnest.Config{IndexDir: *c.indexDir})
+	client := rottnest.NewClient(table, rottnest.Config{
+		IndexDir: *c.indexDir,
+		Retry:    rottnest.RetryPolicy{Enabled: *c.retries},
+	})
 	return store, table, client, nil
 }
 
@@ -375,6 +380,9 @@ func cmdSearch(args []string) error {
 	fmt.Printf("reads: %d GETs, %.1f KB (cache: %d hits, %d misses, %.1f KB saved)\n",
 		res.Stats.GETs, float64(res.Stats.BytesRead)/1e3,
 		res.Stats.CacheHits, res.Stats.CacheMisses, float64(res.Stats.CacheBytesSaved)/1e3)
+	if res.Stats.Retries > 0 {
+		fmt.Printf("retries: %d (%d throttle waits)\n", res.Stats.Retries, res.Stats.ThrottleWaits)
+	}
 	for i, m := range res.Matches {
 		val := m.Value
 		if len(val) > 80 {

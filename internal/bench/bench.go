@@ -70,11 +70,18 @@ type world struct {
 	client  *core.Client
 }
 
-func newWorld(schema *parquet.Schema, cfg core.Config) (*world, error) {
+// newWorld builds a deployment. Optional wraps are applied to the
+// store chain above the instrumented layer (and below any cache), so
+// experiments can interpose fault injection or retry layers that both
+// the lake and the client traverse.
+func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore.Store) objectstore.Store) (*world, error) {
 	ctx := context.Background()
 	clock := simtime.NewVirtualClock()
 	inst, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
 	var store objectstore.Store = inst
+	for _, wrap := range wraps {
+		store = wrap(store)
+	}
 	// When an experiment asks for a warm deployment, share one cache
 	// between the lake and the client (NewClient joins it via
 	// FindCached), so snapshot log reads are accelerated too.
@@ -167,9 +174,9 @@ var uuidSchema = parquet.MustSchema(
 	parquet.Column{Name: "id", Type: parquet.TypeFixedLenByteArray, TypeLen: 16},
 )
 
-func newUUIDWorld(seed int64, batches, rowsPerBatch int, cfg core.Config) (*uuidWorld, error) {
+func newUUIDWorld(seed int64, batches, rowsPerBatch int, cfg core.Config, wraps ...func(objectstore.Store) objectstore.Store) (*uuidWorld, error) {
 	ctx := context.Background()
-	w, err := newWorld(uuidSchema, cfg)
+	w, err := newWorld(uuidSchema, cfg, wraps...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// experiment shape tests skip under it: experiments charge a mix of
+// virtual store latency and real wall-clock CPU time (page decode,
+// k-means), and race instrumentation inflates the real component far
+// past the shape thresholds.
+const raceEnabled = true

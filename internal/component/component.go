@@ -200,6 +200,11 @@ func Open(ctx context.Context, store objectstore.Store, key string, opts OpenOpt
 			return nil, fmt.Errorf("component: open %s directory: %w", key, err)
 		}
 	}
+	// A corrupt dirLen can exceed the whole file (suffix reads clamp at
+	// the start) or claim an empty directory with no kind byte.
+	if dirLen < 1 || dirLen+trailerLen > len(tail) {
+		return nil, fmt.Errorf("component: %s: corrupt directory length %d", key, dirLen)
+	}
 	dirBytes := tail[len(tail)-trailerLen-dirLen : len(tail)-trailerLen]
 	kind := Kind(dirBytes[dirLen-1])
 	dirBytes = dirBytes[:dirLen-1]

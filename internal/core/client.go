@@ -90,6 +90,13 @@ type Config struct {
 	// TTFB instead of two). 0 means the 128 KiB default; negative
 	// disables coalescing.
 	CoalesceGap int64
+	// Retry, when Enabled, layers bounded exponential-backoff retries
+	// (with read-back resolution of ambiguous conditional puts) under
+	// the client's read cache. Off by default: fault-free stores need
+	// no retries, and protocol tests inject faults expecting to see
+	// them surface. Ignored when the table's store already has a
+	// RetryStore in its chain — the client then shares it.
+	Retry objectstore.RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -119,10 +126,12 @@ type Client struct {
 	cfg   Config
 	meta  *meta.Table
 	// cache is the read cache on the client's store chain (nil when
-	// disabled); inst is the instrumented store underneath, if any.
-	// Both feed per-query request accounting in Stats.
+	// disabled); inst is the instrumented store underneath, if any;
+	// retry is the retry layer, if enabled. All three feed per-query
+	// request accounting in Stats.
 	cache *objectstore.CachedStore
 	inst  *objectstore.Instrumented
+	retry *objectstore.RetryStore
 }
 
 // NewClient returns a client over the table, storing its index under
@@ -139,6 +148,13 @@ func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
 	}
 	cfg = cfg.withDefaults()
 	store := table.Store()
+	// Retries sit under the cache: hits never pay the retry loop, and
+	// every upstream request (including metadata commits) is protected.
+	retry := objectstore.FindRetry(store)
+	if retry == nil && cfg.Retry.Enabled {
+		retry = objectstore.NewRetryStore(store, cfg.Retry)
+		store = retry
+	}
 	cache := objectstore.FindCached(store)
 	if cache == nil && cfg.CacheBytes >= 0 {
 		cache = objectstore.NewCachedStore(store, objectstore.CacheOptions{
@@ -155,6 +171,7 @@ func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
 		meta:  meta.New(store, clock, cfg.IndexDir+"_meta/"),
 		cache: cache,
 		inst:  objectstore.FindInstrumented(store),
+		retry: retry,
 	}
 }
 
@@ -171,6 +188,15 @@ func (c *Client) CacheStats() objectstore.CacheStats {
 		return objectstore.CacheStats{}
 	}
 	return c.cache.Stats()
+}
+
+// RetryStats returns cumulative retry counters, or a zero value when
+// retries are disabled.
+func (c *Client) RetryStats() objectstore.RetryStats {
+	if c.retry == nil {
+		return objectstore.RetryStats{}
+	}
+	return c.retry.Stats()
 }
 
 // indexFilePrefix is where index files live under IndexDir.

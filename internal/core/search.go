@@ -120,6 +120,12 @@ type Stats struct {
 	CacheHits       int64
 	CacheMisses     int64
 	CacheBytesSaved int64
+	// Retries and ThrottleWaits report the retry layer's recovery work
+	// during this search (zero when retries are disabled; see
+	// Config.Retry). Like GETs, the counters are store-global, so
+	// concurrent operations may bleed into each other's deltas.
+	Retries       int64
+	ThrottleWaits int64
 }
 
 // Result is a search outcome.
@@ -141,6 +147,9 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 	if kind == component.KindIVFPQ && q.K <= 0 {
 		return nil, fmt.Errorf("core: vector queries require K > 0")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	session := simtime.From(ctx)
 	startElapsed := session.Elapsed()
 	var startMetrics objectstore.Snapshot
@@ -150,6 +159,10 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 	var startCache objectstore.CacheStats
 	if c.cache != nil {
 		startCache = c.cache.Stats()
+	}
+	var startRetry objectstore.RetryStats
+	if c.retry != nil {
+		startRetry = c.retry.Stats()
 	}
 
 	// Plan. The lake snapshot and the metadata table are independent
@@ -254,6 +267,11 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		// store): meter requests at the cache boundary instead.
 		result.Stats.GETs = cacheDelta.UpstreamGets
 		result.Stats.BytesRead = cacheDelta.UpstreamBytes
+	}
+	if c.retry != nil {
+		r := c.retry.Stats().Sub(startRetry)
+		result.Stats.Retries = r.Retries
+		result.Stats.ThrottleWaits = r.ThrottleWaits
 	}
 	return result, nil
 }

@@ -242,6 +242,16 @@ func Open(ctx context.Context, r *component.Reader) (*Index, error) {
 	if ix.n < 0 || ix.blockSize <= 0 || ix.pmBlock <= 0 {
 		return nil, fmt.Errorf("fmindex: corrupt root geometry")
 	}
+	// Every BWT position must land in a checkpointed block, or occ
+	// would index past the checkpoint table.
+	if ix.n > 0 && (ix.n-1)/ix.blockSize+1 > ix.numBlocks {
+		return nil, fmt.Errorf("fmindex: root text length %d exceeds %d blocks of %d",
+			ix.n, ix.numBlocks, ix.blockSize)
+	}
+	if ix.n > 0 && (ix.n-1)/ix.pmBlock+1 > ix.numPMBlocks {
+		return nil, fmt.Errorf("fmindex: root text length %d exceeds %d page-map blocks of %d",
+			ix.n, ix.numPMBlocks, ix.pmBlock)
+	}
 	if numPages < 0 || numPages > len(root) {
 		return nil, fmt.Errorf("fmindex: root claims %d pages in %d bytes", numPages, len(root))
 	}
@@ -318,6 +328,11 @@ func (ix *Index) occ(ctx context.Context, c byte, i int64) (int64, error) {
 		return 0, err
 	}
 	within := i - int64(blk)*int64(ix.blockSize)
+	if within > int64(len(block)) {
+		// A corrupt file can ship a block shorter than the root's
+		// geometry claims; counting what exists keeps this total.
+		within = int64(len(block))
+	}
 	var count int64
 	for _, b := range block[:within] {
 		if b == c {

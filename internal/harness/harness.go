@@ -1,0 +1,727 @@
+// Package harness is Rottnest's differential correctness harness: it
+// runs seeded randomized workloads — ingest, search, index, compact,
+// vacuum, concurrently — against an object store with deterministic
+// fault injection (objectstore.FaultStore) and bounded-backoff
+// recovery (objectstore.RetryStore), and checks every indexed search
+// against the brute-force oracle (internal/bruteforce) scanning the
+// same bytes through a pristine, fault-free handle.
+//
+// The harness turns the paper's correctness argument (Section IV) into
+// an executable test. A run fails if any of these is violated:
+//
+//   - Differential equality: every exact search (K=0) at a pinned
+//     snapshot returns byte-for-byte the matches the oracle's full
+//     scan returns at that snapshot.
+//   - Monotone snapshots: the table version observed by any single
+//     worker never decreases.
+//   - No lost rows / no resurrection: after the storm quiesces, every
+//     live planted key is found exactly once, every deleted key not at
+//     all, and no lake-vacuumed file reappears in a snapshot.
+//   - Existence: every committed index file is present in the bucket,
+//     before and after maintenance physically deletes garbage.
+//
+// With retries enabled, injected faults must be absorbed (any
+// surfaced injected error fails the run); with retries disabled the
+// same faults surface, which the meta-tests assert — proving the
+// injection actually exercises the failure paths.
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sync"
+	"time"
+
+	"rottnest/internal/bruteforce"
+	"rottnest/internal/component"
+	"rottnest/internal/core"
+	"rottnest/internal/insitu"
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+	"rottnest/internal/workload"
+)
+
+// Mode selects the indexed column family a run exercises.
+type Mode int
+
+const (
+	// ModeUUID ingests 16-byte keys under a trie index and searches
+	// exact keys (live, deleted, and absent ones).
+	ModeUUID Mode = iota
+	// ModeText ingests Zipf documents with planted markers under an
+	// FM-index and searches substrings and regexes.
+	ModeText
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Seed drives every random decision of the run: the workload
+	// generators, each worker's op schedule, the fault profile rolls,
+	// and the retry jitter. Same options, same interleaving class.
+	Seed int64
+	// Mode selects the workload (default ModeUUID).
+	Mode Mode
+	// Workers is the number of concurrent workers (default 3).
+	Workers int
+	// OpsPerWorker is each worker's op count (default 20).
+	OpsPerWorker int
+	// Profile is the fault profile injected under the retry layer.
+	// The zero profile runs fault-free.
+	Profile objectstore.FaultProfile
+	// Retry is the recovery policy. With Enabled false the run uses
+	// the faulty store directly, so injected faults surface as op
+	// errors — the configuration the meta-tests use.
+	Retry objectstore.RetryPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 3
+	}
+	if o.OpsPerWorker <= 0 {
+		o.OpsPerWorker = 20
+	}
+	o.Profile.Seed = o.Seed
+	o.Retry.Seed = o.Seed
+	return o
+}
+
+// Summary reports what a run did, for meta-assertions ("did faults
+// actually fire?", "were searches actually compared?").
+type Summary struct {
+	// Appends, Deletes, and Maintenance count successful mutating ops.
+	Appends     int
+	Deletes     int
+	Maintenance int
+	// Searches counts differential searches; every one was compared
+	// byte-for-byte against the oracle.
+	Searches int
+	// MatchesCompared is the total number of matches both sides
+	// agreed on.
+	MatchesCompared int
+	// Faults is what the fault layer injected.
+	Faults objectstore.FaultCounts
+	// Retry is what the retry layer absorbed (zero when disabled).
+	Retry objectstore.RetryStats
+	// FinalVersion is the lake version after the final maintenance.
+	FinalVersion int64
+}
+
+// world is the shared state of one run.
+type world struct {
+	opts   Options
+	clock  *simtime.VirtualClock
+	base   *objectstore.MemStore
+	faulty *objectstore.FaultStore
+	retry  *objectstore.RetryStore // nil when disabled
+	table  *lake.Table
+	cli    *core.Client
+	oracle *bruteforce.Cluster
+
+	column string
+	kind   component.Kind
+	schema *parquet.Schema
+
+	mu      sync.Mutex
+	pins    map[int64]int
+	live    map[[16]byte]string // uuid mode: key -> insert path
+	deleted map[[16]byte]bool
+	needles []string // text mode: planted markers
+	uuidGen *workload.UUIDGen
+	textGen *workload.TextGen
+	removed map[string]bool // lake paths physically vacuumed
+
+	searches, compared, appends, deletes, maintenance int
+
+	// budget bounds total virtual-clock advance during the storm so
+	// no object ages past the index timeout mid-run (physical garbage
+	// collection is exercised in the quiescent final phase instead).
+	budget time.Duration
+}
+
+var uuidSchema = parquet.MustSchema(
+	parquet.Column{Name: "id", Type: parquet.TypeFixedLenByteArray, TypeLen: 16},
+	parquet.Column{Name: "payload", Type: parquet.TypeByteArray},
+)
+
+var textSchema = parquet.MustSchema(
+	parquet.Column{Name: "body", Type: parquet.TypeByteArray},
+)
+
+// Run executes one seeded workload and returns its summary. The error
+// is the first invariant violation or unabsorbed op failure; the
+// summary is valid (best-effort) even when err != nil.
+func Run(ctx context.Context, opts Options) (*Summary, error) {
+	opts = opts.withDefaults()
+	w := &world{
+		opts:    opts,
+		clock:   simtime.NewVirtualClock(),
+		pins:    make(map[int64]int),
+		live:    make(map[[16]byte]string),
+		deleted: make(map[[16]byte]bool),
+		removed: make(map[string]bool),
+		uuidGen: workload.NewUUIDGen(opts.Seed),
+		textGen: workload.NewTextGen(workload.DefaultTextConfig(opts.Seed)),
+		budget:  45 * time.Minute,
+	}
+	w.base = objectstore.NewMemStore(w.clock)
+	w.faulty = objectstore.NewFaultStoreWithProfile(w.base, opts.Profile)
+	var chain objectstore.Store = w.faulty
+	if opts.Retry.Enabled {
+		w.retry = objectstore.NewRetryStore(w.faulty, opts.Retry)
+		chain = w.retry
+	}
+
+	if opts.Mode == ModeText {
+		w.column, w.kind, w.schema = "body", component.KindFM, textSchema
+	} else {
+		w.column, w.kind, w.schema = "id", component.KindTrie, uuidSchema
+	}
+
+	err := w.run(ctx, chain)
+	sum := &Summary{
+		Appends:         w.appends,
+		Deletes:         w.deletes,
+		Maintenance:     w.maintenance,
+		Searches:        w.searches,
+		MatchesCompared: w.compared,
+		Faults:          w.faulty.Counts(),
+	}
+	if w.retry != nil {
+		sum.Retry = w.retry.Stats()
+	}
+	if w.table != nil {
+		if v, verr := w.table.Version(octx(ctx)); verr == nil {
+			sum.FinalVersion = v
+		}
+	}
+	return sum, err
+}
+
+// octx attaches a fresh simtime session so retry backoffs and latency
+// spikes cost virtual time, not wall time.
+func octx(ctx context.Context) context.Context {
+	return simtime.With(ctx, simtime.NewSession())
+}
+
+func (w *world) run(ctx context.Context, chain objectstore.Store) error {
+	table, err := lake.Create(octx(ctx), chain, w.clock, "lake", w.schema)
+	if err != nil {
+		return fmt.Errorf("harness: create lake: %w", err)
+	}
+	w.table = table
+	w.cli = core.NewClient(table, w.clock, core.Config{
+		IndexDir: "rottnest",
+		Timeout:  time.Hour,
+		// No read cache: every read must traverse the fault layer, so
+		// read-path recovery is exercised maximally.
+		CacheBytes: -1,
+		Retry:      w.opts.Retry,
+	})
+	// The oracle reads the same bytes through a pristine handle on the
+	// base store: ground truth is never subject to injected faults.
+	oracleTable, err := lake.Open(ctx, w.base, w.clock, "lake")
+	if err != nil {
+		return fmt.Errorf("harness: open oracle: %w", err)
+	}
+	w.oracle = bruteforce.NewCluster(oracleTable, bruteforce.ClusterConfig{Workers: 4})
+
+	// Seed data so early searches and indexes have something to chew.
+	seedRng := rand.New(rand.NewSource(w.opts.Seed))
+	for i := 0; i < 2; i++ {
+		if err := w.appendBatch(octx(ctx), seedRng); err != nil {
+			return err
+		}
+	}
+	if err := w.index(octx(ctx)); err != nil {
+		return err
+	}
+
+	// The storm: seeded workers interleaving every op type.
+	errs := make([]error, w.opts.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < w.opts.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.worker(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("harness: worker %d: %w", i, err)
+		}
+	}
+	return w.finale(ctx)
+}
+
+// worker runs one seeded op schedule.
+func (w *world) worker(ctx context.Context, id int) error {
+	rng := rand.New(rand.NewSource(w.opts.Seed*1000 + int64(id)))
+	lastVersion := int64(-1)
+	for i := 0; i < w.opts.OpsPerWorker; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		opCtx := octx(ctx)
+		var err error
+		switch pick := rng.Intn(13); {
+		case pick < 4:
+			lastVersion, err = w.searchDifferential(opCtx, rng, lastVersion)
+		case pick < 6:
+			err = w.appendBatch(opCtx, rng)
+		case pick < 8:
+			err = w.deleteOne(opCtx, rng)
+		case pick < 10:
+			err = w.index(opCtx)
+		case pick == 10:
+			err = w.compact(opCtx)
+		case pick == 11:
+			err = w.lakeCompact(opCtx)
+		default:
+			err = w.vacuum(opCtx, rng)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+		w.advance(time.Duration(5+rng.Intn(25)) * time.Second)
+	}
+	return nil
+}
+
+// advance moves the world clock forward within the storm budget.
+func (w *world) advance(d time.Duration) {
+	w.mu.Lock()
+	if d > w.budget {
+		d = w.budget
+	}
+	w.budget -= d
+	w.mu.Unlock()
+	if d > 0 {
+		w.clock.Advance(d)
+	}
+}
+
+// pin registers a snapshot version as in use, protecting it from
+// concurrent lake vacuums; the returned func releases it.
+func (w *world) pin(v int64) func() {
+	w.mu.Lock()
+	w.pins[v]++
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		w.pins[v]--
+		if w.pins[v] == 0 {
+			delete(w.pins, v)
+		}
+		w.mu.Unlock()
+	}
+}
+
+// minPinned is the oldest version a vacuum must keep searchable.
+func (w *world) minPinned(latest int64) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	min := latest
+	for v := range w.pins {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// appendBatch ingests one batch and records the planted state.
+func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
+	n := 40 + rng.Intn(40)
+	b := parquet.NewBatch(w.schema)
+	var keys [][16]byte
+	var needle string
+	if w.opts.Mode == ModeText {
+		w.mu.Lock()
+		docs := w.textGen.Docs(n)
+		needle = fmt.Sprintf("marker-%d-x", len(w.needles))
+		w.mu.Unlock()
+		docs = workload.PlantNeedle(docs, needle, []int{0, n / 2, n - 1})
+		vals := make([][]byte, n)
+		for i, d := range docs {
+			vals[i] = []byte(d)
+		}
+		b.Cols[0] = parquet.ColumnValues{Bytes: vals}
+	} else {
+		w.mu.Lock()
+		keys = w.uuidGen.Batch(n)
+		w.mu.Unlock()
+		ids := make([][]byte, n)
+		pay := make([][]byte, n)
+		for i, k := range keys {
+			kk := k
+			ids[i] = kk[:]
+			pay[i] = []byte("p")
+		}
+		b.Cols[0] = parquet.ColumnValues{Bytes: ids}
+		b.Cols[1] = parquet.ColumnValues{Bytes: pay}
+	}
+	path, err := w.table.Append(ctx, b, parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024})
+	if err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	w.mu.Lock()
+	if w.opts.Mode == ModeText {
+		w.needles = append(w.needles, needle)
+	} else {
+		for _, k := range keys {
+			w.live[k] = path
+		}
+	}
+	w.appends++
+	w.mu.Unlock()
+	return nil
+}
+
+// deleteOne removes one row via a deletion vector. UUID mode deletes
+// a tracked live key (feeding the exactly-once finale); text mode
+// deletes an arbitrary row (the oracle tracks the truth).
+func (w *world) deleteOne(ctx context.Context, rng *rand.Rand) error {
+	snap, err := w.table.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("delete: snapshot: %w", err)
+	}
+	if w.opts.Mode == ModeText {
+		if len(snap.Files) == 0 {
+			return nil
+		}
+		f := snap.Files[rng.Intn(len(snap.Files))]
+		if f.Rows == 0 {
+			return nil
+		}
+		err := w.table.DeleteRows(ctx, f.Path, []uint32{uint32(rng.Int63n(f.Rows))})
+		if errors.Is(err, lake.ErrConflict) || errors.Is(err, lake.ErrNoSnapshot) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("delete rows: %w", err)
+		}
+		w.mu.Lock()
+		w.deletes++
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Lock()
+	var victim [16]byte
+	var path string
+	for k, p := range w.live {
+		victim, path = k, p
+		break
+	}
+	w.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	if _, ok := snap.File(path); !ok {
+		return nil // compacted away; key now lives elsewhere
+	}
+	// Introspection (finding the victim's row) reads the pristine base
+	// store: it is the test driver's bookkeeping, not system behaviour.
+	vals, _, _, err := parquet.ScanColumn(ctx, w.base, w.table.Root()+path, 0)
+	if err != nil {
+		return nil // racing lake maintenance
+	}
+	for i, v := range vals.Bytes {
+		if bytes.Equal(v, victim[:]) {
+			err := w.table.DeleteRows(ctx, path, []uint32{uint32(i)})
+			if errors.Is(err, lake.ErrConflict) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("delete rows: %w", err)
+			}
+			w.mu.Lock()
+			delete(w.live, victim)
+			w.deleted[victim] = true
+			w.deletes++
+			w.mu.Unlock()
+			return nil
+		}
+	}
+	return nil
+}
+
+func (w *world) index(ctx context.Context) error {
+	_, err := w.cli.Index(ctx, w.column, w.kind)
+	if errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrBelowMinRows) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+func (w *world) compact(ctx context.Context) error {
+	_, err := w.cli.Compact(ctx, w.column, w.kind, core.CompactOptions{})
+	if errors.Is(err, core.ErrAborted) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("compact: %w", err)
+	}
+	return nil
+}
+
+func (w *world) lakeCompact(ctx context.Context) error {
+	_, err := w.table.Compact(ctx, 1<<30, 0)
+	if errors.Is(err, lake.ErrConflict) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lake compact: %w", err)
+	}
+	return nil
+}
+
+// vacuum runs index or lake garbage collection, keeping every pinned
+// snapshot searchable. During the storm the minimum-age rule keeps all
+// young objects safe; the finale exercises physical deletion.
+func (w *world) vacuum(ctx context.Context, rng *rand.Rand) error {
+	latest, err := w.table.Version(ctx)
+	if err != nil {
+		return fmt.Errorf("vacuum: version: %w", err)
+	}
+	keep := w.minPinned(latest)
+	if rng.Intn(2) == 0 {
+		if _, err := w.cli.Vacuum(ctx, core.VacuumOptions{KeepSnapshot: keep}); err != nil {
+			return fmt.Errorf("index vacuum: %w", err)
+		}
+	} else {
+		removed, err := w.table.Vacuum(ctx, keep, time.Hour)
+		if err != nil {
+			return fmt.Errorf("lake vacuum: %w", err)
+		}
+		w.mu.Lock()
+		for _, p := range removed {
+			w.removed[p] = true
+		}
+		w.mu.Unlock()
+	}
+	w.mu.Lock()
+	w.maintenance++
+	w.mu.Unlock()
+	return nil
+}
+
+// pickQuery builds one exact K=0 query plus the oracle predicate that
+// defines its ground truth.
+func (w *world) pickQuery(rng *rand.Rand, version int64) (core.Query, insitu.Predicate, error) {
+	if w.opts.Mode == ModeText {
+		w.mu.Lock()
+		n := len(w.needles)
+		var needle string
+		if n > 0 {
+			needle = w.needles[rng.Intn(n)]
+		}
+		w.mu.Unlock()
+		switch {
+		case needle == "" || rng.Intn(4) == 0:
+			// All markers at once: a substring shared by every needle.
+			pat := []byte("marker-")
+			return core.Query{Column: w.column, Substring: pat, K: 0, Snapshot: version},
+				func(v []byte) (bool, float64) { return bytes.Contains(v, pat), 0 }, nil
+		case rng.Intn(3) == 0:
+			expr := `marker-[0-9]+-x`
+			re, err := regexp.Compile(expr)
+			if err != nil {
+				return core.Query{}, nil, err
+			}
+			return core.Query{Column: w.column, Regex: expr, K: 0, Snapshot: version},
+				func(v []byte) (bool, float64) { return re.Match(v), 0 }, nil
+		default:
+			pat := []byte(needle)
+			return core.Query{Column: w.column, Substring: pat, K: 0, Snapshot: version},
+				func(v []byte) (bool, float64) { return bytes.Contains(v, pat), 0 }, nil
+		}
+	}
+	// UUID mode: live key usually, deleted or absent key sometimes —
+	// negative results must agree too.
+	w.mu.Lock()
+	var key [16]byte
+	roll := rng.Intn(10)
+	switch {
+	case roll < 7 && len(w.live) > 0:
+		for k := range w.live {
+			key = k
+			break
+		}
+	case roll < 9 && len(w.deleted) > 0:
+		for k := range w.deleted {
+			key = k
+			break
+		}
+	default:
+		rng.Read(key[:])
+	}
+	w.mu.Unlock()
+	kk := key
+	return core.Query{Column: w.column, UUID: &kk, K: 0, Snapshot: version},
+		func(v []byte) (bool, float64) { return bytes.Equal(v, kk[:]), 0 }, nil
+}
+
+// searchDifferential pins a snapshot, searches it through the faulty
+// indexed path, scans it through the pristine oracle, and requires
+// byte-for-byte identical results. It also checks version
+// monotonicity per worker.
+func (w *world) searchDifferential(ctx context.Context, rng *rand.Rand, lastVersion int64) (int64, error) {
+	v, err := w.table.Version(ctx)
+	if err != nil {
+		return lastVersion, fmt.Errorf("search: version: %w", err)
+	}
+	if v < lastVersion {
+		return lastVersion, fmt.Errorf("snapshot went backwards: %d after %d", v, lastVersion)
+	}
+	unpin := w.pin(v)
+	defer unpin()
+
+	q, pred, err := w.pickQuery(rng, v)
+	if err != nil {
+		return v, err
+	}
+	res, err := w.cli.Search(ctx, q)
+	if err != nil {
+		return v, fmt.Errorf("search: %w", err)
+	}
+	want, _, err := w.oracle.Scan(octx(ctx), v, w.column, pred)
+	if err != nil {
+		return v, fmt.Errorf("oracle: %w", err)
+	}
+	if err := diffMatches(res.Matches, want); err != nil {
+		return v, fmt.Errorf("differential mismatch at version %d (%s): %w", v, describeQuery(q), err)
+	}
+	w.mu.Lock()
+	w.searches++
+	w.compared += len(want)
+	w.mu.Unlock()
+	return v, nil
+}
+
+func describeQuery(q core.Query) string {
+	switch {
+	case q.UUID != nil:
+		return fmt.Sprintf("uuid=%x", *q.UUID)
+	case q.Regex != "":
+		return "regex=" + q.Regex
+	default:
+		return fmt.Sprintf("substring=%q", q.Substring)
+	}
+}
+
+// diffMatches requires got == want, byte for byte, after canonical
+// ordering.
+func diffMatches(got, want []insitu.Match) error {
+	got = append([]insitu.Match(nil), got...)
+	want = append([]insitu.Match(nil), want...)
+	insitu.SortMatches(got)
+	insitu.SortMatches(want)
+	if len(got) != len(want) {
+		return fmt.Errorf("indexed search found %d matches, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		g, o := got[i], want[i]
+		if g.Path != o.Path || g.Row != o.Row || !bytes.Equal(g.Value, o.Value) {
+			return fmt.Errorf("match %d differs: indexed (%s,%d,%q) vs oracle (%s,%d,%q)",
+				i, g.Path, g.Row, g.Value, o.Path, o.Row, o.Value)
+		}
+	}
+	return nil
+}
+
+// finale quiesces the world, ages it past the index timeout, runs the
+// full maintenance cycle (exercising physical deletion), and verifies
+// the terminal invariants.
+func (w *world) finale(ctx context.Context) error {
+	fctx := octx(ctx)
+	// Age everything past the index timeout so vacuum's physical
+	// deletion actually fires, then tidy up.
+	w.clock.Advance(2 * time.Hour)
+	if err := w.index(fctx); err != nil {
+		return fmt.Errorf("finale: %w", err)
+	}
+	if _, err := w.cli.Maintain(fctx, core.MaintainPolicy{CompactWhenEntries: 2},
+		core.IndexSpec{Column: w.column, Kind: w.kind}); err != nil {
+		return fmt.Errorf("finale maintain: %w", err)
+	}
+	latest, err := w.table.Version(fctx)
+	if err != nil {
+		return err
+	}
+	removed, err := w.table.Vacuum(fctx, latest, time.Minute)
+	if err != nil {
+		return fmt.Errorf("finale lake vacuum: %w", err)
+	}
+	w.mu.Lock()
+	for _, p := range removed {
+		w.removed[p] = true
+	}
+	w.maintenance++
+	w.mu.Unlock()
+
+	// Existence invariant after physical deletion.
+	if err := w.cli.CheckExistence(fctx); err != nil {
+		return fmt.Errorf("finale: %w", err)
+	}
+	// No resurrected vacuumed files.
+	snap, err := w.table.Snapshot(fctx)
+	if err != nil {
+		return err
+	}
+	for _, f := range snap.Files {
+		if w.removed[f.Path] {
+			return fmt.Errorf("vacuumed file %s resurrected in snapshot %d", f.Path, snap.Version)
+		}
+	}
+
+	// Terminal differential sweep plus the exactly-once model check.
+	rng := rand.New(rand.NewSource(w.opts.Seed + 42))
+	for i := 0; i < 8; i++ {
+		if _, err := w.searchDifferential(octx(ctx), rng, -1); err != nil {
+			return fmt.Errorf("finale: %w", err)
+		}
+	}
+	if w.opts.Mode == ModeUUID {
+		checked := 0
+		for k := range w.live {
+			res, err := w.cli.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})
+			if err != nil {
+				return fmt.Errorf("finale live search: %w", err)
+			}
+			if len(res.Matches) != 1 {
+				return fmt.Errorf("live key %x matched %d times (lost or duplicated row)", k, len(res.Matches))
+			}
+			if checked++; checked >= 30 {
+				break
+			}
+		}
+		checked = 0
+		for k := range w.deleted {
+			res, err := w.cli.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})
+			if err != nil {
+				return fmt.Errorf("finale deleted search: %w", err)
+			}
+			if len(res.Matches) != 0 {
+				return fmt.Errorf("deleted key %x resurrected", k)
+			}
+			if checked++; checked >= 15 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func ptr(k [16]byte) *[16]byte { return &k }

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rottnest/internal/objectstore"
+)
+
+// profileFor rotates fault emphasis across seeds so the suite covers
+// transient-heavy, throttle-heavy, deadline/ambiguous-heavy, and
+// everything-at-once weather. Every profile keeps all fault kinds
+// nonzero — short mode trims seeds, never op or fault coverage.
+func profileFor(seed int64) objectstore.FaultProfile {
+	base := objectstore.FaultProfile{
+		Transient:     0.02,
+		Throttle:      0.01,
+		ThrottleBurst: 2,
+		Latency:       0.02,
+		SpikeLatency:  200 * time.Millisecond,
+		Deadline:      0.01,
+		AmbiguousPut:  0.05,
+	}
+	switch seed % 4 {
+	case 0:
+		base.Transient = 0.08
+	case 1:
+		base.Throttle = 0.05
+	case 2:
+		base.Deadline = 0.04
+		base.AmbiguousPut = 0.25
+	default:
+		base.Transient = 0.05
+		base.Throttle = 0.03
+		base.Deadline = 0.02
+		base.AmbiguousPut = 0.15
+	}
+	return base
+}
+
+// TestDifferentialFaultWorkloads is the acceptance suite: >= 20
+// distinct seeded chaos workloads, each checking every search
+// byte-for-byte against the brute-force oracle while faults fire and
+// retries absorb them. Short mode trims the seed count only; both
+// modes and all four fault emphases stay covered.
+func TestDifferentialFaultWorkloads(t *testing.T) {
+	n := 24
+	if testing.Short() {
+		n = 8
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		mode := ModeUUID
+		if seed%2 == 1 {
+			mode = ModeText
+		}
+		t.Run(fmt.Sprintf("seed=%d/mode=%d", seed, mode), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{
+				Seed:    seed,
+				Mode:    mode,
+				Profile: profileFor(seed),
+				Retry:   objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Searches == 0 {
+				t.Fatalf("no differential searches ran: %+v", sum)
+			}
+			if sum.Appends == 0 {
+				t.Fatalf("no appends ran: %+v", sum)
+			}
+		})
+	}
+}
+
+// TestHarnessFaultsActuallyFire is the meta-check that chaos runs
+// exercise the failure paths: faults are injected and the retry layer
+// does real recovery work.
+func TestHarnessFaultsActuallyFire(t *testing.T) {
+	sum, err := Run(context.Background(), Options{
+		Seed: 99,
+		Mode: ModeUUID,
+		Profile: objectstore.FaultProfile{
+			Transient:     0.08,
+			Throttle:      0.04,
+			ThrottleBurst: 2,
+			Latency:       0.05,
+			Deadline:      0.03,
+			AmbiguousPut:  0.25,
+		},
+		Retry: objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+	}
+	if sum.Faults.Total() == 0 {
+		t.Fatalf("no faults injected: %+v", sum.Faults)
+	}
+	if sum.Faults.Transient == 0 || sum.Faults.Throttles == 0 || sum.Faults.AmbiguousPuts == 0 {
+		t.Fatalf("fault kinds missing: %+v", sum.Faults)
+	}
+	if sum.Retry.Retries == 0 {
+		t.Fatalf("retry layer did no work despite %d faults", sum.Faults.Total())
+	}
+}
+
+// TestHarnessSurfacesFaultsWithoutRetries proves the injection is
+// real: the same weather with the retry layer off makes the workload
+// fail with an injected error.
+func TestHarnessSurfacesFaultsWithoutRetries(t *testing.T) {
+	sum, err := Run(context.Background(), Options{
+		Seed: 7,
+		Mode: ModeUUID,
+		Profile: objectstore.FaultProfile{
+			Transient:    0.1,
+			Throttle:     0.05,
+			Deadline:     0.05,
+			AmbiguousPut: 0.3,
+		},
+		Retry: objectstore.RetryPolicy{Enabled: false},
+	})
+	if err == nil {
+		t.Fatalf("faults with no retries must surface; run passed: %+v", sum)
+	}
+	if !errors.Is(err, objectstore.ErrInjected) {
+		t.Fatalf("surfaced error is not the injected fault: %v", err)
+	}
+	if sum.Faults.Total() == 0 {
+		t.Fatalf("no faults recorded: %+v", sum.Faults)
+	}
+}
+
+// TestHarnessFaultFree sanity-checks the harness itself: a calm world
+// with no faults and no retries must pass every differential check.
+func TestHarnessFaultFree(t *testing.T) {
+	for _, mode := range []Mode{ModeUUID, ModeText} {
+		mode := mode
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{Seed: 1234, Mode: mode})
+			if err != nil {
+				t.Fatalf("fault-free run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Faults.Total() != 0 || sum.Retry.Retries != 0 {
+				t.Fatalf("fault-free run injected faults: %+v", sum)
+			}
+			if sum.Searches == 0 || sum.MatchesCompared == 0 {
+				t.Fatalf("nothing compared: %+v", sum)
+			}
+		})
+	}
+}

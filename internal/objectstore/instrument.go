@@ -241,6 +241,9 @@ func FanGet(ctx context.Context, store Store, reqs []RangeRequest) ([][]byte, er
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	gap := int64(-1)
 	if c := FindCached(store); c != nil {
 		gap = c.CoalesceGap()
@@ -252,6 +255,12 @@ func FanGet(ctx context.Context, store Store, reqs []RangeRequest) ([][]byte, er
 	errs := make([]error, len(issued))
 
 	run := func(i int, branch *simtime.Session) {
+		// Once the fan's context dies, remaining branches short-circuit
+		// instead of issuing their GETs.
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		bctx := ctx
 		if branch != nil {
 			bctx = simtime.With(ctx, branch)

@@ -121,7 +121,13 @@ func decodePlain(col Column, data []byte, count int) (ColumnValues, error) {
 		}
 		return ColumnValues{Doubles: out}, nil
 	case TypeByteArray:
-		out := make([][]byte, 0, count)
+		// Each value carries a 4-byte length prefix; a corrupt count
+		// cannot force a preallocation beyond what data could hold.
+		prealloc := count
+		if prealloc > len(data)/4 {
+			prealloc = len(data) / 4
+		}
+		out := make([][]byte, 0, prealloc)
 		pos := 0
 		for i := 0; i < count; i++ {
 			if pos+4 > len(data) {
@@ -186,6 +192,10 @@ func decodeDict(data []byte, count int) ([][]byte, error) {
 	}
 	dictCount := int(binary.LittleEndian.Uint32(data))
 	pos := 4
+	// Every entry needs at least its 4-byte length prefix.
+	if dictCount > (len(data)-pos)/4 {
+		return nil, fmt.Errorf("parquet: dict page truncated in dictionary")
+	}
 	dict := make([][]byte, dictCount)
 	for i := 0; i < dictCount; i++ {
 		if pos+4 > len(data) {
@@ -200,6 +210,10 @@ func decodeDict(data []byte, count int) ([][]byte, error) {
 		copy(e, data[pos:pos+n])
 		dict[i] = e
 		pos += n
+	}
+	// Every index needs at least one varint byte.
+	if count > len(data)-pos {
+		return nil, fmt.Errorf("parquet: dict page truncated in indices")
 	}
 	out := make([][]byte, count)
 	for i := 0; i < count; i++ {
@@ -224,6 +238,10 @@ func encodeDelta(dst []byte, vals []int64) []byte {
 }
 
 func decodeDelta(data []byte, count int) ([]int64, error) {
+	// Every delta needs at least one varint byte.
+	if count > len(data) {
+		return nil, fmt.Errorf("parquet: delta page truncated")
+	}
 	out := make([]int64, count)
 	pos := 0
 	prev := int64(0)
@@ -271,10 +289,20 @@ func decompressPage(codec Codec, data []byte, size int) ([]byte, error) {
 	case CodecFlate:
 		r := flate.NewReader(bytes.NewReader(data))
 		defer r.Close()
-		out := make([]byte, 0, size)
-		buf := bytes.NewBuffer(out)
-		if _, err := io.Copy(buf, r); err != nil {
+		// size comes from the page header; cap the preallocation and
+		// bound the copy so a corrupt header (or a flate bomb) cannot
+		// force a giant allocation.
+		prealloc := size
+		if prealloc < 0 || prealloc > 64<<20 {
+			prealloc = 64 << 20
+		}
+		buf := bytes.NewBuffer(make([]byte, 0, prealloc))
+		n, err := io.Copy(buf, io.LimitReader(r, int64(size)+1))
+		if err != nil {
 			return nil, fmt.Errorf("parquet: inflate: %w", err)
+		}
+		if n > int64(size) {
+			return nil, fmt.Errorf("parquet: page inflates past declared size %d", size)
 		}
 		return buf.Bytes(), nil
 	default:

@@ -67,6 +67,10 @@ func parsePageHeader(data []byte) (pageHeader, int, error) {
 	statsLen := int(binary.LittleEndian.Uint16(data[14:]))
 	n := pageHeaderFixedSize
 	if statsLen > 0 {
+		// Stats carry two u16 length prefixes at minimum.
+		if statsLen < 4 {
+			return pageHeader{}, 0, fmt.Errorf("parquet: page header stats malformed")
+		}
 		if len(data) < n+statsLen {
 			return pageHeader{}, 0, fmt.Errorf("parquet: page header stats truncated")
 		}

@@ -1,0 +1,46 @@
+package trie
+
+import (
+	"testing"
+
+	"rottnest/internal/postings"
+)
+
+// FuzzTrieNodeDecode drives the two raw trie decoders — leaf entries
+// and the root lookup table — over arbitrary bytes. Corrupted input
+// must error; it must never panic or report consuming more bytes than
+// it was given.
+func FuzzTrieNodeDecode(f *testing.F) {
+	// A well-formed entry: 8-bit path 0xAB with one posting.
+	f.Add([]byte{8, 0xAB, 1, 0, 0})
+	// A well-formed entry with a longer path and two postings.
+	entry := appendEntry(nil, &Entry{
+		Bits:   []byte{0xDE, 0xAD, 0xBE, 0xEF},
+		BitLen: 30,
+		Refs:   []postings.PageRef{{File: 1, Page: 2}, {File: 1, Page: 9}},
+	})
+	f.Add(entry)
+	// A well-formed (empty) root: total 0 + 256 zeroed bucket descriptors.
+	f.Add(make([]byte, 1+256*4))
+	// Truncation and garbage.
+	f.Add([]byte{})
+	f.Add([]byte{129})
+	f.Add([]byte{8, 0xAB, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if e, n, err := decodeEntry(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("decodeEntry consumed %d of %d bytes", n, len(data))
+			}
+			if e.BitLen <= 0 || e.BitLen > keyBits {
+				t.Fatalf("decodeEntry accepted bit length %d", e.BitLen)
+			}
+		}
+		if total, buckets, err := parseRoot(data); err == nil {
+			if total < 0 {
+				t.Fatalf("parseRoot accepted negative total %d", total)
+			}
+			_ = buckets
+		}
+	})
+}

@@ -161,6 +161,16 @@ type (
 	CacheOptions = objectstore.CacheOptions
 	// CacheStats snapshots read-cache counters.
 	CacheStats = objectstore.CacheStats
+	// RetryPolicy tunes the bounded-backoff retry layer (see
+	// Config.Retry and NewRetryStore).
+	RetryPolicy = objectstore.RetryPolicy
+	// RetryStats snapshots retry counters.
+	RetryStats = objectstore.RetryStats
+	// FaultProfile configures deterministic fault injection for chaos
+	// testing (see NewFaultStore).
+	FaultProfile = objectstore.FaultProfile
+	// FaultCounts reports injected faults by kind.
+	FaultCounts = objectstore.FaultCounts
 )
 
 // Clock abstracts time for simulation; see NewVirtualClock.
@@ -201,6 +211,23 @@ func NewCachedStore(inner Store, opts CacheOptions) *objectstore.CachedStore {
 // lakes and indices persist across process runs.
 func NewDirStore(dir string) (Store, error) {
 	return objectstore.NewDirStore(dir)
+}
+
+// NewRetryStore layers bounded exponential-backoff-with-jitter
+// retries over a store, resolving ambiguous conditional puts by
+// read-back. Clients built over a table on this store share it (see
+// Config's Retry).
+func NewRetryStore(inner Store, policy RetryPolicy) *objectstore.RetryStore {
+	return objectstore.NewRetryStore(inner, policy)
+}
+
+// NewFaultStore wraps a store with seeded, deterministic fault
+// injection for chaos testing: transient errors, throttle bursts,
+// latency spikes, request-deadline expirations, and ambiguous
+// conditional writes (see internal/harness for the differential
+// correctness harness built on it).
+func NewFaultStore(inner Store, profile FaultProfile) *objectstore.FaultStore {
+	return objectstore.NewFaultStoreWithProfile(inner, profile)
 }
 
 // NewVirtualClock returns a manually advanced clock for simulations.
