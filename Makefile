@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench-cache
+.PHONY: build test check fuzz-smoke bench-cache bench-build
 
 build:
 	$(GO) build ./...
@@ -10,25 +10,35 @@ test:
 
 # check is the PR gate: vet, formatting, the race detector over every
 # package, and a short fuzz pass over the byte-level decoders. The
-# experiment shape tests in internal/bench skip themselves under -race
-# (their latency thresholds mix in real wall-clock CPU time, which
-# race instrumentation inflates), so they get a separate plain run.
+# experiment shape tests in internal/bench and the build-speed shape
+# tests in internal/fmindex skip themselves under -race (their
+# thresholds mix in real wall-clock CPU time, which race
+# instrumentation inflates), so they get a separate plain run.
 check:
 	$(GO) vet ./...
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) test -race ./...
-	$(GO) test ./internal/bench/
+	$(GO) test ./internal/bench/ ./internal/fmindex/
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
 # one -fuzz pattern per package invocation): corrupted bytes must
-# error, never panic.
+# error, never panic, and the SA-IS builder must agree with its
+# prefix-doubling oracle. -run pins each invocation to its own seed
+# corpus: fuzz builds carry coverage instrumentation, which would skew
+# the timing-sensitive shape tests (they run uninstrumented above).
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzTrieNodeDecode -fuzztime=10s ./internal/trie/
-	$(GO) test -fuzz=FuzzPageDecode -fuzztime=10s ./internal/parquet/
-	$(GO) test -fuzz=FuzzFMIndexOpen -fuzztime=10s ./internal/fmindex/
+	$(GO) test -fuzz=FuzzTrieNodeDecode -run '^FuzzTrieNodeDecode$$' -fuzztime=10s ./internal/trie/
+	$(GO) test -fuzz=FuzzPageDecode -run '^FuzzPageDecode$$' -fuzztime=10s ./internal/parquet/
+	$(GO) test -fuzz=FuzzFMIndexOpen -run '^FuzzFMIndexOpen$$' -fuzztime=10s ./internal/fmindex/
+	$(GO) test -fuzz=FuzzSuffixArray -run '^FuzzSuffixArray$$' -fuzztime=10s ./internal/fmindex/
 
 # bench-cache records the read-cache warm-vs-cold experiment.
 bench-cache:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_cache.json cache
+
+# bench-build records the index-build fast-path experiment: SA-IS vs
+# the prefix-doubling oracle and per-kind build throughput.
+bench-build:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_build.json build

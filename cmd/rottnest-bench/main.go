@@ -7,9 +7,10 @@
 //
 // Usage:
 //
-//	rottnest-bench [-quick] [-seed N] <experiment|all>
+//	rottnest-bench [-quick] [-seed N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
+// throughput ablation distribution cache chaos build
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rottnest/internal/bench"
@@ -69,14 +72,19 @@ var experiments = []struct {
 	{"chaos", "search latency overhead under a fault storm with retries on", func(o bench.Options) (any, error) {
 		return bench.Chaos(o)
 	}},
+	{"build", "index-build fast path: SA-IS vs oracle, FM/trie/IVF-PQ build rates", func(o bench.Options) (any, error) {
+		return bench.IndexBuild(o)
+	}},
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonPath := flag.String("json", "", "write the experiment results as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rottnest-bench [-quick] [-seed N] [-json FILE] <experiment|all>")
+		fmt.Fprintln(os.Stderr, "usage: rottnest-bench [-quick] [-seed N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>")
 		fmt.Fprintln(os.Stderr, "\nexperiments:")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
@@ -88,6 +96,35 @@ func main() {
 		os.Exit(2)
 	}
 	target := flag.Arg(0)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: create %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: start CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rottnest-bench: create %s: %v\n", *memProfile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rottnest-bench: write heap profile: %v\n", err)
+			}
+		}()
+	}
 	opts := bench.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
 	results := make(map[string]any)
 	ran := false

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"rottnest/internal/fmindex"
+	"rottnest/internal/ivfpq"
+	"rottnest/internal/postings"
+	"rottnest/internal/trie"
+	"rottnest/internal/workload"
+)
+
+// TestBuildBenchShapes runs the build experiment in quick mode and
+// asserts the tentpole acceptance shape: SA-IS and the full FM
+// pipeline are each at least 2x the retained seed implementations on
+// 1 MB of text (quick mode keeps that stage at full size), and every
+// throughput is positive.
+func TestBuildBenchShapes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("build speedup ratios are meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := IndexBuild(Options{Seed: 11, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuffixArray.Speedup < 2 {
+		t.Errorf("SA-IS speedup %.2fx, want >= 2x (sais %.1fms, oracle %.1fms)",
+			res.SuffixArray.Speedup, res.SuffixArray.SAISMs, res.SuffixArray.OracleMs)
+	}
+	if res.FM.Speedup < 2 {
+		t.Errorf("FM build speedup %.2fx, want >= 2x (new %.1fms, seed %.1fms)",
+			res.FM.Speedup, res.FM.BuildMs, res.FM.ReferenceMs)
+	}
+	if res.Trie.RowsPerSec <= 0 || res.IVFPQ.RowsPerSec <= 0 {
+		t.Errorf("non-positive direct build rate: trie %.0f, ivfpq %.0f",
+			res.Trie.RowsPerSec, res.IVFPQ.RowsPerSec)
+	}
+	if len(res.EndToEnd) != 3 {
+		t.Fatalf("expected 3 end-to-end measurements, got %d", len(res.EndToEnd))
+	}
+	for _, e := range res.EndToEnd {
+		if e.RowsPerSec <= 0 {
+			t.Errorf("%s: non-positive end-to-end rate", e.Kind)
+		}
+	}
+}
+
+func BenchmarkIndexBuildFM(b *testing.B) {
+	text, starts, refs := buildText(5, 1<<20)
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fmindex.Build(text, starts, refs, fmindex.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(text))/1e6/b.Elapsed().Seconds()*float64(b.N), "MB/s")
+}
+
+func BenchmarkIndexBuildTrie(b *testing.B) {
+	const n = 100_000
+	keys := workload.NewUUIDGen(5).Batch(n)
+	refs := make([]postings.PageRef, n)
+	for i := range refs {
+		refs[i] = postings.PageRef{File: uint32(i / 1024), Page: uint32(i % 1024)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trie.Build(keys, refs, trie.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkIndexBuildIVFPQ(b *testing.B) {
+	const n = 20_000
+	vecs := workload.NewVectorGen(workload.VectorConfig{Seed: 5, Dim: 32, Clusters: 64, Spread: 0.2}).Batch(n)
+	refs := make([]postings.RowRef, n)
+	for i := range refs {
+		refs[i] = postings.RowRef{File: uint32(i % 4), Row: int64(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ivfpq.Build(vecs, refs, ivfpq.BuildOptions{Seed: 5, NList: 64, KMeansIters: 8, TrainSample: 10_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 
 	"rottnest/internal/objectstore"
+	"rottnest/internal/parallel"
 )
 
 var magic = []byte("RCF1")
@@ -82,13 +83,44 @@ func (b *Builder) Add(data []byte) int {
 		b.err = err
 		return id
 	}
+	b.append(compressed, int64(len(data)))
+	return id
+}
+
+// AddAll compresses the given components on all cores and appends
+// them in input order, returning the ID of the first (IDs are
+// consecutive, exactly as if Add had been called for each). deflate is
+// deterministic for a given input, so a file built with AddAll is
+// byte-identical to one built with serial Add calls — the index build
+// pipelines depend on this. Errors are deferred to Finish.
+func (b *Builder) AddAll(datas [][]byte) int {
+	first := len(b.dir)
+	if b.err != nil || len(datas) == 0 {
+		return first
+	}
+	compressed := make([][]byte, len(datas))
+	errs := make([]error, len(datas))
+	parallel.ForEach(len(datas), func(i int) {
+		compressed[i], errs[i] = deflate(datas[i])
+	})
+	for i, c := range compressed {
+		if errs[i] != nil {
+			b.err = errs[i]
+			return first
+		}
+		b.append(c, int64(len(datas[i])))
+	}
+	return first
+}
+
+// append records one already-compressed component.
+func (b *Builder) append(compressed []byte, rawSize int64) {
 	b.dir = append(b.dir, dirEntry{
 		offset:  int64(len(b.buf)),
 		size:    int64(len(compressed)),
-		rawSize: int64(len(data)),
+		rawSize: rawSize,
 	})
 	b.buf = append(b.buf, compressed...)
-	return id
 }
 
 // Finish appends the directory and trailer and returns the complete

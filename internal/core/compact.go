@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"rottnest/internal/fmindex"
 	"rottnest/internal/ivfpq"
 	"rottnest/internal/meta"
+	"rottnest/internal/objectstore"
 	"rottnest/internal/trie"
 )
 
@@ -70,6 +72,13 @@ func (c *Client) Compact(ctx context.Context, column string, kind component.Kind
 		}
 		entry, err := c.mergeBin(ctx, column, kind, small[lo:hi], start)
 		if err != nil {
+			if errors.Is(err, objectstore.ErrNotFound) {
+				// A concurrent vacuum collected a source index after we
+				// planned against it: the plan is stale. Abort and let
+				// the caller retry against the new metadata, exactly as
+				// IndexAt does when a lake file vanishes mid-scan.
+				return out, fmt.Errorf("core: compact plan went stale: %w", ErrAborted)
+			}
 			return out, err
 		}
 		out = append(out, *entry)
@@ -183,6 +192,15 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 	}
 	if err := c.meta.Insert(ctx, entry); err != nil {
 		return nil, err
+	}
+	// Post-commit timeout re-check, mirroring IndexAt: if the clock
+	// passed the deadline between the check above and the insert, a
+	// vacuum may have collected the upload as an orphan — roll back.
+	if c.clock.Now().Sub(start) > c.cfg.Timeout {
+		if err := c.meta.Delete(ctx, entry.IndexKey); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: compact of %d index files overran commit: %w", len(bin), ErrTimeout)
 	}
 	entry.CreatedAt = c.clock.Now()
 	return &entry, nil

@@ -82,14 +82,39 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	}
 
 	// Index: scan the new files (internally parallel, as the paper
-	// notes the index API is) and build.
+	// notes the index API is) and build. Scanning is IO-bound and input
+	// assembly is CPU-bound, so the two are pipelined: a consumer
+	// goroutine flattens each file's values into the builder inputs —
+	// in file order, keeping the assembled inputs (and hence the index
+	// bytes) deterministic — as soon as that file's scan lands, while
+	// later scans are still in flight. Each file's column is released
+	// right after assembly, bounding peak memory to in-flight scans
+	// plus the growing input.
 	builder := component.NewBuilder(kind)
 	manifest := &Manifest{Column: column, Kind: kind, Files: newFiles}
 	var totalRows int64
 	columns := make([]parquet.ColumnValues, len(newFiles))
 	scanErrs := make([]error, len(newFiles))
+	scanned := make([]chan struct{}, len(newFiles))
+	for i := range scanned {
+		scanned[i] = make(chan struct{})
+	}
+	asm := &inputAssembler{kind: kind, vecDim: col.TypeLen / 4}
+	asmDone := make(chan struct{})
+	go func() {
+		defer close(asmDone)
+		for i := range newFiles {
+			<-scanned[i]
+			if scanErrs[i] != nil {
+				return // the error check below reports it
+			}
+			asm.addFile(i, newFiles[i], columns[i])
+			columns[i] = parquet.ColumnValues{} // release the scanned values
+		}
+	}()
 	session := simtime.From(ctx)
 	session.ParallelN(len(newFiles), c.cfg.SearchWidth, func(i int, s *simtime.Session) {
+		defer close(scanned[i])
 		bctx := ctx
 		if s != nil {
 			bctx = simtime.With(ctx, s)
@@ -103,6 +128,7 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 		newFiles[i].Rows = pages.TotalRows()
 		columns[i] = vals
 	})
+	<-asmDone
 	for i, err := range scanErrs {
 		if err != nil {
 			if errors.Is(err, objectstore.ErrNotFound) {
@@ -126,18 +152,15 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 
 	switch kind {
 	case component.KindTrie:
-		keys, refs := trieInputs(newFiles, columns)
-		if err := trie.BuildInto(builder, keys, refs, c.cfg.Trie); err != nil {
+		if err := trie.BuildInto(builder, asm.keys, asm.pageRefs, c.cfg.Trie); err != nil {
 			return nil, err
 		}
 	case component.KindFM:
-		text, starts, refs := fmInputs(newFiles, columns)
-		if err := fmindex.BuildInto(builder, text, starts, refs, c.cfg.FM); err != nil {
+		if err := fmindex.BuildInto(builder, asm.text, asm.starts, asm.pageRefs, c.cfg.FM); err != nil {
 			return nil, err
 		}
 	case component.KindIVFPQ:
-		vecs, refs := vectorInputs(newFiles, columns, col.TypeLen/4)
-		if err := ivfpq.BuildInto(builder, vecs, refs, c.cfg.IVF); err != nil {
+		if err := ivfpq.BuildInto(builder, asm.vecs, asm.rowRefs, c.cfg.IVF); err != nil {
 			return nil, err
 		}
 	}
@@ -171,6 +194,19 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	if err := c.meta.Insert(ctx, entry); err != nil {
 		return nil, err
 	}
+	// Re-check the timeout after commit: the clock can pass the
+	// deadline between the check above and the insert, and a vacuum
+	// judging object age by that same clock may already have collected
+	// the upload as an orphan. Any such vacuum ran after the deadline
+	// passed, so the overshoot is always visible here; rolling the
+	// commit back restores the Existence invariant and the caller
+	// retries cleanly.
+	if c.clock.Now().Sub(start) > c.cfg.Timeout {
+		if err := c.meta.Delete(ctx, entry.IndexKey); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: index of %d files overran commit: %w", len(newFiles), ErrTimeout)
+	}
 	entry.CreatedAt = c.clock.Now()
 	return &entry, nil
 }
@@ -184,66 +220,62 @@ func randomName() string {
 	return hex.EncodeToString(b[:])
 }
 
-// trieInputs flattens per-file UUID columns into (key, page ref)
-// pairs: each row's ref is the page containing it.
-func trieInputs(files []ManifestFile, columns []parquet.ColumnValues) ([][16]byte, []postings.PageRef) {
-	var keys [][16]byte
-	var refs []postings.PageRef
-	for fi := range files {
-		vals := columns[fi].Bytes
-		for _, p := range files[fi].Pages {
+// inputAssembler incrementally flattens scanned columns into the
+// kind-specific builder inputs, one file at a time in file order —
+// the same flattening the old batch helpers performed over the full
+// column set, so the assembled inputs (and the index bytes derived
+// from them) are unchanged.
+type inputAssembler struct {
+	kind   component.Kind
+	vecDim int
+
+	keys     [][16]byte         // trie: row keys
+	text     []byte             // fm: separator-joined values
+	starts   []int64            // fm: page-boundary offsets
+	pageRefs []postings.PageRef // trie + fm: page refs
+	vecs     [][]float32        // ivfpq: decoded vectors
+	rowRefs  []postings.RowRef  // ivfpq: row refs
+}
+
+// addFile appends file fi's scanned column to the inputs. For trie,
+// each row's ref is the page containing it. For fm, sentinel bytes
+// inside values are rewritten to the separator so the FM-index build
+// constraint holds; in-situ probing re-checks against the raw value,
+// so this cannot cause wrong results, only (vanishingly rare) false
+// negatives for patterns containing 0x00, which fall back to scans.
+func (a *inputAssembler) addFile(fi int, f ManifestFile, col parquet.ColumnValues) {
+	switch a.kind {
+	case component.KindTrie:
+		vals := col.Bytes
+		for _, p := range f.Pages {
 			for r := 0; r < p.NumValues; r++ {
 				row := p.FirstRow + int64(r)
 				var k [16]byte
 				copy(k[:], vals[row])
-				keys = append(keys, k)
-				refs = append(refs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
+				a.keys = append(a.keys, k)
+				a.pageRefs = append(a.pageRefs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
 			}
 		}
-	}
-	return keys, refs
-}
-
-// fmInputs concatenates per-file text columns into one separator-
-// joined text with page-boundary offsets. Sentinel bytes inside
-// values are rewritten to the separator so the FM-index build
-// constraint holds; in-situ probing re-checks against the raw value,
-// so this cannot cause wrong results, only (vanishingly rare) false
-// negatives for patterns containing 0x00, which fall back to scans.
-func fmInputs(files []ManifestFile, columns []parquet.ColumnValues) ([]byte, []int64, []postings.PageRef) {
-	var text []byte
-	var starts []int64
-	var refs []postings.PageRef
-	for fi := range files {
-		vals := columns[fi].Bytes
-		for _, p := range files[fi].Pages {
-			starts = append(starts, int64(len(text)))
-			refs = append(refs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
+	case component.KindFM:
+		vals := col.Bytes
+		for _, p := range f.Pages {
+			a.starts = append(a.starts, int64(len(a.text)))
+			a.pageRefs = append(a.pageRefs, postings.PageRef{File: uint32(fi), Page: uint32(p.Ordinal)})
 			for r := 0; r < p.NumValues; r++ {
 				v := vals[p.FirstRow+int64(r)]
 				if bytes.IndexByte(v, fmindex.Sentinel) >= 0 {
 					v = bytes.ReplaceAll(v, []byte{fmindex.Sentinel}, []byte{fmindex.Separator})
 				}
-				text = append(text, v...)
-				text = append(text, fmindex.Separator)
+				a.text = append(a.text, v...)
+				a.text = append(a.text, fmindex.Separator)
 			}
 		}
-	}
-	return text, starts, refs
-}
-
-// vectorInputs decodes per-file packed float32 columns into vectors
-// with row-level refs.
-func vectorInputs(files []ManifestFile, columns []parquet.ColumnValues, dim int) ([][]float32, []postings.RowRef) {
-	var vecs [][]float32
-	var refs []postings.RowRef
-	for fi := range files {
-		for row, v := range columns[fi].Bytes {
-			vecs = append(vecs, decodeVector(v, dim))
-			refs = append(refs, postings.RowRef{File: uint32(fi), Row: int64(row)})
+	case component.KindIVFPQ:
+		for row, v := range col.Bytes {
+			a.vecs = append(a.vecs, decodeVector(v, a.vecDim))
+			a.rowRefs = append(a.rowRefs, postings.RowRef{File: uint32(fi), Row: int64(row)})
 		}
 	}
-	return vecs, refs
 }
 
 // decodeVector unpacks a little-endian float32 column value.

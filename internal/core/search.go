@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,22 @@ import (
 	"rottnest/internal/simtime"
 	"rottnest/internal/trie"
 )
+
+// searchMaxReplans bounds how many times one Search replans after an
+// index object it planned against is vacuumed out from under it. Each
+// replan excludes the vanished index, so every retry makes progress.
+const searchMaxReplans = 8
+
+// staleIndexError marks an index file that vanished (vacuumed) after
+// the search planned against it, letting the replan exclude exactly
+// that entry. It unwraps to the underlying not-found error.
+type staleIndexError struct {
+	key string
+	err error
+}
+
+func (e *staleIndexError) Error() string { return e.err.Error() }
+func (e *staleIndexError) Unwrap() error { return e.err }
 
 // Query describes one search. Exactly one of UUID, Substring, or
 // Vector must be set; the index kind follows from it.
@@ -165,86 +182,115 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		startRetry = c.retry.Stats()
 	}
 
-	// Plan. The lake snapshot and the metadata table are independent
-	// logs; read them in parallel so planning pays one round of LIST
-	// latency, not two.
 	snapVersion := q.Snapshot
 	if snapVersion == 0 {
 		snapVersion = -1
 	}
-	var snap *lake.Snapshot
-	var entries []meta.IndexEntry
-	var snapErr, metaErr error
-	session.Parallel(
-		func(s *simtime.Session) {
-			snap, snapErr = c.table.SnapshotAt(simtime.With(ctx, s), snapVersion)
-		},
-		func(s *simtime.Session) {
-			entries, metaErr = c.meta.ListFor(simtime.With(ctx, s), q.Column, kind)
-		},
-	)
-	if snapErr != nil {
-		return nil, snapErr
-	}
-	if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
-		return nil, err
-	}
-	if metaErr != nil {
-		return nil, metaErr
-	}
-	// Regex planning: extract the required literal that drives the
-	// FM-index. Patterns with no usable literal bypass the index and
-	// scan (an index cannot help them).
-	fmPattern := q.Substring
-	if q.Regex != "" {
-		lit, err := requiredLiteral(q.Regex)
-		if err != nil {
-			return nil, fmt.Errorf("core: bad regex: %w", err)
+	attempt := func(excluded map[string]bool) (*Result, error) {
+		// Plan. The lake snapshot and the metadata table are
+		// independent logs; read them in parallel so planning pays one
+		// round of LIST latency, not two.
+		var snap *lake.Snapshot
+		var entries []meta.IndexEntry
+		var snapErr, metaErr error
+		session.Parallel(
+			func(s *simtime.Session) {
+				snap, snapErr = c.table.SnapshotAt(simtime.With(ctx, s), snapVersion)
+			},
+			func(s *simtime.Session) {
+				entries, metaErr = c.meta.ListFor(simtime.With(ctx, s), q.Column, kind)
+			},
+		)
+		if snapErr != nil {
+			return nil, snapErr
 		}
-		if len(lit) < minRegexLiteral {
-			entries = nil
+		if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
+			return nil, err
 		}
-		fmPattern = lit
-	}
-	// Partition pruning: restrict the searched file set before any
-	// index or scan planning.
-	searched := snap.Files
-	if q.Partition != nil {
-		if snap.Schema.ColumnIndex(q.Partition.Column) < 0 {
-			return nil, fmt.Errorf("core: partition column %q not in schema: %w", q.Partition.Column, ErrBadColumn)
+		if metaErr != nil {
+			return nil, metaErr
 		}
-		min := parquet.OrderableInt64(q.Partition.Min)
-		max := parquet.OrderableInt64(q.Partition.Max)
-		kept := searched[:0:0]
+		if len(excluded) > 0 {
+			kept := entries[:0:0]
+			for _, e := range entries {
+				if !excluded[e.IndexKey] {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		}
+		// Regex planning: extract the required literal that drives the
+		// FM-index. Patterns with no usable literal bypass the index and
+		// scan (an index cannot help them).
+		fmPattern := q.Substring
+		if q.Regex != "" {
+			lit, err := requiredLiteral(q.Regex)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad regex: %w", err)
+			}
+			if len(lit) < minRegexLiteral {
+				entries = nil
+			}
+			fmPattern = lit
+		}
+		// Partition pruning: restrict the searched file set before any
+		// index or scan planning.
+		searched := snap.Files
+		if q.Partition != nil {
+			if snap.Schema.ColumnIndex(q.Partition.Column) < 0 {
+				return nil, fmt.Errorf("core: partition column %q not in schema: %w", q.Partition.Column, ErrBadColumn)
+			}
+			min := parquet.OrderableInt64(q.Partition.Min)
+			max := parquet.OrderableInt64(q.Partition.Max)
+			kept := searched[:0:0]
+			for _, f := range searched {
+				if f.MayContainRange(q.Partition.Column, min, max) {
+					kept = append(kept, f)
+				}
+			}
+			searched = kept
+		}
+
+		active := make(map[string]bool, len(searched))
+		fileByPath := make(map[string]lake.DataFile, len(searched))
 		for _, f := range searched {
-			if f.MayContainRange(q.Partition.Column, min, max) {
-				kept = append(kept, f)
+			active[f.Path] = true
+			fileByPath[f.Path] = f
+		}
+		chosen, covered := coverEntries(entries, active)
+		var unindexed []lake.DataFile
+		for _, f := range searched {
+			if !covered[f.Path] {
+				unindexed = append(unindexed, f)
 			}
 		}
-		searched = kept
-	}
+		stats := Stats{IndexFiles: len(chosen), CoveredFiles: len(covered), UnindexedFiles: len(unindexed), PrunedFiles: len(snap.Files) - len(searched)}
 
-	active := make(map[string]bool, len(searched))
-	fileByPath := make(map[string]lake.DataFile, len(searched))
-	for _, f := range searched {
-		active[f.Path] = true
-		fileByPath[f.Path] = f
-	}
-	chosen, covered := coverEntries(entries, active)
-	var unindexed []lake.DataFile
-	for _, f := range searched {
-		if !covered[f.Path] {
-			unindexed = append(unindexed, f)
+		switch kind {
+		case component.KindTrie, component.KindFM:
+			return c.searchExact(ctx, q, kind, fmPattern, snap, chosen, unindexed, fileByPath, &stats)
+		default:
+			return c.searchVector(ctx, q, snap, chosen, unindexed, fileByPath, &stats)
 		}
 	}
-	stats := Stats{IndexFiles: len(chosen), CoveredFiles: len(covered), UnindexedFiles: len(unindexed), PrunedFiles: len(snap.Files) - len(searched)}
-
+	// A vacuum may physically delete an index object after this search
+	// planned against it (commit-then-delete: the metadata row goes
+	// first, so by the time the object is gone the plan is stale).
+	// Replan rather than failing the query, excluding the vanished
+	// index so files it covered fall to another index or to the scan
+	// path — either way the results stay exact.
 	var result *Result
-	switch kind {
-	case component.KindTrie, component.KindFM:
-		result, err = c.searchExact(ctx, q, kind, fmPattern, snap, chosen, unindexed, fileByPath, &stats)
-	case component.KindIVFPQ:
-		result, err = c.searchVector(ctx, q, snap, chosen, unindexed, fileByPath, &stats)
+	var excluded map[string]bool
+	for tries := 0; ; tries++ {
+		result, err = attempt(excluded)
+		var stale *staleIndexError
+		if err == nil || tries >= searchMaxReplans || !errors.As(err, &stale) {
+			break
+		}
+		if excluded == nil {
+			excluded = make(map[string]bool)
+		}
+		excluded[stale.key] = true
 	}
 	if err != nil {
 		return nil, err
@@ -332,6 +378,9 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 				}
 				found, truncated, err := c.queryIndexExact(bctx, entry, kind, q, fmPattern, unbounded)
 				if err != nil {
+					if errors.Is(err, objectstore.ErrNotFound) {
+						err = &staleIndexError{key: entry.IndexKey, err: err}
+					}
 					errs[idx] = err
 					return
 				}
@@ -588,6 +637,9 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 				bctx = simtime.With(ctx, s)
 			}
 			candLists[idx], errs[idx] = c.queryIndexVector(bctx, entry, q.Vector, nprobe, refine, fileByPath)
+			if errs[idx] != nil && errors.Is(errs[idx], objectstore.ErrNotFound) {
+				errs[idx] = &staleIndexError{key: entry.IndexKey, err: errs[idx]}
+			}
 		}
 	}
 	runBranches(session, c.cfg.SearchWidth, branches)

@@ -47,6 +47,14 @@ type VacuumReport struct {
 // single global clock.
 func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport, error) {
 	report := &VacuumReport{}
+	// Pin the age cutoff now, before reading the metadata table. An
+	// indexer that commits after our metadata read re-checks its own
+	// timeout post-commit (and rolls back on overshoot), so any object
+	// older than vacuum-start-minus-timeout that is still unreferenced
+	// below is provably orphaned. Computing the cutoff later would
+	// reopen the race: the clock can pass the deadline between our
+	// metadata read and the object sweep.
+	cutoff := c.clock.Now().Add(-c.cfg.Timeout)
 
 	// Plan: active paths across retained snapshots.
 	latest, err := c.table.Version(ctx)
@@ -118,7 +126,6 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 	if err != nil {
 		return nil, err
 	}
-	cutoff := c.clock.Now().Add(-c.cfg.Timeout)
 	for _, info := range infos {
 		if referenced[info.Key] || !strings.HasSuffix(info.Key, ".index") {
 			continue

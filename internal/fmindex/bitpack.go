@@ -17,32 +17,45 @@ func bitsFor(n uint32) int {
 // layer's compression) is what keeps the FM-index within the paper's
 // "almost as large as the compressed Parquets" envelope rather than
 // several times it.
+// The stream is LSB-first: entry i's bit b lands at absolute bit
+// position i*bits+b, stored in out[pos/8] at in-byte position pos%8.
+// The 64-bit accumulator below emits that exact stream (bits <= 32 and
+// at most 7 bits carry over, so it never overflows), one shift-or per
+// entry instead of one branch per bit.
 func packBits(entries []uint32, bits int) []byte {
 	out := make([]byte, (len(entries)*bits+7)/8)
-	bitPos := 0
+	mask := uint64(1)<<bits - 1
+	var acc uint64
+	fill := 0
+	o := 0
 	for _, e := range entries {
-		for b := 0; b < bits; b++ {
-			if e&(1<<b) != 0 {
-				out[bitPos/8] |= 1 << (bitPos % 8)
-			}
-			bitPos++
+		acc |= (uint64(e) & mask) << fill
+		fill += bits
+		for fill >= 8 {
+			out[o] = byte(acc)
+			o++
+			acc >>= 8
+			fill -= 8
 		}
+	}
+	if fill > 0 {
+		out[o] = byte(acc)
 	}
 	return out
 }
 
-// unpackBit extracts entry idx from a packed block.
+// unpackBit extracts entry idx from a packed block by loading the (at
+// most five) bytes spanning it into one word.
 func unpackBit(data []byte, idx, bits int) (uint32, error) {
 	start := idx * bits
-	if (start+bits+7)/8 > len(data) {
+	end := start + bits
+	if (end+7)/8 > len(data) {
 		return 0, fmt.Errorf("fmindex: packed block truncated at entry %d", idx)
 	}
-	var v uint32
-	for b := 0; b < bits; b++ {
-		pos := start + b
-		if data[pos/8]&(1<<(pos%8)) != 0 {
-			v |= 1 << b
-		}
+	var v uint64
+	for i := (end+7)/8 - 1; i >= start/8; i-- {
+		v = v<<8 | uint64(data[i])
 	}
-	return v, nil
+	v >>= uint(start % 8)
+	return uint32(v & (uint64(1)<<bits - 1)), nil
 }

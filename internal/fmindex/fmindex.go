@@ -27,9 +27,9 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"rottnest/internal/component"
+	"rottnest/internal/parallel"
 	"rottnest/internal/postings"
 )
 
@@ -81,6 +81,21 @@ func Build(text []byte, pageStarts []int64, refs []postings.PageRef, opts BuildO
 // every index file.
 func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []postings.PageRef, opts BuildOptions) error {
 	opts = opts.withDefaults()
+	if err := validateBuildInput(text, pageStarts, refs); err != nil {
+		return err
+	}
+
+	full := make([]byte, 0, len(text)+1)
+	full = append(full, text...)
+	full = append(full, Sentinel)
+	sa := buildSuffixArray(full)
+	return appendIndexComponents(b, full, sa, pageStarts, refs, opts)
+}
+
+// validateBuildInput checks the Build contract shared by the
+// production and reference builders: parallel page tables, strictly
+// increasing starts from 0, and sentinel-free text.
+func validateBuildInput(text []byte, pageStarts []int64, refs []postings.PageRef) error {
 	if len(pageStarts) != len(refs) {
 		return fmt.Errorf("fmindex: %d page starts but %d refs", len(pageStarts), len(refs))
 	}
@@ -95,11 +110,16 @@ func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []pos
 	if bytes.IndexByte(text, Sentinel) >= 0 {
 		return fmt.Errorf("fmindex: text contains the sentinel byte 0x%02x", Sentinel)
 	}
+	return nil
+}
 
-	full := make([]byte, 0, len(text)+1)
-	full = append(full, text...)
-	full = append(full, Sentinel)
-	sa := buildSuffixArray(full)
+// appendIndexComponents encodes the FM-index from a precomputed
+// suffix array: BWT blocks, page-map blocks, and the root. Every
+// per-block step (checkpoint counting, page-map bit-packing, and the
+// component compressor behind AddAll) fans out over the worker pool;
+// block payloads are computed independently and appended in block
+// order, so the emitted file is byte-identical to a serial build.
+func appendIndexComponents(b *component.Builder, full []byte, sa []int32, pageStarts []int64, refs []postings.PageRef, opts BuildOptions) error {
 	bwt := bwtFromSA(full, sa)
 	n := len(full)
 
@@ -107,10 +127,11 @@ func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []pos
 	// added by earlier callers (e.g. the client's manifest) shift it.
 	base := b.NumComponents()
 
-	// BWT blocks + checkpoint deltas.
+	// BWT blocks + checkpoint deltas, one parallel pass.
 	numBlocks := (n + opts.BlockSize - 1) / opts.BlockSize
 	checkDeltas := make([][256]uint32, numBlocks) // symbol counts within each block
-	for blk := 0; blk < numBlocks; blk++ {
+	blocks := make([][]byte, numBlocks)
+	parallel.ForEach(numBlocks, func(blk int) {
 		lo := blk * opts.BlockSize
 		hi := lo + opts.BlockSize
 		if hi > n {
@@ -119,22 +140,20 @@ func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []pos
 		for _, c := range bwt[lo:hi] {
 			checkDeltas[blk][c]++
 		}
-		b.Add(bwt[lo:hi])
-	}
+		blocks[blk] = bwt[lo:hi]
+	})
+	b.AddAll(blocks)
 
-	// Page-map blocks: page ordinal of SA[i], u32 little endian.
-	// The sentinel row maps to the page containing the final text
-	// byte (harmless; patterns never match the sentinel).
-	pageOf := func(pos int32) uint32 {
-		idx := sort.Search(len(pageStarts), func(j int) bool { return pageStarts[j] > int64(pos) }) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		return uint32(idx)
-	}
+	// Page-map blocks: page ordinal of SA[i], bit-packed. pageOf is a
+	// precomputed position→page table built in one O(n) walk over
+	// pageStarts, replacing a per-SA-entry binary search. The sentinel
+	// row maps to page 0 (harmless; patterns never match the
+	// sentinel).
+	pageOf := buildPosPageTable(n, pageStarts)
 	numPMBlocks := (n + opts.PageMapBlock - 1) / opts.PageMapBlock
 	bits := bitsFor(uint32(len(pageStarts)))
-	for blk := 0; blk < numPMBlocks; blk++ {
+	pmBlocks := make([][]byte, numPMBlocks)
+	parallel.ForEach(numPMBlocks, func(blk int) {
 		lo := blk * opts.PageMapBlock
 		hi := lo + opts.PageMapBlock
 		if hi > n {
@@ -146,15 +165,35 @@ func BuildInto(b *component.Builder, text []byte, pageStarts []int64, refs []pos
 			if int(pos) == n-1 {
 				pos = 0 // sentinel row; never queried
 			}
-			entries[i-lo] = pageOf(pos)
+			entries[i-lo] = pageOf[pos]
 		}
-		b.Add(packBits(entries, bits))
-	}
+		pmBlocks[blk] = packBits(entries, bits)
+	})
+	b.AddAll(pmBlocks)
 
 	// Root.
 	root := encodeRoot(n, base, opts, numBlocks, numPMBlocks, checkDeltas, pageStarts, refs)
 	b.Add(root)
 	return nil
+}
+
+// buildPosPageTable maps every text position in [0, n) to the page
+// containing it — the largest j with pageStarts[j] <= pos — in one
+// O(n + pages) walk. pageStarts is validated (strictly increasing,
+// starting at 0) by BuildInto; entries beyond n cover no positions.
+func buildPosPageTable(n int, pageStarts []int64) []uint32 {
+	table := make([]uint32, n)
+	for j := range pageStarts {
+		lo := pageStarts[j]
+		hi := int64(n)
+		if j+1 < len(pageStarts) && pageStarts[j+1] < hi {
+			hi = pageStarts[j+1]
+		}
+		for pos := lo; pos < hi; pos++ {
+			table[pos] = uint32(j)
+		}
+	}
+	return table
 }
 
 func encodeRoot(n, base int, opts BuildOptions, numBlocks, numPMBlocks int, checkDeltas [][256]uint32, pageStarts []int64, refs []postings.PageRef) []byte {

@@ -1,0 +1,112 @@
+package fmindex
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"testing"
+
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// fmGoldenHash is the SHA-256 of the index file built by the original
+// serial prefix-doubling implementation (the pre-SA-IS seed code) for
+// goldenFMInput. The SA-IS + parallel-encode build path must keep
+// emitting byte-identical files: the chaos harness and the figure
+// reproductions depend on deterministic index bytes.
+const fmGoldenHash = "6ab3a1bbc95233f6eeff557133885dc4777dd981510859d197c93a99702a5ae5"
+
+func goldenFMInput() ([]byte, []int64, []postings.PageRef) {
+	docs := workload.NewTextGen(workload.DefaultTextConfig(42)).Docs(300)
+	var text []byte
+	var starts []int64
+	var refs []postings.PageRef
+	for i, d := range docs {
+		if i%10 == 0 {
+			starts = append(starts, int64(len(text)))
+			refs = append(refs, postings.PageRef{File: 0, Page: uint32(len(refs))})
+		}
+		text = append(text, []byte(d)...)
+		text = append(text, Separator)
+	}
+	return text, starts, refs
+}
+
+func TestBuildGoldenBytes(t *testing.T) {
+	text, starts, refs := goldenFMInput()
+	opts := BuildOptions{BlockSize: 4096, PageMapBlock: 4096}
+	data, err := Build(text, starts, refs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(data)
+	if got := hex.EncodeToString(h[:]); got != fmGoldenHash {
+		t.Fatalf("FM index bytes diverged from the seed build:\n got %s\nwant %s", got, fmGoldenHash)
+	}
+
+	// The parallel encode must be independent of the worker count.
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := Build(text, starts, refs, opts)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, data) {
+		t.Fatal("FM index bytes differ between GOMAXPROCS=1 and parallel build")
+	}
+}
+
+// TestReferenceBuildMatchesProduction differentially checks the whole
+// pipeline, not just the suffix array: the retained serial seed
+// builder (prefix-doubling SA, serial encode, binary-search page map)
+// and the SA-IS + parallel-encode path must emit identical files for
+// identical input, at more than one block geometry.
+func TestReferenceBuildMatchesProduction(t *testing.T) {
+	text, starts, refs := goldenFMInput()
+	for _, opts := range []BuildOptions{
+		{},
+		{BlockSize: 4096, PageMapBlock: 4096},
+		{BlockSize: 1 << 10, PageMapBlock: 512},
+	} {
+		got, err := Build(text, starts, refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReferenceBuild(text, starts, refs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("opts %+v: production build bytes differ from the reference build", opts)
+		}
+	}
+}
+
+func TestPosPageTableMatchesSearch(t *testing.T) {
+	// The O(n) table must agree with the binary-search definition
+	// (largest j with pageStarts[j] <= pos) everywhere, including page
+	// starts past the end of the text.
+	cases := [][]int64{
+		{0},
+		{0, 1, 2, 3},
+		{0, 5, 9, 100},
+		{0, 7, 7 + 13},
+	}
+	const n = 40
+	for ci, starts := range cases {
+		table := buildPosPageTable(n, starts)
+		for pos := 0; pos < n; pos++ {
+			want := 0
+			for j, s := range starts {
+				if s <= int64(pos) {
+					want = j
+				}
+			}
+			if table[pos] != uint32(want) {
+				t.Fatalf("case %d: table[%d] = %d, want %d", ci, pos, table[pos], want)
+			}
+		}
+	}
+}

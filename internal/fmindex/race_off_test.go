@@ -1,0 +1,5 @@
+//go:build !race
+
+package fmindex
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package fmindex
+
+// raceEnabled reports whether the race detector is compiled in. The
+// build-speed shape tests skip under it: race instrumentation slows
+// the two builders by different factors, so speedup ratios measured
+// under it are meaningless.
+const raceEnabled = true

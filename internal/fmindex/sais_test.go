@@ -1,0 +1,96 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// sentinelize strips sentinel bytes from b (rewriting them to 0x01)
+// and appends the unique smallest sentinel, producing a valid
+// suffix-array input from arbitrary bytes.
+func sentinelize(b []byte) []byte {
+	text := make([]byte, 0, len(b)+1)
+	for _, c := range b {
+		if c == 0 {
+			c = 1
+		}
+		text = append(text, c)
+	}
+	return append(text, 0)
+}
+
+func checkSAISAgainstReference(t *testing.T, label string, text []byte) {
+	t.Helper()
+	got := buildSuffixArray(text)
+	want := ReferenceSuffixArray(text)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s (n=%d): sa[%d] = %d, reference %d", label, len(text), i, got[i], want[i])
+		}
+	}
+}
+
+// TestSAISMatchesReference differentially tests the linear-time SA-IS
+// builder against the retained prefix-doubling oracle on random and
+// degenerate inputs.
+func TestSAISMatchesReference(t *testing.T) {
+	// Degenerate shapes that stress the LMS machinery.
+	allEqual := bytes.Repeat([]byte{'a'}, 4096)
+	twoSym := make([]byte, 4097)
+	for i := range twoSym {
+		twoSym[i] = byte('a' + i%2)
+	}
+	longRepeat := bytes.Repeat([]byte("abcabcab"), 700)
+	cases := map[string][]byte{
+		"all-equal":       allEqual,
+		"two-symbol":      twoSym,
+		"long-repeat":     longRepeat,
+		"single":          {},
+		"one-char":        {'x'},
+		"descending":      {'e', 'd', 'c', 'b', 'a'},
+		"ascending":       {'a', 'b', 'c', 'd', 'e'},
+		"banana":          []byte("banana"),
+		"mississippi":     []byte("mississippi"),
+		"lms-at-ends":     []byte("cabcabca"),
+		"repeat-plus-one": append(bytes.Repeat([]byte("ab"), 100), 'a'),
+	}
+	for label, body := range cases {
+		checkSAISAgainstReference(t, label, sentinelize(body))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		n := 1 + rng.Intn(3000)
+		sigma := 2 + rng.Intn(254)
+		body := make([]byte, n)
+		for j := range body {
+			body[j] = byte(1 + rng.Intn(sigma))
+		}
+		checkSAISAgainstReference(t, "random", sentinelize(body))
+	}
+}
+
+// FuzzSuffixArray fuzzes SA-IS against the prefix-doubling oracle on
+// arbitrary byte strings.
+func FuzzSuffixArray(f *testing.F) {
+	f.Add([]byte("banana"))
+	f.Add([]byte("mississippi"))
+	f.Add(bytes.Repeat([]byte{'a'}, 64))
+	f.Add([]byte("abababababababa"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		text := sentinelize(data)
+		got := buildSuffixArray(text)
+		want := ReferenceSuffixArray(text)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sa[%d] = %d, reference %d (n=%d)", i, got[i], want[i], len(text))
+			}
+		}
+	})
+}

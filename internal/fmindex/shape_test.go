@@ -1,0 +1,124 @@
+package fmindex
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// benchText returns ~size bytes of separator-joined workload text with
+// page boundaries every 16 docs, ready for Build.
+func benchText(size int) ([]byte, []int64, []postings.PageRef) {
+	gen := workload.NewTextGen(workload.DefaultTextConfig(13))
+	var text []byte
+	var starts []int64
+	var refs []postings.PageRef
+	i := 0
+	for len(text) < size {
+		if i%16 == 0 {
+			starts = append(starts, int64(len(text)))
+			refs = append(refs, postings.PageRef{File: 0, Page: uint32(len(refs))})
+		}
+		text = append(text, []byte(gen.Docs(1)[0])...)
+		text = append(text, Separator)
+		i++
+	}
+	return text, starts, refs
+}
+
+// TestSAISSpeedShape asserts the tentpole speedup: SA-IS must build
+// the suffix array of 1 MB of realistic text at least 2x faster than
+// the prefix-doubling reference. The margin is wide (SA-IS measures
+// ~5-10x here), so the test tolerates noisy CI machines.
+func TestSAISSpeedShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("speed shape is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	text, _, _ := benchText(1 << 20)
+	full := append(append(make([]byte, 0, len(text)+1), text...), Sentinel)
+
+	// One warmup each, then the timed runs.
+	buildSuffixArray(full)
+	ReferenceSuffixArray(full)
+
+	best := func(fn func([]byte) []int32) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			fn(full)
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	sais := best(buildSuffixArray)
+	ref := best(ReferenceSuffixArray)
+	t.Logf("1 MB text: SA-IS %v, prefix-doubling %v (%.1fx)", sais, ref, float64(ref)/float64(sais))
+	if ref < 2*sais {
+		t.Fatalf("SA-IS not 2x faster: %v vs reference %v", sais, ref)
+	}
+}
+
+// TestParallelEncodeScales asserts the encode pipeline uses the worker
+// pool: with all cores, appendIndexComponents must beat the
+// single-worker run, and both runs must emit identical bytes.
+func TestParallelEncodeScales(t *testing.T) {
+	if raceEnabled {
+		t.Skip("scaling shape is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skip("needs >= 4 CPUs to measure scaling")
+	}
+	text, starts, refs := benchText(4 << 20)
+	full := append(append(make([]byte, 0, len(text)+1), text...), Sentinel)
+	sa := buildSuffixArray(full)
+	opts := BuildOptions{BlockSize: 32 << 10, PageMapBlock: 16 << 10}
+
+	run := func(workers int) ([]byte, time.Duration) {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		var bestD time.Duration = 1<<63 - 1
+		var data []byte
+		for r := 0; r < 3; r++ {
+			b := component.NewBuilder(component.KindFM)
+			start := time.Now()
+			if err := appendIndexComponents(b, full, sa, starts, refs, opts); err != nil {
+				t.Fatal(err)
+			}
+			d := time.Since(start)
+			out, err := b.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data = out
+			if d < bestD {
+				bestD = d
+			}
+		}
+		return data, bestD
+	}
+
+	serialBytes, serial := run(1)
+	parallelBytes, par := run(runtime.NumCPU())
+	t.Logf("encode 4 MB: 1 worker %v, %d workers %v (%.1fx)", serial, runtime.NumCPU(), par, float64(serial)/float64(par))
+	if !bytes.Equal(serialBytes, parallelBytes) {
+		t.Fatal("worker count changed the encoded bytes")
+	}
+	// Conservative bar: any real pool shows >= 1.3x on 4 cores; the
+	// deflate stage alone is embarrassingly parallel.
+	if float64(serial) < 1.3*float64(par) {
+		t.Fatalf("parallel encode did not scale: 1 worker %v vs %d workers %v", serial, runtime.NumCPU(), par)
+	}
+}

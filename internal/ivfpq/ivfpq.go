@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"rottnest/internal/component"
+	"rottnest/internal/parallel"
 	"rottnest/internal/postings"
 )
 
@@ -130,7 +131,7 @@ func BuildInto(b *component.Builder, vectors [][]float32, refs []postings.RowRef
 	// the assignment scan dominates build time at scale).
 	assign := make([]int, len(vectors))
 	residuals := make([][]float32, len(vectors))
-	parallelFor(len(vectors), func(lo, hi int) {
+	parallel.For(len(vectors), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := vectors[i]
 			c, _ := nearest(centroids, v)
@@ -169,7 +170,7 @@ func BuildInto(b *component.Builder, vectors [][]float32, refs []postings.RowRef
 
 	// Encode (parallel).
 	codes := make([][]byte, len(vectors))
-	parallelFor(len(residuals), func(lo, hi int) {
+	parallel.For(len(residuals), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			r := residuals[i]
 			code := make([]byte, opts.M)
@@ -187,36 +188,55 @@ func BuildInto(b *component.Builder, vectors [][]float32, refs []postings.RowRef
 		lists[c] = append(lists[c], i)
 	}
 
-	// Serialize lists into components.
+	// Serialize lists into components: each list's payload is encoded
+	// independently in parallel, then lists are grouped into components
+	// under the serial flush rule (close a component once it reaches
+	// TargetComponentBytes after a list completes) and the groups are
+	// deflated in parallel by AddAll. The emitted bytes match the old
+	// serial single-buffer encode exactly.
+	listBufs := make([][]byte, nlist)
+	parallel.ForEach(nlist, func(li int) {
+		members := lists[li]
+		buf := binary.AppendUvarint(nil, uint64(len(members)))
+		for _, vi := range members {
+			buf = binary.AppendUvarint(buf, uint64(refs[vi].File))
+			buf = binary.AppendVarint(buf, refs[vi].Row)
+			buf = append(buf, codes[vi]...)
+		}
+		listBufs[li] = buf
+	})
+
 	descs := make([]listDesc, nlist)
-	var cur []byte
-	curLists := []int{}
-	flush := func() {
-		if len(curLists) == 0 {
+	type group struct{ first, end int }
+	var groups []group
+	var payloads [][]byte
+	curFirst, curLen := 0, 0
+	closeGroup := func(end int) {
+		if end == curFirst {
 			return
 		}
-		id := b.Add(cur)
-		for _, li := range curLists {
-			descs[li].ComponentID = id
+		payload := make([]byte, 0, curLen)
+		for li := curFirst; li < end; li++ {
+			payload = append(payload, listBufs[li]...)
 		}
-		cur = nil
-		curLists = nil
+		groups = append(groups, group{first: curFirst, end: end})
+		payloads = append(payloads, payload)
+		curFirst, curLen = end, 0
 	}
-	for li, members := range lists {
-		start := len(cur)
-		cur = binary.AppendUvarint(cur, uint64(len(members)))
-		for _, vi := range members {
-			cur = binary.AppendUvarint(cur, uint64(refs[vi].File))
-			cur = binary.AppendVarint(cur, refs[vi].Row)
-			cur = append(cur, codes[vi]...)
-		}
-		descs[li] = listDesc{ByteOffset: start, ByteLen: len(cur) - start, Count: len(members)}
-		curLists = append(curLists, li)
-		if len(cur) >= opts.TargetComponentBytes {
-			flush()
+	for li := 0; li < nlist; li++ {
+		descs[li] = listDesc{ByteOffset: curLen, ByteLen: len(listBufs[li]), Count: len(lists[li])}
+		curLen += len(listBufs[li])
+		if curLen >= opts.TargetComponentBytes {
+			closeGroup(li + 1)
 		}
 	}
-	flush()
+	closeGroup(nlist)
+	firstID := b.AddAll(payloads)
+	for gi, g := range groups {
+		for li := g.first; li < g.end; li++ {
+			descs[li].ComponentID = firstID + gi
+		}
+	}
 
 	// Root.
 	root := encodeRoot(dim, opts.M, subdim, centroids, codebooks, descs, len(vectors))

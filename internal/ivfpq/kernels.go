@@ -1,0 +1,74 @@
+package ivfpq
+
+import "math"
+
+// l2sq returns the squared Euclidean distance between equal-length
+// vectors. The loop is unrolled by four with an up-front reslice so
+// the compiler drops bounds checks, but keeps a single accumulator:
+// the floating-point additions happen in exactly the original serial
+// order, so k-means — and therefore the index bytes — are unchanged.
+func l2sq(a, b []float32) float32 {
+	b = b[:len(a)]
+	var sum float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0 * d0
+		sum += d1 * d1
+		sum += d2 * d2
+		sum += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// l2sqBounded is l2sq with early abandonment: once the partial sum
+// exceeds bound the final distance cannot beat it, so the scan stops
+// and returns the (already > bound) partial. Partial sums of
+// non-negative terms are monotone under IEEE rounding, and the
+// additions run in the same order as l2sq, so a completed scan returns
+// the bit-identical full distance.
+func l2sqBounded(a, b []float32, bound float32) float32 {
+	b = b[:len(a)]
+	var sum float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0 * d0
+		sum += d1 * d1
+		sum += d2 * d2
+		sum += d3 * d3
+		if sum > bound {
+			return sum
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// nearest returns the index of the centroid closest to v and the
+// squared distance. Early abandonment against the best distance so far
+// is exact (see l2sqBounded): an abandoned candidate's true distance
+// is at least the returned partial, which already exceeds bestD, so
+// the winner and its distance match the exhaustive scan bit for bit.
+func nearest(centroids [][]float32, v []float32) (int, float32) {
+	best, bestD := 0, float32(math.MaxFloat32)
+	for i, c := range centroids {
+		if d := l2sqBounded(c, v, bestD); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,66 +1,16 @@
 package ivfpq
 
 import (
-	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+
+	"rottnest/internal/parallel"
 )
-
-// parallelFor runs fn over [0, n) on up to GOMAXPROCS goroutines.
-// K-means assignment and PQ encoding dominate index build time; the
-// paper notes the indexing API is internally parallel.
-func parallelFor(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// l2sq returns the squared Euclidean distance between equal-length
-// vectors.
-func l2sq(a, b []float32) float32 {
-	var sum float32
-	for i := range a {
-		d := a[i] - b[i]
-		sum += d * d
-	}
-	return sum
-}
-
-// nearest returns the index of the centroid closest to v and the
-// squared distance.
-func nearest(centroids [][]float32, v []float32) (int, float32) {
-	best, bestD := 0, float32(math.MaxFloat32)
-	for i, c := range centroids {
-		if d := l2sq(c, v); d < bestD {
-			best, bestD = i, d
-		}
-	}
-	return best, bestD
-}
 
 // kmeans clusters points into k centroids with kmeans++ seeding and
 // iters Lloyd iterations. It returns the centroids; k is clamped to
-// len(points).
+// len(points). K-means assignment and PQ encoding dominate index build
+// time; the paper notes the indexing API is internally parallel — the
+// assignment scan runs on all cores via the shared worker pool.
 func kmeans(points [][]float32, k, iters int, rng *rand.Rand) [][]float32 {
 	if len(points) == 0 || k <= 0 {
 		return nil
@@ -116,7 +66,7 @@ func kmeans(points [][]float32, k, iters int, rng *rand.Rand) [][]float32 {
 	assign := make([]int, len(points))
 	changedFlags := make([]bool, len(points))
 	for it := 0; it < iters; it++ {
-		parallelFor(len(points), func(lo, hi int) {
+		parallel.For(len(points), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				c, _ := nearest(centroids, points[i])
 				changedFlags[i] = assign[i] != c

@@ -1,0 +1,54 @@
+package trie
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"testing"
+
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// trieGoldenHash is the SHA-256 of the index file built by the
+// original serial builder (pre-parallel seed code) for
+// goldenTrieInput. The parallel bucketed build must keep emitting
+// byte-identical files.
+const trieGoldenHash = "7dd49dec652799b3650454d48ef35cd3f867cdfcd60913b2f410b0405d90dbe9"
+
+func goldenTrieInput() ([][16]byte, []postings.PageRef) {
+	keys := workload.NewUUIDGen(42).Batch(5000)
+	for i := 0; i < 500; i++ {
+		keys = append(keys, keys[i%100]) // duplicates across pages
+	}
+	refs := make([]postings.PageRef, len(keys))
+	for i := range refs {
+		refs[i] = postings.PageRef{File: uint32(i / 256), Page: uint32(i % 256)}
+	}
+	return keys, refs
+}
+
+func TestBuildGoldenBytes(t *testing.T) {
+	keys, refs := goldenTrieInput()
+	opts := BuildOptions{TargetComponentBytes: 8 << 10}
+	data, err := Build(keys, refs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(data)
+	if got := hex.EncodeToString(h[:]); got != trieGoldenHash {
+		t.Fatalf("trie index bytes diverged from the seed build:\n got %s\nwant %s", got, trieGoldenHash)
+	}
+
+	// The parallel build must be independent of the worker count.
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := Build(keys, refs, opts)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, data) {
+		t.Fatal("trie index bytes differ between GOMAXPROCS=1 and parallel build")
+	}
+}

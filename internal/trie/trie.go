@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"rottnest/internal/component"
+	"rottnest/internal/parallel"
 	"rottnest/internal/postings"
 )
 
@@ -150,13 +151,31 @@ func BuildInto(b *component.Builder, keys [][16]byte, refs []postings.PageRef, o
 	}
 	opts = opts.withDefaults()
 
-	// Sort (key, ref) pairs and fold duplicate keys.
+	// Sort (key, ref) pairs: partition indices by first key byte in one
+	// counting pass, then sort the 256 partitions in parallel. The
+	// partition order equals the global sorted order, so this matches
+	// one full sort. Duplicate keys may land in any relative order
+	// across workers, which is harmless: their refs are folded into a
+	// single entry below and Dedup sorts them.
 	idx := make([]int, len(keys))
-	for i := range idx {
-		idx[i] = i
+	var counts [257]int
+	for i := range keys {
+		counts[int(keys[i][0])+1]++
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return bytes.Compare(keys[idx[a]][:], keys[idx[b]][:]) < 0
+	for c := 1; c < 257; c++ {
+		counts[c] += counts[c-1]
+	}
+	place := counts
+	for i := range keys {
+		c := keys[i][0]
+		idx[place[c]] = i
+		place[c]++
+	}
+	parallel.ForEach(256, func(c int) {
+		part := idx[counts[c]:counts[c+1]]
+		sort.Slice(part, func(a, b int) bool {
+			return bytes.Compare(keys[part[a]][:], keys[part[b]][:]) < 0
+		})
 	})
 
 	type flat struct {
@@ -172,9 +191,11 @@ func BuildInto(b *component.Builder, keys [][16]byte, refs []postings.PageRef, o
 		flats = append(flats, flat{key: keys[i], refs: []postings.PageRef{refs[i]}})
 	}
 
-	// Truncate each key to LCP+1+ExtraBits.
+	// Truncate each key to LCP+1+ExtraBits. Each entry reads only its
+	// immediate neighbours, so the pass parallelizes cleanly.
 	entries := make([]*Entry, len(flats))
-	for i, f := range flats {
+	parallel.ForEach(len(flats), func(i int) {
+		f := flats[i]
 		lcp := 0
 		if i > 0 {
 			lcp = lcpBits(f.key[:], flats[i-1].key[:])
@@ -192,7 +213,7 @@ func BuildInto(b *component.Builder, keys [][16]byte, refs []postings.PageRef, o
 			bitLen = keyBits
 		}
 		entries[i] = truncate(f.key, bitLen, f.refs)
-	}
+	})
 	serializeInto(b, entries, opts)
 	return nil
 }
@@ -218,39 +239,76 @@ type bucketDesc struct {
 }
 
 // serializeInto packs sorted entries into leaf components bucketed by
-// their first byte, then appends the root lookup table.
+// their first byte, then appends the root lookup table. Buckets are
+// encoded in parallel and the resulting components compressed in
+// parallel; the grouping below reproduces the serial flush rule
+// exactly, so the emitted bytes are unchanged.
 func serializeInto(b *component.Builder, entries []*Entry, opts BuildOptions) {
 	var buckets [256]bucketDesc
 
-	var cur []byte
-	curStart := 0 // first bucket in cur
-	flush := func(endBucket int) {
-		if len(cur) == 0 {
-			return
-		}
-		id := b.Add(cur)
-		for bk := curStart; bk < endBucket; bk++ {
-			buckets[bk].ComponentID = id
-		}
-		cur = nil
-	}
-
+	// Partition the sorted entries into the 256 root buckets.
+	var bStart, bEnd [256]int
 	pos := 0
 	for bk := 0; bk < 256; bk++ {
-		start := len(cur)
-		count := 0
+		bStart[bk] = pos
 		for pos < len(entries) && int(entries[pos].Bits[0]) == bk {
-			cur = appendEntry(cur, entries[pos])
-			count++
 			pos++
 		}
-		buckets[bk] = bucketDesc{ByteOffset: start, ByteLen: len(cur) - start, Count: count}
-		if len(cur) >= opts.TargetComponentBytes {
-			flush(bk + 1)
-			curStart = bk + 1
+		bEnd[bk] = pos
+	}
+
+	// Encode each bucket independently; entries within a bucket are
+	// already in final order, so concatenating the buckets yields the
+	// same stream the serial single-buffer encode produced.
+	var bufs [256][]byte
+	parallel.ForEach(256, func(bk int) {
+		var buf []byte
+		for _, e := range entries[bStart[bk]:bEnd[bk]] {
+			buf = appendEntry(buf, e)
+		}
+		bufs[bk] = buf
+	})
+
+	// Group buckets into leaf components under the serial flush rule: a
+	// component closes as soon as it reaches TargetComponentBytes after
+	// a bucket completes. Empty trailing buckets keep ComponentID 0,
+	// matching the old builder (their Count is 0, so it is never read).
+	type group struct{ firstBucket, endBucket int }
+	var groups []group
+	var payloads [][]byte
+	curFirst, curLen := 0, 0
+	closeGroup := func(endBucket int) {
+		if curLen == 0 {
+			return
+		}
+		payload := make([]byte, 0, curLen)
+		for bk := curFirst; bk < endBucket; bk++ {
+			payload = append(payload, bufs[bk]...)
+		}
+		groups = append(groups, group{firstBucket: curFirst, endBucket: endBucket})
+		payloads = append(payloads, payload)
+		curLen = 0
+	}
+	for bk := 0; bk < 256; bk++ {
+		buckets[bk] = bucketDesc{
+			ByteOffset: curLen,
+			ByteLen:    len(bufs[bk]),
+			Count:      bEnd[bk] - bStart[bk],
+		}
+		curLen += len(bufs[bk])
+		if curLen >= opts.TargetComponentBytes {
+			closeGroup(bk + 1)
+			curFirst = bk + 1
 		}
 	}
-	flush(256)
+	closeGroup(256)
+
+	first := b.AddAll(payloads)
+	for gi, g := range groups {
+		for bk := g.firstBucket; bk < g.endBucket; bk++ {
+			buckets[bk].ComponentID = first + gi
+		}
+	}
 
 	// Root component: total entry count + 256 bucket descriptors.
 	root := binary.AppendUvarint(nil, uint64(len(entries)))
