@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke bench-cache bench-build
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,7 @@ check:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) test -race ./...
 	$(GO) test ./internal/bench/ ./internal/fmindex/
+	$(MAKE) trace-smoke
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
@@ -33,6 +34,18 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPageDecode -run '^FuzzPageDecode$$' -fuzztime=10s ./internal/parquet/
 	$(GO) test -fuzz=FuzzFMIndexOpen -run '^FuzzFMIndexOpen$$' -fuzztime=10s ./internal/fmindex/
 	$(GO) test -fuzz=FuzzSuffixArray -run '^FuzzSuffixArray$$' -fuzztime=10s ./internal/fmindex/
+
+# trace-smoke proves the observability path end to end: quickstart
+# runs every lookup through Client.Trace, writes the span trees as
+# JSON, and self-verifies them (parse-back, phase presence, phase
+# virtual durations summing exactly to the reported latency). A
+# failure exits nonzero and fails check.
+trace-smoke:
+	@tmp="$$(mktemp trace-smoke.XXXXXX.json)"; \
+	$(GO) run ./examples/quickstart -trace "$$tmp" >/dev/null; rc=$$?; \
+	rm -f "$$tmp"; \
+	if [ $$rc -ne 0 ]; then echo "trace-smoke failed"; exit $$rc; fi; \
+	echo "trace-smoke ok"
 
 # bench-cache records the read-cache warm-vs-cold experiment.
 bench-cache:

@@ -7,10 +7,14 @@
 //
 // Usage:
 //
-//	rottnest-bench [-quick] [-seed N] [-json FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
+//	rottnest-bench [-quick] [-seed N] [-json FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
 // throughput ablation distribution cache chaos build
+//
+// With -trace, experiments collect one exemplar span tree per search
+// site ("EXPLAIN ANALYZE" for the measured queries) and the map
+// {experiment: {site: tree}} is written as JSON.
 package main
 
 import (
@@ -81,6 +85,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-sized)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	jsonPath := flag.String("json", "", "write the experiment results as JSON to this file")
+	tracePath := flag.String("trace", "", "write per-experiment search span trees as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the runs) to this file")
 	flag.Usage = func() {
@@ -127,12 +132,16 @@ func main() {
 	}
 	opts := bench.Options{Seed: *seed, Quick: *quick, Out: os.Stdout}
 	results := make(map[string]any)
+	traces := make(map[string]map[string]*bench.TraceNode)
 	ran := false
 	for _, e := range experiments {
 		if target != "all" && target != e.name {
 			continue
 		}
 		ran = true
+		if *tracePath != "" {
+			opts.Trace = bench.NewTraceLog() // fresh log per experiment
+		}
 		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
 		start := time.Now()
 		res, err := e.run(opts)
@@ -141,12 +150,28 @@ func main() {
 			os.Exit(1)
 		}
 		results[e.name] = res
+		if nodes := opts.Trace.Nodes(); len(nodes) > 0 {
+			traces[e.name] = nodes
+		}
 		fmt.Printf("=== %s done in %v ===\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "rottnest-bench: unknown experiment %q\n\n", target)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *tracePath != "" {
+		data, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: marshal traces: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*tracePath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rottnest-bench: write %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("traces written to %s\n", *tracePath)
 	}
 	if *jsonPath != "" {
 		var payload any = results

@@ -330,6 +330,7 @@ func cmdSearch(args []string) error {
 	k := c.fs.Int("k", 10, "max results")
 	nprobe := c.fs.Int("nprobe", 8, "vector: coarse lists to probe")
 	refine := c.fs.Int("refine", 0, "vector: candidates to rerank (default 4k)")
+	explain := c.fs.Bool("explain", false, "print the search's span tree (EXPLAIN ANALYZE)")
 	if err := c.parse(args); err != nil {
 		return err
 	}
@@ -370,7 +371,18 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := client.Search(ctx, q)
+	var res *rottnest.Result
+	if *explain {
+		var tree *rottnest.TraceNode
+		res, tree, err = client.Trace(ctx, q)
+		if tree != nil {
+			if rerr := rottnest.RenderTrace(os.Stdout, tree); rerr != nil {
+				return rerr
+			}
+		}
+	} else {
+		res, err = client.Search(ctx, q)
+	}
 	if err != nil {
 		return err
 	}

@@ -3,18 +3,42 @@
 // store, indexes the UUID column, and runs point lookups that would
 // otherwise need a full scan — printing the simulated object-store
 // latency of each.
+//
+// With -trace FILE, every lookup runs through Client.Trace, the span
+// trees are written to FILE as JSON, and the program verifies its own
+// output: the file must parse back, each tree must contain the
+// search.plan and search.probe phases (and search.read when pages
+// were probed), and the phase virtual durations must sum exactly to
+// the latency the search reported. Any violation exits nonzero, which
+// is what `make trace-smoke` relies on.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"rottnest"
 	"rottnest/internal/workload"
 )
 
+// tracedLookup is one lookup's span tree plus the stats the search
+// itself reported, so the verification pass can cross-check them.
+type tracedLookup struct {
+	Pass      int                 `json:"pass"`
+	Key       string              `json:"key"`
+	LatencyNS int64               `json:"latency_ns"`
+	Pages     int                 `json:"pages_probed"`
+	Tree      *rottnest.TraceNode `json:"tree"`
+}
+
 func main() {
+	tracePath := flag.String("trace", "", "write per-lookup span trees as JSON to this file and self-verify them")
+	flag.Parse()
+
 	ctx := context.Background()
 
 	// A simulated S3: strong read-after-write consistency, ~30ms
@@ -26,7 +50,7 @@ func main() {
 		rottnest.Column{Name: "event_id", Type: rottnest.TypeFixedLenByteArray, TypeLen: 16},
 		rottnest.Column{Name: "payload", Type: rottnest.TypeByteArray},
 	)
-	table, err := rottnest.CreateTableWithClock(ctx, store, clock, "lake/events", schema)
+	table, err := rottnest.CreateTableWith(ctx, store, "lake/events", schema, rottnest.TableOptions{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +80,7 @@ func main() {
 	fmt.Printf("lake: %d files, %d rows\n", len(snap.Files), snap.LiveRows())
 
 	// Build the Rottnest index (one call covers all new files).
-	client := rottnest.NewClientWithClock(table, clock, rottnest.Config{IndexDir: "rottnest/events"})
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "rottnest/events", Clock: clock})
 	entry, err := client.Index(ctx, "event_id", rottnest.KindTrie)
 	if err != nil {
 		log.Fatal(err)
@@ -68,13 +92,28 @@ func main() {
 	// through a shared LRU cache (on by default), so repeating a
 	// lookup skips the object store: the second pass reports fewer
 	// GETs and lower simulated latency.
+	var traced []tracedLookup
 	for pass := 0; pass < 2; pass++ {
 		fmt.Printf("--- pass %d (%s) ---\n", pass+1, map[int]string{0: "cold", 1: "warm"}[pass])
 		for _, i := range []int{0, 25000, 59999} {
 			session := rottnest.NewSession()
 			sctx := rottnest.WithSession(ctx, session)
 			k := keys[i]
-			res, err := client.Search(sctx, rottnest.Query{Column: "event_id", UUID: &k, K: 1, Snapshot: -1})
+			q := rottnest.Query{Column: "event_id", UUID: &k, K: 1, Snapshot: -1}
+			var res *rottnest.Result
+			if *tracePath != "" {
+				var tree *rottnest.TraceNode
+				res, tree, err = client.Trace(sctx, q)
+				if err == nil {
+					traced = append(traced, tracedLookup{
+						Pass: pass + 1, Key: fmt.Sprintf("%x", k[:4]),
+						LatencyNS: int64(res.Stats.Latency),
+						Pages:     res.Stats.PagesProbed, Tree: tree,
+					})
+				}
+			} else {
+				res, err = client.Search(sctx, q)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -90,4 +129,66 @@ func main() {
 	snapTotals := metrics.Snapshot()
 	fmt.Printf("total object-store traffic: %d requests, %.1f MB read\n",
 		snapTotals.Requests(), float64(snapTotals.BytesRead)/1e6)
+
+	if *tracePath != "" {
+		if err := writeAndVerifyTraces(*tracePath, traced); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("traces: %d span trees written to %s and verified\n", len(traced), *tracePath)
+	}
+}
+
+// writeAndVerifyTraces persists the collected trees and then checks
+// them from the serialized form, so the round trip itself is part of
+// what the smoke test proves.
+func writeAndVerifyTraces(path string, traced []tracedLookup) error {
+	if len(traced) == 0 {
+		return fmt.Errorf("quickstart: no span trees collected")
+	}
+	data, err := json.MarshalIndent(traced, "", "  ")
+	if err != nil {
+		return fmt.Errorf("quickstart: marshal traces: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("quickstart: write %s: %w", path, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("quickstart: reread %s: %w", path, err)
+	}
+	var back []tracedLookup
+	if err := json.Unmarshal(raw, &back); err != nil {
+		return fmt.Errorf("quickstart: %s does not parse back: %w", path, err)
+	}
+	if len(back) != len(traced) {
+		return fmt.Errorf("quickstart: %s holds %d trees, expected %d", path, len(back), len(traced))
+	}
+	for _, t := range back {
+		where := fmt.Sprintf("pass %d lookup %s", t.Pass, t.Key)
+		if t.Tree == nil {
+			return fmt.Errorf("quickstart: %s: missing tree", where)
+		}
+		if err := t.Tree.Validate(); err != nil {
+			return fmt.Errorf("quickstart: %s: %w", where, err)
+		}
+		for _, phase := range []string{"search.plan", "search.probe"} {
+			if t.Tree.Find(phase) == nil {
+				return fmt.Errorf("quickstart: %s: no %s span", where, phase)
+			}
+		}
+		if t.Pages > 0 && t.Tree.Find("search.read") == nil {
+			return fmt.Errorf("quickstart: %s: probed %d pages but has no search.read span", where, t.Pages)
+		}
+		// Phase virtual durations must sum exactly to the latency the
+		// search reported: the session only advances inside phases.
+		var sum int64
+		for _, c := range t.Tree.Children {
+			sum += int64(c.Virtual)
+		}
+		if sum != t.LatencyNS {
+			return fmt.Errorf("quickstart: %s: phase virtual sum %dns != reported latency %dns", where, sum, t.LatencyNS)
+		}
+	}
+	return nil
 }

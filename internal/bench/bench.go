@@ -22,6 +22,7 @@ import (
 	"rottnest/internal/core"
 	"rottnest/internal/lake"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 	"rottnest/internal/simtime"
 	"rottnest/internal/workload"
@@ -44,6 +45,10 @@ type Options struct {
 	Quick bool
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
+	// Trace, when non-nil, collects one exemplar span tree per
+	// labelled search site (see TraceLog); rottnest-bench -trace
+	// writes the collected trees as JSON.
+	Trace *TraceLog
 }
 
 func (o Options) out() io.Writer {
@@ -68,6 +73,11 @@ type world struct {
 	metrics *objectstore.Metrics
 	table   *lake.Table
 	client  *core.Client
+
+	// trace/traceLabel make the next measured search record its span
+	// tree (see traced in trace.go).
+	trace      *TraceLog
+	traceLabel string
 }
 
 // newWorld builds a deployment. Optional wraps are applied to the
@@ -104,12 +114,13 @@ func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = -1
 	}
+	cfg.Clock = clock
 	return &world{
 		clock:   clock,
 		store:   store,
 		metrics: metrics,
 		table:   table,
-		client:  core.NewClient(table, clock, cfg),
+		client:  core.NewClient(table, cfg),
 	}, nil
 }
 
@@ -143,9 +154,21 @@ func (w *world) indexBytes(ctx context.Context) (int64, error) {
 // latency.
 func (w *world) searchLatency(ctx context.Context, queries []core.Query) (time.Duration, error) {
 	var total time.Duration
-	for _, q := range queries {
-		session := simtime.NewSession()
-		res, err := w.client.Search(simtime.With(ctx, session), q)
+	for i, q := range queries {
+		sctx := simtime.With(ctx, simtime.NewSession())
+		var (
+			res *core.Result
+			err error
+		)
+		if i == 0 && w.trace != nil {
+			// Tracing does not perturb the measurement: spans read the
+			// same session the plain path uses.
+			var node *obs.Node
+			res, node, err = w.client.Trace(sctx, q)
+			w.trace.Record(w.traceLabel, node)
+		} else {
+			res, err = w.client.Search(sctx, q)
+		}
 		if err != nil {
 			return 0, err
 		}
@@ -298,11 +321,22 @@ func newVectorWorldSpread(seed int64, n, dim, nQueries, clusters int, spread flo
 func (v *vectorWorld) recallAt(ctx context.Context, k, nprobe, refine int) (float64, time.Duration, error) {
 	var recallSum float64
 	var latency time.Duration
-	for _, q := range v.queryVs {
-		session := simtime.NewSession()
-		res, err := v.client.Search(simtime.With(ctx, session), core.Query{
+	for qi, q := range v.queryVs {
+		sctx := simtime.With(ctx, simtime.NewSession())
+		query := core.Query{
 			Column: "emb", Vector: q, K: k, NProbe: nprobe, Refine: refine, Snapshot: -1,
-		})
+		}
+		var (
+			res *core.Result
+			err error
+		)
+		if qi == 0 && v.trace != nil {
+			var node *obs.Node
+			res, node, err = v.client.Trace(sctx, query)
+			v.trace.Record(v.traceLabel, node)
+		} else {
+			res, err = v.client.Search(sctx, query)
+		}
 		if err != nil {
 			return 0, 0, err
 		}

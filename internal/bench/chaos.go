@@ -49,6 +49,7 @@ func Chaos(o Options) (*ChaosResult, error) {
 		return nil, err
 	}
 	queries := clean.queries(nq)
+	clean.traced(o.Trace, "chaos.clean")
 	cleanLat, err := clean.searchLatency(ctx, queries)
 	if err != nil {
 		return nil, err
@@ -81,6 +82,7 @@ func Chaos(o Options) (*ChaosResult, error) {
 	if _, err := storm.indexAndCompact(ctx, "id", component.KindTrie); err != nil {
 		return nil, err
 	}
+	storm.traced(o.Trace, "chaos.storm")
 	stormLat, err := storm.searchLatency(ctx, storm.queries(nq))
 	if err != nil {
 		return nil, err

@@ -86,6 +86,7 @@ func DistributionSensitivity(opts Options) (*DistributionResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		w.traced(opts.Trace, fmt.Sprintf("distribution.s%.1f", cfg.zipfS))
 		lat, err := w.searchLatency(ctx, []core.Query{{
 			Column: "body", Substring: []byte(ds[docs/2][:10]), K: 10, Snapshot: -1,
 		}})

@@ -58,6 +58,7 @@ func Fig11InSitu(opts Options) (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	uw.traced(opts.Trace, "fig11.insitu")
 	lat, err := uw.searchLatency(ctx, uw.queries(opts.scaleInt(10, 4)))
 	if err != nil {
 		return nil, err

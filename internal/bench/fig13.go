@@ -70,6 +70,7 @@ func Fig13Compaction(opts Options) (*Fig13Result, error) {
 				}
 				point.IndexFilesBefore = len(entries)
 				queries := tw.queries(3)
+				tw.traced(opts.Trace, "fig13.text")
 				lat, err := tw.searchLatency(ctx, queries)
 				if err != nil {
 					return nil, err
@@ -99,6 +100,7 @@ func Fig13Compaction(opts Options) (*Fig13Result, error) {
 				}
 				point.IndexFilesBefore = len(entries)
 				queries := uw.queries(4)
+				uw.traced(opts.Trace, "fig13.uuid")
 				lat, err := uw.searchLatency(ctx, queries)
 				if err != nil {
 					return nil, err

@@ -86,6 +86,7 @@ func measureUUIDApp(opts Options) (*AppMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	uw.traced(opts.Trace, "fig7.uuid")
 	lat, err := uw.searchLatency(ctx, uw.queries(opts.scaleInt(10, 4)))
 	if err != nil {
 		return nil, err
@@ -114,6 +115,7 @@ func measureTextApp(opts Options) (*AppMeasurement, error) {
 	if err != nil {
 		return nil, err
 	}
+	tw.traced(opts.Trace, "fig7.text")
 	lat, err := tw.searchLatency(ctx, tw.queries(opts.scaleInt(8, 3)))
 	if err != nil {
 		return nil, err

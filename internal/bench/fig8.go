@@ -131,8 +131,8 @@ func Fig8Scaling(opts Options) (*Fig8Result, error) {
 	fmt.Fprintln(out)
 	for _, a := range apps {
 		for _, s := range res.RottnestWorkers {
-			a.world.client = core.NewClient(a.world.table, a.world.clock, core.Config{
-				IndexDir: "rottnest", SearchWidth: 32 * s,
+			a.world.client = core.NewClient(a.world.table, core.Config{
+				IndexDir: "rottnest", SearchWidth: 32 * s, Clock: a.world.clock,
 			})
 			lat, err := a.world.searchLatency(ctx, a.queries)
 			if err != nil {

@@ -71,6 +71,7 @@ func Fig9VectorPhases(opts Options) (*Fig9Result, error) {
 	}
 	var points []sweepPoint
 	for _, c := range sweep {
+		vw.traced(opts.Trace, fmt.Sprintf("fig9.vector.nprobe%d", c.nprobe))
 		recall, latency, err := vw.recallAt(ctx, 10, c.nprobe, c.refine)
 		if err != nil {
 			return nil, err

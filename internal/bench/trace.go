@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"sync"
+
+	"rottnest/internal/obs"
+)
+
+// TraceNode is one node of a recorded span tree (see obs.Node).
+type TraceNode = obs.Node
+
+// TraceLog collects one representative span tree per labelled search
+// site across an experiment run, for rottnest-bench's -trace output.
+// Recording is first-wins per label: experiments run the same query
+// shape many times, and one exemplar tree per site is what a reader
+// wants to look at.
+type TraceLog struct {
+	mu    sync.Mutex
+	nodes map[string]*obs.Node
+}
+
+// NewTraceLog returns an empty log.
+func NewTraceLog() *TraceLog {
+	return &TraceLog{nodes: make(map[string]*obs.Node)}
+}
+
+// Record stores n under label unless the label is already taken.
+// Nil receivers and nil nodes are ignored, so call sites need no
+// guards.
+func (l *TraceLog) Record(label string, n *obs.Node) {
+	if l == nil || n == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.nodes[label]; !ok {
+		l.nodes[label] = n
+	}
+}
+
+// Nodes returns a copy of the label → tree map.
+func (l *TraceLog) Nodes() map[string]*obs.Node {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]*obs.Node, len(l.nodes))
+	for k, v := range l.nodes {
+		out[k] = v
+	}
+	return out
+}
+
+// traced marks the world so its next measured search records its span
+// tree into log under label (no-op when log is nil).
+func (w *world) traced(log *TraceLog, label string) {
+	w.trace = log
+	w.traceLabel = label
+}

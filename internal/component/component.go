@@ -49,6 +49,20 @@ const (
 	KindIVFPQ
 )
 
+// String names the kind for logs and trace attributes.
+func (k Kind) String() string {
+	switch k {
+	case KindTrie:
+		return "trie"
+	case KindFM:
+		return "fm"
+	case KindIVFPQ:
+		return "ivfpq"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
 // Builder assembles a component file. Add components in access-cost
 // order: components added later sit nearer the directory and are
 // captured by the reader's single suffix read, so builders append the

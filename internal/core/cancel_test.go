@@ -49,7 +49,7 @@ func TestSearchCanceledMidFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := NewClient(table, clock, Config{IndexDir: "rottnest"})
+	cli := NewClient(table, Config{Clock: clock, IndexDir: "rottnest"})
 	e := &env{clock: clock, mem: mem, table: table, cli: cli}
 	gen := workload.NewUUIDGen(32)
 	keys, _ := e.appendUUIDs(t, gen, 512)

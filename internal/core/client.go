@@ -30,6 +30,7 @@ import (
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 	"rottnest/internal/simtime"
 	"rottnest/internal/trie"
@@ -59,6 +60,10 @@ type Config struct {
 	// IndexDir is the key prefix (the paper's index_dir bucket) that
 	// holds index files and the metadata table.
 	IndexDir string
+	// Clock is the world clock stamping index timeouts and vacuum
+	// cutoffs. nil means the real wall clock; simulations pass the
+	// world's VirtualClock.
+	Clock simtime.Clock
 	// Timeout is the index timeout: index/compact operations abort
 	// rather than commit beyond it, and vacuum may physically delete
 	// uncommitted objects older than it (Section IV-C). Defaults to
@@ -132,17 +137,26 @@ type Client struct {
 	cache *objectstore.CachedStore
 	inst  *objectstore.Instrumented
 	retry *objectstore.RetryStore
+	// reg holds the client's own "search.*" metrics; Metrics() merges
+	// it with the store-layer registries.
+	reg         *obs.Registry
+	searches    *obs.Counter
+	pagesProbed *obs.Counter
+	scannedFull *obs.Counter
+	latencyHist *obs.Histogram
 }
 
 // NewClient returns a client over the table, storing its index under
-// cfg.IndexDir on the table's object store.
+// cfg.IndexDir on the table's object store. The world clock comes
+// from cfg.Clock (nil = real time).
 //
 // Unless cfg.CacheBytes is negative, the client's reads (index files,
 // probed data pages, deletion vectors, metadata log) flow through a
 // shared LRU read cache with singleflight coalescing, layered over
 // the table's store. If the table was itself built on a CachedStore,
 // that cache is reused — then lake snapshot reads share it too.
-func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
+func NewClient(table *lake.Table, cfg Config) *Client {
+	clock := cfg.Clock
 	if clock == nil {
 		clock = simtime.RealClock{}
 	}
@@ -163,16 +177,30 @@ func NewClient(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
 		})
 		store = cache
 	}
+	reg := obs.NewRegistry()
 	return &Client{
-		table: table,
-		store: store,
-		clock: clock,
-		cfg:   cfg,
-		meta:  meta.New(store, clock, cfg.IndexDir+"_meta/"),
-		cache: cache,
-		inst:  objectstore.FindInstrumented(store),
-		retry: retry,
+		table:       table,
+		store:       store,
+		clock:       clock,
+		cfg:         cfg,
+		meta:        meta.New(store, clock, cfg.IndexDir+"_meta/"),
+		cache:       cache,
+		inst:        objectstore.FindInstrumented(store),
+		retry:       retry,
+		reg:         reg,
+		searches:    reg.Counter("search.queries"),
+		pagesProbed: reg.Counter("search.pages_probed"),
+		scannedFull: reg.Counter("search.files_scanned"),
+		latencyHist: reg.Histogram("search.latency_ns"),
 	}
+}
+
+// NewClientWithClock returns a client using an explicit clock.
+//
+// Deprecated: set Config.Clock instead.
+func NewClientWithClock(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
+	cfg.Clock = clock
+	return NewClient(table, cfg)
 }
 
 // Meta exposes the metadata table (tests and tooling).
@@ -181,22 +209,41 @@ func (c *Client) Meta() *meta.Table { return c.meta }
 // Table returns the underlying lake table.
 func (c *Client) Table() *lake.Table { return c.table }
 
+// Metrics returns one merged snapshot of every metrics registry on
+// the client's store chain plus the client's own search counters:
+// "store.*" (request/byte totals), "cache.*" (hit/miss/eviction),
+// "retry.*" (recovery work), and "search.*" (query counts, pages
+// probed, latency histogram). The legacy CacheStats/RetryStats
+// snapshot structs are views derived from this snapshot.
+func (c *Client) Metrics() obs.Snapshot {
+	var snaps []obs.Snapshot
+	if c.retry != nil {
+		snaps = append(snaps, c.retry.Registry().Snapshot())
+	}
+	if c.inst != nil {
+		snaps = append(snaps, c.inst.Registry().Snapshot())
+	}
+	if c.cache != nil {
+		snaps = append(snaps, c.cache.Registry().Snapshot())
+	}
+	snaps = append(snaps, c.reg.Snapshot())
+	return obs.Merge(snaps...)
+}
+
 // CacheStats returns cumulative read-cache counters, or a zero value
 // when the cache is disabled.
+//
+// Deprecated: use Metrics; this is the "cache.*" slice of it.
 func (c *Client) CacheStats() objectstore.CacheStats {
-	if c.cache == nil {
-		return objectstore.CacheStats{}
-	}
-	return c.cache.Stats()
+	return objectstore.CacheStatsFrom(c.Metrics())
 }
 
 // RetryStats returns cumulative retry counters, or a zero value when
 // retries are disabled.
+//
+// Deprecated: use Metrics; this is the "retry.*" slice of it.
 func (c *Client) RetryStats() objectstore.RetryStats {
-	if c.retry == nil {
-		return objectstore.RetryStats{}
-	}
-	return c.retry.Stats()
+	return objectstore.RetryStatsFrom(c.Metrics())
 }
 
 // indexFilePrefix is where index files live under IndexDir.

@@ -12,6 +12,7 @@ import (
 	"rottnest/internal/ivfpq"
 	"rottnest/internal/meta"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/trie"
 )
 
@@ -43,7 +44,9 @@ type CompactOptions struct {
 // log and is fully decoupled from the lake's own compaction.
 func (c *Client) Compact(ctx context.Context, column string, kind component.Kind, opts CompactOptions) ([]meta.IndexEntry, error) {
 	start := c.clock.Now()
-	entries, err := c.meta.ListFor(ctx, column, kind)
+	pctx, planSpan := obs.Start(ctx, "compact.plan")
+	defer planSpan.End()
+	entries, err := c.meta.ListFor(pctx, column, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +56,9 @@ func (c *Client) Compact(ctx context.Context, column string, kind component.Kind
 			small = append(small, e)
 		}
 	}
+	planSpan.SetAttr("column", column)
+	planSpan.SetAttr("candidates", len(small))
+	planSpan.End() // idempotent: the defer covers the error return above
 	if len(small) < 2 {
 		return nil, nil
 	}
@@ -91,6 +97,10 @@ func (c *Client) Compact(ctx context.Context, column string, kind component.Kind
 // (deduplicated by path); each source's posting refs are rebased onto
 // it.
 func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kind, bin []meta.IndexEntry, start time.Time) (*meta.IndexEntry, error) {
+	mctx, mergeSpan := obs.Start(ctx, "compact.merge")
+	defer mergeSpan.End()
+	mergeSpan.SetAttr("sources", len(bin))
+	ctx = mctx
 	readers := make([]*component.Reader, len(bin))
 	manifests := make([]*Manifest, len(bin))
 	for i, e := range bin {
@@ -172,9 +182,12 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 		return nil, err
 	}
 	indexKey := c.cfg.IndexDir + indexFilePrefix + randomName() + ".index"
+	mergeSpan.SetAttr("key", indexKey)
+	mergeSpan.SetAttr("bytes", len(data))
 	if err := c.store.Put(ctx, indexKey, data); err != nil {
 		return nil, err
 	}
+	mergeSpan.End()
 	if c.clock.Now().Sub(start) > c.cfg.Timeout {
 		return nil, fmt.Errorf("core: compact of %d index files: %w", len(bin), ErrTimeout)
 	}
@@ -190,14 +203,19 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 		Rows:      totalRows,
 		SizeBytes: int64(len(data)),
 	}
-	if err := c.meta.Insert(ctx, entry); err != nil {
+	cctx, commitSpan := obs.Start(ctx, "compact.commit")
+	defer commitSpan.End()
+	if err := c.meta.Insert(cctx, entry); err != nil {
 		return nil, err
 	}
+	commitSpan.End()
 	// Post-commit timeout re-check, mirroring IndexAt: if the clock
 	// passed the deadline between the check above and the insert, a
 	// vacuum may have collected the upload as an orphan — roll back.
 	if c.clock.Now().Sub(start) > c.cfg.Timeout {
-		if err := c.meta.Delete(ctx, entry.IndexKey); err != nil {
+		rctx, rollbackSpan := obs.Start(ctx, "compact.rollback")
+		defer rollbackSpan.End()
+		if err := c.meta.Delete(rctx, entry.IndexKey); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("core: compact of %d index files overran commit: %w", len(bin), ErrTimeout)

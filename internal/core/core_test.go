@@ -54,7 +54,8 @@ func newEnv(t testing.TB, schema *parquet.Schema, cfg Config) *env {
 	if cfg.IndexDir == "" {
 		cfg.IndexDir = "rottnest"
 	}
-	return &env{clock: clock, mem: mem, store: store, table: table, cli: NewClient(table, clock, cfg)}
+	cfg.Clock = clock
+	return &env{clock: clock, mem: mem, store: store, table: table, cli: NewClient(table, cfg)}
 }
 
 // appendUUIDs appends a batch of uuid rows and returns the keys.
@@ -564,7 +565,7 @@ func TestIndexTimeoutWithAdvancingClock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := NewClient(table, clock, Config{IndexDir: "rottnest", Timeout: time.Hour})
+	cli := NewClient(table, Config{Clock: clock, IndexDir: "rottnest", Timeout: time.Hour})
 
 	gen := workload.NewUUIDGen(15)
 	keys := gen.Batch(100)
@@ -641,7 +642,7 @@ func TestFailedCommitLeavesOrphanNotCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := NewClient(table, clock, Config{IndexDir: "rottnest"})
+	cli := NewClient(table, Config{Clock: clock, IndexDir: "rottnest"})
 	gen := workload.NewUUIDGen(17)
 	keys := gen.Batch(50)
 	b := parquet.NewBatch(uuidSchema)

@@ -16,6 +16,7 @@ import (
 	"rottnest/internal/ivfpq"
 	"rottnest/internal/meta"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 	"rottnest/internal/postings"
 	"rottnest/internal/simtime"
@@ -53,7 +54,9 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	start := c.clock.Now()
 
 	// Plan.
-	snap, err := c.table.SnapshotAt(ctx, version)
+	pctx, planSpan := obs.Start(ctx, "index.plan")
+	defer planSpan.End()
+	snap, err := c.table.SnapshotAt(pctx, version)
 	if err != nil {
 		return nil, err
 	}
@@ -61,7 +64,7 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	if err != nil {
 		return nil, err
 	}
-	existing, err := c.meta.ListFor(ctx, column, kind)
+	existing, err := c.meta.ListFor(pctx, column, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +80,10 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 			newFiles = append(newFiles, ManifestFile{Path: f.Path, Rows: f.Rows})
 		}
 	}
+	planSpan.SetAttr("column", column)
+	planSpan.SetAttr("kind", kind.String())
+	planSpan.SetAttr("new_files", len(newFiles))
+	planSpan.End() // idempotent: the defer covers the error returns above
 	if len(newFiles) == 0 {
 		return nil, nil
 	}
@@ -112,12 +119,14 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 			columns[i] = parquet.ColumnValues{} // release the scanned values
 		}
 	}()
+	scanCtx, scanSpan := obs.Start(ctx, "index.scan")
+	scanSpan.SetAttr("files", len(newFiles))
 	session := simtime.From(ctx)
 	session.ParallelN(len(newFiles), c.cfg.SearchWidth, func(i int, s *simtime.Session) {
 		defer close(scanned[i])
-		bctx := ctx
+		bctx := scanCtx
 		if s != nil {
-			bctx = simtime.With(ctx, s)
+			bctx = simtime.With(scanCtx, s)
 		}
 		vals, pages, _, err := parquet.ScanColumn(bctx, c.store, c.table.Root()+newFiles[i].Path, ci)
 		if err != nil {
@@ -129,6 +138,7 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 		columns[i] = vals
 	})
 	<-asmDone
+	scanSpan.End()
 	for i, err := range scanErrs {
 		if err != nil {
 			if errors.Is(err, objectstore.ErrNotFound) {
@@ -144,6 +154,8 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 		return nil, fmt.Errorf("core: %d new rows < %d: %w", totalRows, c.cfg.MinVectorRows, ErrBelowMinRows)
 	}
 
+	_, buildSpan := obs.Start(ctx, "index.build")
+	defer buildSpan.End()
 	manifestJSON, err := json.Marshal(manifest)
 	if err != nil {
 		return nil, fmt.Errorf("core: encode manifest: %w", err)
@@ -168,12 +180,19 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	if err != nil {
 		return nil, err
 	}
+	buildSpan.SetAttr("rows", totalRows)
+	buildSpan.SetAttr("bytes", len(data))
+	buildSpan.End()
 
 	// Upload.
+	uctx, uploadSpan := obs.Start(ctx, "index.upload")
+	defer uploadSpan.End()
 	indexKey := c.cfg.IndexDir + indexFilePrefix + randomName() + ".index"
-	if err := c.store.Put(ctx, indexKey, data); err != nil {
+	uploadSpan.SetAttr("key", indexKey)
+	if err := c.store.Put(uctx, indexKey, data); err != nil {
 		return nil, err
 	}
+	uploadSpan.End()
 
 	// Timeout check, then commit.
 	if c.clock.Now().Sub(start) > c.cfg.Timeout {
@@ -191,9 +210,12 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 		Rows:      totalRows,
 		SizeBytes: int64(len(data)),
 	}
-	if err := c.meta.Insert(ctx, entry); err != nil {
+	cctx, commitSpan := obs.Start(ctx, "index.commit")
+	defer commitSpan.End()
+	if err := c.meta.Insert(cctx, entry); err != nil {
 		return nil, err
 	}
+	commitSpan.End()
 	// Re-check the timeout after commit: the clock can pass the
 	// deadline between the check above and the insert, and a vacuum
 	// judging object age by that same clock may already have collected
@@ -202,7 +224,9 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	// commit back restores the Existence invariant and the caller
 	// retries cleanly.
 	if c.clock.Now().Sub(start) > c.cfg.Timeout {
-		if err := c.meta.Delete(ctx, entry.IndexKey); err != nil {
+		rctx, rollbackSpan := obs.Start(ctx, "index.rollback")
+		defer rollbackSpan.End()
+		if err := c.meta.Delete(rctx, entry.IndexKey); err != nil {
 			return nil, err
 		}
 		return nil, fmt.Errorf("core: index of %d files overran commit: %w", len(newFiles), ErrTimeout)

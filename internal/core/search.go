@@ -16,6 +16,7 @@ import (
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 	"rottnest/internal/postings"
 	"rottnest/internal/simtime"
@@ -187,6 +188,11 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		snapVersion = -1
 	}
 	attempt := func(excluded map[string]bool) (*Result, error) {
+		// The plan phase is one span on the root session: its virtual
+		// duration is exactly the session time the planning round costs,
+		// so sibling phase durations sum to the search latency.
+		pctx, planSpan := obs.Start(ctx, "search.plan")
+		defer planSpan.End()
 		// Plan. The lake snapshot and the metadata table are
 		// independent logs; read them in parallel so planning pays one
 		// round of LIST latency, not two.
@@ -195,10 +201,10 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		var snapErr, metaErr error
 		session.Parallel(
 			func(s *simtime.Session) {
-				snap, snapErr = c.table.SnapshotAt(simtime.With(ctx, s), snapVersion)
+				snap, snapErr = c.table.SnapshotAt(simtime.With(pctx, s), snapVersion)
 			},
 			func(s *simtime.Session) {
-				entries, metaErr = c.meta.ListFor(simtime.With(ctx, s), q.Column, kind)
+				entries, metaErr = c.meta.ListFor(simtime.With(pctx, s), q.Column, kind)
 			},
 		)
 		if snapErr != nil {
@@ -265,6 +271,12 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 			}
 		}
 		stats := Stats{IndexFiles: len(chosen), CoveredFiles: len(covered), UnindexedFiles: len(unindexed), PrunedFiles: len(snap.Files) - len(searched)}
+		planSpan.SetAttr("snapshot", snap.Version)
+		planSpan.SetAttr("index_files", stats.IndexFiles)
+		planSpan.SetAttr("covered_files", stats.CoveredFiles)
+		planSpan.SetAttr("unindexed_files", stats.UnindexedFiles)
+		planSpan.SetAttr("pruned_files", stats.PrunedFiles)
+		planSpan.End() // idempotent: the defer covers the early error returns
 
 		switch kind {
 		case component.KindTrie, component.KindFM:
@@ -319,6 +331,10 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		result.Stats.Retries = r.Retries
 		result.Stats.ThrottleWaits = r.ThrottleWaits
 	}
+	c.searches.Inc()
+	c.pagesProbed.Add(int64(result.Stats.PagesProbed))
+	c.scannedFull.Add(int64(result.Stats.FilesScanned))
+	c.latencyHist.Observe(int64(result.Stats.Latency))
 	return result, nil
 }
 
@@ -363,6 +379,15 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 	// may truncate; the caller retries unbounded if the bounded pass
 	// under-fills an exact top-K.
 	runPass := func(unbounded bool) ([]insitu.Match, bool, error) {
+		// Probe phase: fan the index-file queries. The span lives on the
+		// root session; per-index "index.probe" children live on their
+		// branch sessions.
+		probeCtx, probeSpan := obs.Start(ctx, "search.probe")
+		defer probeSpan.End()
+		probeSpan.SetAttr("index_files", len(chosen))
+		if unbounded {
+			probeSpan.SetAttr("unbounded", true)
+		}
 		targets := make(map[string]*probeTarget)
 		anyTruncated := false
 		var mu sync.Mutex
@@ -372,9 +397,9 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 			entry := chosen[i]
 			idx := i
 			branches[i] = func(s *simtime.Session) {
-				bctx := ctx
+				bctx := probeCtx
 				if s != nil {
-					bctx = simtime.With(ctx, s)
+					bctx = simtime.With(probeCtx, s)
 				}
 				found, truncated, err := c.queryIndexExact(bctx, entry, kind, q, fmPattern, unbounded)
 				if err != nil {
@@ -404,18 +429,25 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 			}
 		}
 		runBranches(session, c.cfg.SearchWidth, branches)
+		probeSpan.End()
 		for _, err := range errs {
 			if err != nil {
 				return nil, false, err
 			}
 		}
 
-		// In-situ probing, parallel across files.
+		// Read phase: in-situ probing, parallel across files.
 		paths := make([]*probeTarget, 0, len(targets))
+		pagesThisPass := 0
 		for _, t := range targets {
 			paths = append(paths, t)
 			stats.PagesProbed += len(t.pages)
+			pagesThisPass += len(t.pages)
 		}
+		readCtx, readSpan := obs.Start(ctx, "search.read")
+		defer readSpan.End()
+		readSpan.SetAttr("files", len(paths))
+		readSpan.SetAttr("pages", pagesThisPass)
 		probeErrs := make([]error, len(paths))
 		probeOut := make([][]insitu.Match, len(paths))
 		branches = make([]func(*simtime.Session), len(paths))
@@ -423,9 +455,9 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 			t := paths[i]
 			idx := i
 			branches[i] = func(s *simtime.Session) {
-				bctx := ctx
+				bctx := readCtx
 				if s != nil {
-					bctx = simtime.With(ctx, s)
+					bctx = simtime.With(readCtx, s)
 				}
 				dv, err := c.table.ReadDeletionVector(bctx, t.file)
 				if err != nil {
@@ -436,6 +468,7 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 			}
 		}
 		runBranches(session, c.cfg.SearchWidth, branches)
+		readSpan.End()
 		for _, err := range probeErrs {
 			if err != nil {
 				return nil, false, err
@@ -484,6 +517,10 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 // for the query key/pattern. The manifest (component 0) is fetched in
 // parallel with the index probe itself.
 func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kind component.Kind, q Query, fmPattern []byte, unbounded bool) (map[string][]parquet.PageInfo, bool, error) {
+	ctx, span := obs.Start(ctx, "index.probe")
+	defer span.End()
+	span.SetAttr("index", entry.IndexKey)
+	span.SetAttr("kind", kind.String())
 	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
 	if err != nil {
 		return nil, false, err
@@ -548,11 +585,19 @@ func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kin
 		}
 		out[mf.Path] = append(out[mf.Path], mf.Pages[ref.Page])
 	}
+	span.SetAttr("refs", len(refs))
+	if truncated {
+		span.SetAttr("truncated", true)
+	}
 	return out, truncated, nil
 }
 
-// scanFiles scans unindexed files in parallel with the predicate.
+// scanFiles scans unindexed files in parallel with the predicate, as
+// one "search.scan" phase span.
 func (c *Client) scanFiles(ctx context.Context, files []lake.DataFile, colIdx int, pred insitu.Predicate) ([]insitu.Match, error) {
+	ctx, span := obs.Start(ctx, "search.scan")
+	defer span.End()
+	span.SetAttr("files", len(files))
 	session := simtime.From(ctx)
 	outs := make([][]insitu.Match, len(files))
 	errs := make([]error, len(files))
@@ -624,7 +669,11 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 		refine = q.K
 	}
 
-	// Query all chosen vector index files in parallel.
+	// Probe phase: query all chosen vector index files in parallel.
+	probeCtx, probeSpan := obs.Start(ctx, "search.probe")
+	defer probeSpan.End()
+	probeSpan.SetAttr("index_files", len(chosen))
+	probeSpan.SetAttr("nprobe", nprobe)
 	candLists := make([][]vecCandidate, len(chosen))
 	errs := make([]error, len(chosen))
 	branches := make([]func(*simtime.Session), len(chosen))
@@ -632,9 +681,9 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 		entry := chosen[i]
 		idx := i
 		branches[i] = func(s *simtime.Session) {
-			bctx := ctx
+			bctx := probeCtx
 			if s != nil {
-				bctx = simtime.With(ctx, s)
+				bctx = simtime.With(probeCtx, s)
 			}
 			candLists[idx], errs[idx] = c.queryIndexVector(bctx, entry, q.Vector, nprobe, refine, fileByPath)
 			if errs[idx] != nil && errors.Is(errs[idx], objectstore.ErrNotFound) {
@@ -643,6 +692,7 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 		}
 	}
 	runBranches(session, c.cfg.SearchWidth, branches)
+	probeSpan.End()
 	var cands []vecCandidate
 	for i := range chosen {
 		if errs[i] != nil {
@@ -657,8 +707,13 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 		cands = cands[:refine]
 	}
 
-	// Refine: fetch the candidate pages in situ and score exactly.
-	matches, pages, err := c.refineCandidates(ctx, q, snap, cands)
+	// Read phase: fetch the candidate pages in situ and score exactly.
+	readCtx, readSpan := obs.Start(ctx, "search.read")
+	defer readSpan.End()
+	readSpan.SetAttr("candidates", len(cands))
+	matches, pages, err := c.refineCandidates(readCtx, q, snap, cands)
+	readSpan.SetAttr("pages", pages)
+	readSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -691,6 +746,10 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 // queryIndexVector opens one vector index file, probes it, and
 // resolves candidates to snapshot files and pages.
 func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, vec []float32, nprobe, maxCands int, fileByPath map[string]lake.DataFile) ([]vecCandidate, error) {
+	ctx, span := obs.Start(ctx, "index.probe")
+	defer span.End()
+	span.SetAttr("index", entry.IndexKey)
+	span.SetAttr("kind", component.KindIVFPQ.String())
 	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
 	if err != nil {
 		return nil, err
@@ -742,6 +801,7 @@ func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, ve
 		}
 		out = append(out, vecCandidate{file: f, page: mf.Pages[pi], row: cand.Ref.Row, approx: cand.Dist})
 	}
+	span.SetAttr("candidates", len(out))
 	return out, nil
 }
 

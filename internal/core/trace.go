@@ -1,0 +1,32 @@
+package core
+
+import (
+	"context"
+
+	"rottnest/internal/obs"
+	"rottnest/internal/simtime"
+)
+
+// Trace runs Search with a trace attached and returns the result plus
+// the finished span tree — an "EXPLAIN ANALYZE" for the query. The
+// root "search" span's children are the protocol phases
+// (search.plan, search.probe, search.read, and search.scan when
+// unindexed files were scanned); under each phase sit the per-index
+// probes, in-situ page reads, and individual store requests.
+//
+// If ctx carries no simtime.Session, a fresh one is attached so the
+// trace records virtual durations: on a virtual clock the phase
+// spans' summed virtual time equals Result.Stats.Latency exactly,
+// because the session only advances inside phases.
+//
+// The tree is returned even when the search fails (nil Result), so
+// callers can see how far a failing query got.
+func (c *Client) Trace(ctx context.Context, q Query) (*Result, *obs.Node, error) {
+	if simtime.From(ctx) == nil {
+		ctx = simtime.With(ctx, simtime.NewSession())
+	}
+	ctx, root := obs.WithTrace(ctx, "search")
+	res, err := c.Search(ctx, q)
+	root.End()
+	return res, root.Tree(), err
+}

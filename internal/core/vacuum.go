@@ -7,6 +7,7 @@ import (
 
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
+	"rottnest/internal/obs"
 )
 
 // VacuumOptions tune garbage collection.
@@ -57,7 +58,9 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 	cutoff := c.clock.Now().Add(-c.cfg.Timeout)
 
 	// Plan: active paths across retained snapshots.
-	latest, err := c.table.Version(ctx)
+	pctx, planSpan := obs.Start(ctx, "vacuum.plan")
+	defer planSpan.End()
+	latest, err := c.table.Version(pctx)
 	if err != nil {
 		return nil, err
 	}
@@ -67,7 +70,7 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 	}
 	active := make(map[string]bool)
 	for v := keep; v <= latest; v++ {
-		snap, err := c.table.SnapshotAt(ctx, v)
+		snap, err := c.table.SnapshotAt(pctx, v)
 		if err != nil {
 			if errors.Is(err, lake.ErrNoSnapshot) {
 				continue
@@ -80,7 +83,7 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 	}
 
 	// Greedy cover per (column, kind) group.
-	entries, err := c.meta.List(ctx)
+	entries, err := c.meta.List(pctx)
 	if err != nil {
 		return nil, err
 	}
@@ -102,19 +105,28 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 			dropped = append(dropped, e.IndexKey)
 		}
 	}
+	planSpan.SetAttr("entries", len(entries))
+	planSpan.SetAttr("dropped", len(dropped))
+	planSpan.End() // idempotent: the defer covers the error returns above
 
 	// Commit.
 	if len(dropped) > 0 {
-		if err := c.meta.Delete(ctx, dropped...); err != nil {
+		cctx, commitSpan := obs.Start(ctx, "vacuum.commit")
+		defer commitSpan.End()
+		commitSpan.SetAttr("dropped", len(dropped))
+		if err := c.meta.Delete(cctx, dropped...); err != nil {
 			return nil, err
 		}
+		commitSpan.End()
 	}
 	report.DroppedEntries = dropped
 	report.KeptEntries = len(kept)
 
 	// Remove: LIST the index directory (acceptable because vacuum is
 	// infrequent) and delete unreferenced, out-of-timeout objects.
-	live, err := c.meta.List(ctx)
+	rctx, removeSpan := obs.Start(ctx, "vacuum.remove")
+	defer removeSpan.End()
+	live, err := c.meta.List(rctx)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +134,7 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 	for _, e := range live {
 		referenced[e.IndexKey] = true
 	}
-	infos, err := c.store.List(ctx, c.cfg.IndexDir+indexFilePrefix)
+	infos, err := c.store.List(rctx, c.cfg.IndexDir+indexFilePrefix)
 	if err != nil {
 		return nil, err
 	}
@@ -133,10 +145,11 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 		if info.Created.After(cutoff) {
 			continue // may belong to an in-flight indexer
 		}
-		if err := c.store.Delete(ctx, info.Key); err != nil {
+		if err := c.store.Delete(rctx, info.Key); err != nil {
 			return nil, err
 		}
 		report.RemovedObjects = append(report.RemovedObjects, info.Key)
 	}
+	removeSpan.SetAttr("removed", len(report.RemovedObjects))
 	return report, nil
 }

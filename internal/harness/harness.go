@@ -109,20 +109,25 @@ type Summary struct {
 	Faults objectstore.FaultCounts
 	// Retry is what the retry layer absorbed (zero when disabled).
 	Retry objectstore.RetryStats
+	// Store is the legacy atomic request/byte totals, checked for
+	// equality against the obs registry view at every quiescent point.
+	Store objectstore.Snapshot
 	// FinalVersion is the lake version after the final maintenance.
 	FinalVersion int64
 }
 
 // world is the shared state of one run.
 type world struct {
-	opts   Options
-	clock  *simtime.VirtualClock
-	base   *objectstore.MemStore
-	faulty *objectstore.FaultStore
-	retry  *objectstore.RetryStore // nil when disabled
-	table  *lake.Table
-	cli    *core.Client
-	oracle *bruteforce.Cluster
+	opts    Options
+	clock   *simtime.VirtualClock
+	base    *objectstore.MemStore
+	faulty  *objectstore.FaultStore
+	retry   *objectstore.RetryStore // nil when disabled
+	inst    *objectstore.Instrumented
+	metrics *objectstore.Metrics
+	table   *lake.Table
+	cli     *core.Client
+	oracle  *bruteforce.Cluster
 
 	column string
 	kind   component.Kind
@@ -171,12 +176,22 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		budget:  45 * time.Minute,
 	}
 	w.base = objectstore.NewMemStore(w.clock)
-	w.faulty = objectstore.NewFaultStoreWithProfile(w.base, opts.Profile)
-	var chain objectstore.Store = w.faulty
-	if opts.Retry.Enabled {
-		w.retry = objectstore.NewRetryStore(w.faulty, opts.Retry)
-		chain = w.retry
-	}
+	// The canonical stack, minus the cache (every read must traverse
+	// the fault layer so read-path recovery is exercised maximally).
+	// The zero latency model meters requests and bytes without
+	// charging virtual time, feeding the registry-vs-StoreMetrics
+	// drift assertion.
+	st := objectstore.NewStack(w.base, objectstore.StackOptions{
+		Faults:     &opts.Profile,
+		Retry:      opts.Retry,
+		Latency:    &objectstore.LatencyModel{},
+		CacheBytes: -1,
+	})
+	w.faulty = st.Fault
+	w.retry = st.Retry
+	w.inst = st.Instrumented
+	w.metrics = st.Metrics
+	chain := st.Store
 
 	if opts.Mode == ModeText {
 		w.column, w.kind, w.schema = "body", component.KindFM, textSchema
@@ -196,6 +211,10 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 	if w.retry != nil {
 		sum.Retry = w.retry.Stats()
 	}
+	sum.Store = w.metrics.Snapshot()
+	if err == nil {
+		err = w.checkStoreDrift()
+	}
 	if w.table != nil {
 		if v, verr := w.table.Version(octx(ctx)); verr == nil {
 			sum.FinalVersion = v
@@ -211,12 +230,13 @@ func octx(ctx context.Context) context.Context {
 }
 
 func (w *world) run(ctx context.Context, chain objectstore.Store) error {
-	table, err := lake.Create(octx(ctx), chain, w.clock, "lake", w.schema)
+	table, err := lake.CreateWith(octx(ctx), chain, "lake", w.schema, lake.OpenOptions{Clock: w.clock})
 	if err != nil {
 		return fmt.Errorf("harness: create lake: %w", err)
 	}
 	w.table = table
-	w.cli = core.NewClient(table, w.clock, core.Config{
+	w.cli = core.NewClient(table, core.Config{
+		Clock:    w.clock,
 		IndexDir: "rottnest",
 		Timeout:  time.Hour,
 		// No read cache: every read must traverse the fault layer, so
@@ -226,7 +246,7 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 	})
 	// The oracle reads the same bytes through a pristine handle on the
 	// base store: ground truth is never subject to injected faults.
-	oracleTable, err := lake.Open(ctx, w.base, w.clock, "lake")
+	oracleTable, err := lake.OpenWith(ctx, w.base, "lake", lake.OpenOptions{Clock: w.clock})
 	if err != nil {
 		return fmt.Errorf("harness: open oracle: %w", err)
 	}
@@ -259,7 +279,26 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 			return fmt.Errorf("harness: worker %d: %w", i, err)
 		}
 	}
+	// The storm has quiesced: the registry mirror and the legacy
+	// atomic StoreMetrics must have counted exactly the same work.
+	if err := w.checkStoreDrift(); err != nil {
+		return fmt.Errorf("harness: after storm: %w", err)
+	}
 	return w.finale(ctx)
+}
+
+// checkStoreDrift is the double-counting guard: the Instrumented
+// layer feeds both the legacy atomic Metrics and its obs registry,
+// and the two must agree request-for-request and byte-for-byte at
+// every quiescent point. Only call it when no ops are in flight —
+// the two counters are bumped non-atomically within each request.
+func (w *world) checkStoreDrift() error {
+	legacy := w.metrics.Snapshot()
+	view := objectstore.MetricsFromSnapshot(w.inst.Registry().Snapshot())
+	if legacy != view {
+		return fmt.Errorf("store metrics drift: registry %+v vs legacy %+v", view, legacy)
+	}
+	return nil
 }
 
 // worker runs one seeded op schedule.
@@ -592,9 +631,17 @@ func (w *world) searchDifferential(ctx context.Context, rng *rand.Rand, lastVers
 	if err != nil {
 		return v, err
 	}
-	res, err := w.cli.Search(ctx, q)
+	res, tree, err := w.cli.Trace(ctx, q)
 	if err != nil {
 		return v, fmt.Errorf("search: %w", err)
+	}
+	// Span-tree well-formedness: every search's trace must be a closed,
+	// named, non-negative tree rooted at the protocol phases.
+	if verr := tree.Validate(); verr != nil {
+		return v, fmt.Errorf("search span tree (%s): %w", describeQuery(q), verr)
+	}
+	if tree.Find("search.plan") == nil {
+		return v, fmt.Errorf("search span tree (%s): no search.plan phase", describeQuery(q))
 	}
 	want, _, err := w.oracle.Scan(octx(ctx), v, w.column, pred)
 	if err != nil {

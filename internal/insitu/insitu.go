@@ -13,6 +13,7 @@ import (
 
 	"rottnest/internal/lake"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 )
 
@@ -37,10 +38,14 @@ type Predicate func(value []byte) (keep bool, score float64)
 // single parallel fan of ranged GETs), decodes them, and returns the
 // rows passing the predicate, excluding rows masked by the deletion
 // vector. Pages are deduplicated by ordinal.
-func ProbePages(ctx context.Context, store objectstore.Store, key string, col parquet.Column, path string, pages []parquet.PageInfo, dv *lake.DeletionVector, pred Predicate) ([]Match, error) {
+func ProbePages(ctx context.Context, store objectstore.Store, key string, col parquet.Column, path string, pages []parquet.PageInfo, dv *lake.DeletionVector, pred Predicate) (matches []Match, err error) {
 	if len(pages) == 0 {
 		return nil, nil
 	}
+	ctx, span := obs.Start(ctx, "insitu.probe")
+	defer span.End()
+	span.SetAttr("path", path)
+	defer func() { span.SetAttr("matches", len(matches)) }()
 	// Dedup by ordinal, preserving ascending order. Sort a copy: the
 	// caller's slice (often a shared page table) must not be reordered.
 	pages = append([]parquet.PageInfo(nil), pages...)
@@ -51,6 +56,7 @@ func ProbePages(ctx context.Context, store objectstore.Store, key string, col pa
 			uniq = append(uniq, p)
 		}
 	}
+	span.SetAttr("pages", len(uniq))
 	decoded, err := parquet.ReadPages(ctx, store, key, col, uniq)
 	if err != nil {
 		return nil, fmt.Errorf("insitu: probe %s: %w", path, err)
@@ -77,7 +83,11 @@ func ProbePages(ctx context.Context, store objectstore.Store, key string, col pa
 // ScanFile reads one file's entire column (the fallback for files no
 // index covers yet, and the building block of the brute-force
 // baseline) and returns the rows passing the predicate.
-func ScanFile(ctx context.Context, store objectstore.Store, key string, column int, path string, dv *lake.DeletionVector, pred Predicate) ([]Match, error) {
+func ScanFile(ctx context.Context, store objectstore.Store, key string, column int, path string, dv *lake.DeletionVector, pred Predicate) (matches []Match, err error) {
+	ctx, span := obs.Start(ctx, "insitu.scan")
+	defer span.End()
+	span.SetAttr("path", path)
+	defer func() { span.SetAttr("matches", len(matches)) }()
 	vals, _, _, err := parquet.ScanColumn(ctx, store, key, column)
 	if err != nil {
 		return nil, fmt.Errorf("insitu: scan %s: %w", path, err)

@@ -93,10 +93,19 @@ type Table struct {
 	root  string
 }
 
-// Create initializes a new table at root with the given schema,
+// OpenOptions configure how a table handle is created or opened.
+type OpenOptions struct {
+	// Clock stamps commit timestamps and drives snapshot-age
+	// decisions. Nil means the real wall clock; simulations set a
+	// VirtualClock so lake time and store latency share one timeline.
+	Clock simtime.Clock
+}
+
+// CreateWith initializes a new table at root with the given schema,
 // committing version 1 with the table metadata. It fails if a table
 // already exists there.
-func Create(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string, schema *parquet.Schema) (*Table, error) {
+func CreateWith(ctx context.Context, store objectstore.Store, root string, schema *parquet.Schema, opts OpenOptions) (*Table, error) {
+	clock := opts.Clock
 	if clock == nil {
 		clock = simtime.RealClock{}
 	}
@@ -120,8 +129,16 @@ func Create(ctx context.Context, store objectstore.Store, clock simtime.Clock, r
 	return t, nil
 }
 
-// Open returns a handle to an existing table at root.
-func Open(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string) (*Table, error) {
+// Create is CreateWith taking the clock positionally.
+//
+// Deprecated: use CreateWith with OpenOptions.Clock.
+func Create(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string, schema *parquet.Schema) (*Table, error) {
+	return CreateWith(ctx, store, root, schema, OpenOptions{Clock: clock})
+}
+
+// OpenWith returns a handle to an existing table at root.
+func OpenWith(ctx context.Context, store objectstore.Store, root string, opts OpenOptions) (*Table, error) {
+	clock := opts.Clock
 	if clock == nil {
 		clock = simtime.RealClock{}
 	}
@@ -133,6 +150,13 @@ func Open(ctx context.Context, store objectstore.Store, clock simtime.Clock, roo
 		return nil, err
 	}
 	return t, nil
+}
+
+// Open is OpenWith taking the clock positionally.
+//
+// Deprecated: use OpenWith with OpenOptions.Clock.
+func Open(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string) (*Table, error) {
+	return OpenWith(ctx, store, root, OpenOptions{Clock: clock})
 }
 
 func normalizeRoot(root string) string {

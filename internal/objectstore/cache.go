@@ -5,8 +5,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"rottnest/internal/obs"
 	"rottnest/internal/simtime"
 )
 
@@ -97,9 +97,13 @@ type CachedStore struct {
 
 	flights flightGroup
 
-	hits, misses, bytesSaved   atomic.Int64
-	evictions, coalesced       atomic.Int64
-	upstreamGets, upstreamByts atomic.Int64
+	// Counters live in the registry ("cache.*" names); CacheStats is a
+	// view derived from its snapshot.
+	reg                        *obs.Registry
+	hits, misses, bytesSaved   *obs.Counter
+	evictions, coalesced       *obs.Counter
+	upstreamGets, upstreamByts *obs.Counter
+	residentBytes              *obs.Gauge
 
 	mu    sync.Mutex
 	lru   *list.List               // front = most recently used
@@ -126,13 +130,23 @@ func NewCachedStore(inner Store, opts CacheOptions) *CachedStore {
 	if gap == 0 {
 		gap = DefaultCoalesceGap
 	}
+	reg := obs.NewRegistry()
 	c := &CachedStore{
-		inner:       inner,
-		maxBytes:    maxBytes,
-		coalesceGap: gap,
-		lru:         list.New(),
-		items:       make(map[string]*list.Element),
-		byObj:       make(map[string]map[string]*list.Element),
+		inner:         inner,
+		maxBytes:      maxBytes,
+		coalesceGap:   gap,
+		reg:           reg,
+		hits:          reg.Counter("cache.hits"),
+		misses:        reg.Counter("cache.misses"),
+		bytesSaved:    reg.Counter("cache.bytes_saved"),
+		evictions:     reg.Counter("cache.evictions"),
+		coalesced:     reg.Counter("cache.coalesced_gets"),
+		upstreamGets:  reg.Counter("cache.upstream_gets"),
+		upstreamByts:  reg.Counter("cache.upstream_bytes"),
+		residentBytes: reg.Gauge("cache.bytes"),
+		lru:           list.New(),
+		items:         make(map[string]*list.Element),
+		byObj:         make(map[string]map[string]*list.Element),
 	}
 	if inst := FindInstrumented(inner); inst != nil {
 		m := inst.Model()
@@ -148,16 +162,26 @@ func (c *CachedStore) Inner() Store { return c.inner }
 // (negative means coalescing is disabled). FanGet consults it.
 func (c *CachedStore) CoalesceGap() int64 { return c.coalesceGap }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters. It is a view over
+// the registry — CacheStatsFrom(c.Registry().Snapshot()).
 func (c *CachedStore) Stats() CacheStats {
+	return CacheStatsFrom(c.reg.Snapshot())
+}
+
+// Registry returns the cache's metrics registry ("cache.*" names).
+func (c *CachedStore) Registry() *obs.Registry { return c.reg }
+
+// CacheStatsFrom derives the legacy CacheStats view from a registry
+// snapshot's "cache.*" counters.
+func CacheStatsFrom(s obs.Snapshot) CacheStats {
 	return CacheStats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		BytesSaved:    c.bytesSaved.Load(),
-		Evictions:     c.evictions.Load(),
-		CoalescedGets: c.coalesced.Load(),
-		UpstreamGets:  c.upstreamGets.Load(),
-		UpstreamBytes: c.upstreamByts.Load(),
+		Hits:          s.Counter("cache.hits"),
+		Misses:        s.Counter("cache.misses"),
+		BytesSaved:    s.Counter("cache.bytes_saved"),
+		Evictions:     s.Counter("cache.evictions"),
+		CoalescedGets: s.Counter("cache.coalesced_gets"),
+		UpstreamGets:  s.Counter("cache.upstream_gets"),
+		UpstreamBytes: s.Counter("cache.upstream_bytes"),
 	}
 }
 
@@ -168,6 +192,7 @@ func (c *CachedStore) Flush() {
 	c.items = make(map[string]*list.Element)
 	c.byObj = make(map[string]map[string]*list.Element)
 	c.bytes = 0
+	c.residentBytes.Set(0)
 	c.mu.Unlock()
 }
 
@@ -218,8 +243,9 @@ func (c *CachedStore) insert(objKey, ckey string, data []byte) {
 			break
 		}
 		c.removeLocked(back)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
+	c.residentBytes.Set(c.bytes)
 }
 
 func (c *CachedStore) removeLocked(elem *list.Element) {
@@ -241,6 +267,7 @@ func (c *CachedStore) invalidate(objKey string) {
 	for _, elem := range c.byObj[objKey] {
 		c.removeLocked(elem)
 	}
+	c.residentBytes.Set(c.bytes)
 	c.mu.Unlock()
 }
 
@@ -248,7 +275,7 @@ func (c *CachedStore) invalidate(objKey string) {
 // GetRange.
 func (c *CachedStore) cachedGet(ctx context.Context, key, ckey string, fetch func() ([]byte, error)) ([]byte, error) {
 	if data, ok := c.lookup(ckey); ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 		c.bytesSaved.Add(int64(len(data)))
 		return data, nil
 	}
@@ -257,7 +284,7 @@ func (c *CachedStore) cachedGet(ctx context.Context, key, ckey string, fetch fun
 		if err != nil {
 			return nil, err
 		}
-		c.upstreamGets.Add(1)
+		c.upstreamGets.Inc()
 		c.upstreamByts.Add(int64(len(d)))
 		c.insert(key, ckey, d)
 		return d, nil
@@ -268,12 +295,12 @@ func (c *CachedStore) cachedGet(ctx context.Context, key, ckey string, fetch fun
 	if shared {
 		// The follower saved a request but still waited for the
 		// leader's in-flight GET; charge the full modelled latency.
-		c.coalesced.Add(1)
+		c.coalesced.Inc()
 		if c.model != nil {
 			simtime.Charge(ctx, c.model.GetLatency(int64(len(data))))
 		}
 	} else {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	return data, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rottnest/internal/obs"
 	"rottnest/internal/simtime"
 )
 
@@ -162,6 +163,25 @@ type FaultStore struct {
 	rng       *rand.Rand
 	burstLeft int
 	counts    [numFaultKinds]int64
+	reg       *obs.Registry
+}
+
+// faultMetricNames maps a FaultKind to its registry counter name.
+var faultMetricNames = [numFaultKinds]string{
+	FaultTransient:    "fault.transient",
+	FaultThrottle:     "fault.throttles",
+	FaultLatency:      "fault.latency_spikes",
+	FaultDeadline:     "fault.deadlines",
+	FaultAmbiguousPut: "fault.ambiguous_puts",
+}
+
+// faultKindLabels name kinds in trace span attributes.
+var faultKindLabels = [numFaultKinds]string{
+	FaultTransient:    "transient",
+	FaultThrottle:     "throttle",
+	FaultLatency:      "latency",
+	FaultDeadline:     "deadline",
+	FaultAmbiguousPut: "ambiguous_put",
 }
 
 // NewFaultStore wraps inner with a scripted fault predicate (a nil
@@ -178,8 +198,13 @@ func NewFaultStoreWithProfile(inner Store, profile FaultProfile) *FaultStore {
 		inner:   inner,
 		profile: profile,
 		rng:     rand.New(rand.NewSource(profile.Seed)),
+		reg:     obs.NewRegistry(),
 	}
 }
+
+// Registry returns the store's metrics registry ("fault.*" names),
+// mirroring Counts.
+func (s *FaultStore) Registry() *obs.Registry { return s.reg }
 
 // Inner returns the wrapped store, so chain-walking helpers (and the
 // differential harness's pristine oracle handle) can reach below the
@@ -237,6 +262,7 @@ func (s *FaultStore) decide(op Op, key string, conditional bool) FaultKind {
 		s.mu.Lock()
 		s.counts[FaultTransient]++
 		s.mu.Unlock()
+		s.reg.Counter(faultMetricNames[FaultTransient]).Inc()
 		return FaultTransient
 	}
 	if !p.opAllowed(op) {
@@ -247,6 +273,7 @@ func (s *FaultStore) decide(op Op, key string, conditional bool) FaultKind {
 	if s.burstLeft > 0 {
 		s.burstLeft--
 		s.counts[FaultThrottle]++
+		s.reg.Counter(faultMetricNames[FaultThrottle]).Inc()
 		return FaultThrottle
 	}
 	kind := noFault
@@ -265,6 +292,7 @@ func (s *FaultStore) decide(op Op, key string, conditional bool) FaultKind {
 	}
 	if kind != noFault {
 		s.counts[kind]++
+		s.reg.Counter(faultMetricNames[kind]).Inc()
 	}
 	return kind
 }
@@ -274,7 +302,15 @@ func (s *FaultStore) decide(op Op, key string, conditional bool) FaultKind {
 // store, and ambiguous=true when the operation must run and then
 // still report ErrAmbiguousPut.
 func (s *FaultStore) check(ctx context.Context, op Op, key string, conditional bool) (ambiguous bool, err error) {
-	switch s.decide(op, key, conditional) {
+	kind := s.decide(op, key, conditional)
+	if kind == noFault {
+		return false, nil
+	}
+	ctx, span := obs.Start(ctx, "fault.inject")
+	span.SetAttr("kind", faultKindLabels[kind])
+	span.SetAttr("key", key)
+	defer span.End()
+	switch kind {
 	case FaultTransient:
 		return false, ErrInjected
 	case FaultThrottle:

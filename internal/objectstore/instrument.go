@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rottnest/internal/obs"
 	"rottnest/internal/simtime"
 )
 
@@ -134,11 +135,19 @@ func (s Snapshot) Requests() int64 {
 // Instrumented wraps a Store with a latency model and metrics. Request
 // latency is charged to the simtime.Session carried in the operation's
 // context, so dependent request chains accumulate virtual time while
-// parallel fans overlap.
+// parallel fans overlap. Every request also becomes a "store.*" trace
+// span when the context carries a trace, and counts are mirrored into
+// an obs.Registry under "store.*" names. The legacy atomic Metrics
+// struct is kept deliberately alongside the registry: the chaos
+// harness asserts the two stay equal, catching accounting drift.
 type Instrumented struct {
 	inner   Store
 	model   LatencyModel
 	metrics *Metrics
+	reg     *obs.Registry
+
+	gets, puts, lists, deletes, heads *obs.Counter
+	bytesRead, bytesWritten           *obs.Counter
 }
 
 // Instrument wraps inner with the given latency model. The returned
@@ -146,7 +155,20 @@ type Instrumented struct {
 // operations.
 func Instrument(inner Store, model LatencyModel) (*Instrumented, *Metrics) {
 	m := &Metrics{}
-	return &Instrumented{inner: inner, model: model, metrics: m}, m
+	reg := obs.NewRegistry()
+	return &Instrumented{
+		inner:        inner,
+		model:        model,
+		metrics:      m,
+		reg:          reg,
+		gets:         reg.Counter("store.gets"),
+		puts:         reg.Counter("store.puts"),
+		lists:        reg.Counter("store.lists"),
+		deletes:      reg.Counter("store.deletes"),
+		heads:        reg.Counter("store.heads"),
+		bytesRead:    reg.Counter("store.bytes_read"),
+		bytesWritten: reg.Counter("store.bytes_written"),
+	}, m
 }
 
 // Inner returns the wrapped store.
@@ -158,60 +180,119 @@ func (s *Instrumented) Model() LatencyModel { return s.model }
 // Metrics returns the wrapper's shared counters.
 func (s *Instrumented) Metrics() *Metrics { return s.metrics }
 
+// Registry returns the wrapper's metrics registry ("store.*" names).
+func (s *Instrumented) Registry() *obs.Registry { return s.reg }
+
 // Put implements Store.
 func (s *Instrumented) Put(ctx context.Context, key string, data []byte) error {
+	ctx, span := obs.Start(ctx, "store.put")
 	simtime.Charge(ctx, s.model.PutLatency(int64(len(data))))
 	s.metrics.Puts.Add(1)
 	s.metrics.BytesWritten.Add(int64(len(data)))
-	return s.inner.Put(ctx, key, data)
+	s.puts.Inc()
+	s.bytesWritten.Add(int64(len(data)))
+	err := s.inner.Put(ctx, key, data)
+	span.SetAttr("key", key)
+	span.SetAttr("bytes", len(data))
+	span.End()
+	return err
 }
 
 // PutIfAbsent implements Store.
 func (s *Instrumented) PutIfAbsent(ctx context.Context, key string, data []byte) error {
+	ctx, span := obs.Start(ctx, "store.put")
 	simtime.Charge(ctx, s.model.PutLatency(int64(len(data))))
 	s.metrics.Puts.Add(1)
 	s.metrics.BytesWritten.Add(int64(len(data)))
-	return s.inner.PutIfAbsent(ctx, key, data)
+	s.puts.Inc()
+	s.bytesWritten.Add(int64(len(data)))
+	err := s.inner.PutIfAbsent(ctx, key, data)
+	span.SetAttr("key", key)
+	span.SetAttr("bytes", len(data))
+	span.SetAttr("conditional", true)
+	span.End()
+	return err
 }
 
 // Get implements Store.
 func (s *Instrumented) Get(ctx context.Context, key string) ([]byte, error) {
+	ctx, span := obs.Start(ctx, "store.get")
 	data, err := s.inner.Get(ctx, key)
 	simtime.Charge(ctx, s.model.GetLatency(int64(len(data))))
 	s.metrics.Gets.Add(1)
 	s.metrics.BytesRead.Add(int64(len(data)))
+	s.gets.Inc()
+	s.bytesRead.Add(int64(len(data)))
+	span.SetAttr("key", key)
+	span.SetAttr("bytes", len(data))
+	span.End()
 	return data, err
 }
 
 // GetRange implements Store.
 func (s *Instrumented) GetRange(ctx context.Context, key string, offset, length int64) ([]byte, error) {
+	ctx, span := obs.Start(ctx, "store.get")
 	data, err := s.inner.GetRange(ctx, key, offset, length)
 	simtime.Charge(ctx, s.model.GetLatency(int64(len(data))))
 	s.metrics.Gets.Add(1)
 	s.metrics.BytesRead.Add(int64(len(data)))
+	s.gets.Inc()
+	s.bytesRead.Add(int64(len(data)))
+	span.SetAttr("key", key)
+	span.SetAttr("bytes", len(data))
+	span.End()
 	return data, err
 }
 
 // Head implements Store.
 func (s *Instrumented) Head(ctx context.Context, key string) (ObjectInfo, error) {
+	ctx, span := obs.Start(ctx, "store.head")
 	simtime.Charge(ctx, s.model.GetTTFB)
 	s.metrics.Heads.Add(1)
-	return s.inner.Head(ctx, key)
+	s.heads.Inc()
+	info, err := s.inner.Head(ctx, key)
+	span.SetAttr("key", key)
+	span.End()
+	return info, err
 }
 
 // List implements Store.
 func (s *Instrumented) List(ctx context.Context, prefix string) ([]ObjectInfo, error) {
+	ctx, span := obs.Start(ctx, "store.list")
 	infos, err := s.inner.List(ctx, prefix)
 	simtime.Charge(ctx, s.model.ListLatency(len(infos)))
 	s.metrics.Lists.Add(1)
+	s.lists.Inc()
+	span.SetAttr("prefix", prefix)
+	span.SetAttr("entries", len(infos))
+	span.End()
 	return infos, err
 }
 
 // Delete implements Store.
 func (s *Instrumented) Delete(ctx context.Context, key string) error {
+	ctx, span := obs.Start(ctx, "store.delete")
 	simtime.Charge(ctx, s.model.PutTTFB)
 	s.metrics.Deletes.Add(1)
-	return s.inner.Delete(ctx, key)
+	s.deletes.Inc()
+	err := s.inner.Delete(ctx, key)
+	span.SetAttr("key", key)
+	span.End()
+	return err
+}
+
+// MetricsFromSnapshot derives a legacy Snapshot view from a registry
+// snapshot's "store.*" counters.
+func MetricsFromSnapshot(s obs.Snapshot) Snapshot {
+	return Snapshot{
+		Gets:         s.Counter("store.gets"),
+		Puts:         s.Counter("store.puts"),
+		Lists:        s.Counter("store.lists"),
+		Deletes:      s.Counter("store.deletes"),
+		Heads:        s.Counter("store.heads"),
+		BytesRead:    s.Counter("store.bytes_read"),
+		BytesWritten: s.Counter("store.bytes_written"),
+	}
 }
 
 // RangeRequest names one byte range of one object for a parallel fan.

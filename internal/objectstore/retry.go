@@ -6,9 +6,9 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"rottnest/internal/obs"
 	"rottnest/internal/simtime"
 )
 
@@ -149,31 +149,49 @@ type RetryStore struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	retries           atomic.Int64
-	throttleWaits     atomic.Int64
-	ambiguousResolved atomic.Int64
+	// Counters live in the registry ("retry.*" names); RetryStats is a
+	// view derived from its snapshot.
+	reg               *obs.Registry
+	retries           *obs.Counter
+	throttleWaits     *obs.Counter
+	ambiguousResolved *obs.Counter
 }
 
 // NewRetryStore wraps inner with the policy (zero fields take the
 // documented defaults).
 func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
 	policy = policy.withDefaults()
+	reg := obs.NewRegistry()
 	return &RetryStore{
-		inner:  inner,
-		policy: policy,
-		rng:    rand.New(rand.NewSource(policy.Seed)),
+		inner:             inner,
+		policy:            policy,
+		rng:               rand.New(rand.NewSource(policy.Seed)),
+		reg:               reg,
+		retries:           reg.Counter("retry.retries"),
+		throttleWaits:     reg.Counter("retry.throttle_waits"),
+		ambiguousResolved: reg.Counter("retry.ambiguous_resolved"),
 	}
 }
 
 // Inner returns the wrapped store.
 func (s *RetryStore) Inner() Store { return s.inner }
 
-// Stats snapshots the store's cumulative retry counters.
+// Stats snapshots the store's cumulative retry counters. It is a view
+// over the registry — RetryStatsFrom(s.Registry().Snapshot()).
 func (s *RetryStore) Stats() RetryStats {
+	return RetryStatsFrom(s.reg.Snapshot())
+}
+
+// Registry returns the store's metrics registry ("retry.*" names).
+func (s *RetryStore) Registry() *obs.Registry { return s.reg }
+
+// RetryStatsFrom derives the legacy RetryStats view from a registry
+// snapshot's "retry.*" counters.
+func RetryStatsFrom(s obs.Snapshot) RetryStats {
 	return RetryStats{
-		Retries:           s.retries.Load(),
-		ThrottleWaits:     s.throttleWaits.Load(),
-		AmbiguousResolved: s.ambiguousResolved.Load(),
+		Retries:           s.Counter("retry.retries"),
+		ThrottleWaits:     s.Counter("retry.throttle_waits"),
+		AmbiguousResolved: s.Counter("retry.ambiguous_resolved"),
 	}
 }
 
@@ -223,13 +241,15 @@ func (s *RetryStore) backoff(attempt int, throttled bool) time.Duration {
 	return delay
 }
 
-// sleep waits out a backoff delay. Virtual time is always charged;
-// the real sleep only happens outside a simulation session, and is
-// cut short by context cancellation.
+// sleep waits out a backoff delay as a "retry.backoff" span. Virtual
+// time is always charged; the real sleep only happens outside a
+// simulation session, and is cut short by context cancellation.
 func (s *RetryStore) sleep(ctx context.Context, d time.Duration) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	ctx, span := obs.Start(ctx, "retry.backoff")
+	defer span.End()
 	simtime.Charge(ctx, d)
 	if simtime.From(ctx) != nil {
 		return nil

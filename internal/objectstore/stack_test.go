@@ -1,0 +1,132 @@
+package objectstore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rottnest/internal/simtime"
+)
+
+func TestStackCanonicalOrder(t *testing.T) {
+	base := NewMemStore(simtime.NewVirtualClock())
+	model := DefaultS3Model()
+	st := NewStack(base, StackOptions{
+		Faults:  &FaultProfile{},
+		Retry:   RetryPolicy{Enabled: true},
+		Latency: &model,
+	})
+	if st.Fault == nil || st.Retry == nil || st.Instrumented == nil || st.Cache == nil {
+		t.Fatalf("missing layers: %+v", st)
+	}
+	// Outer → inner must be cache → instrument → retry → fault → base.
+	if st.Store != Store(st.Cache) {
+		t.Fatal("cache is not outermost")
+	}
+	if st.Cache.Inner() != Store(st.Instrumented) {
+		t.Fatal("instrument is not directly under cache")
+	}
+	if st.Instrumented.Inner() != Store(st.Retry) {
+		t.Fatal("retry is not directly under instrument")
+	}
+	if st.Retry.Inner() != Store(st.Fault) {
+		t.Fatal("fault is not directly under retry")
+	}
+	if st.Fault.Inner() != Store(base) {
+		t.Fatal("base is not innermost")
+	}
+	// The chain walkers must reach each layer from the top.
+	if FindCached(st.Store) != st.Cache || FindInstrumented(st.Store) != st.Instrumented || FindRetry(st.Store) != st.Retry {
+		t.Fatal("chain walkers lost a layer")
+	}
+}
+
+func TestStackLayerGating(t *testing.T) {
+	base := NewMemStore(simtime.NewVirtualClock())
+	st := NewStack(base, StackOptions{CacheBytes: -1})
+	if st.Store != Store(base) {
+		t.Fatal("empty options should yield the bare base store")
+	}
+	if st.Fault != nil || st.Retry != nil || st.Instrumented != nil || st.Cache != nil {
+		t.Fatalf("unexpected layers: %+v", st)
+	}
+	// CacheBytes 0 means cache on at the default budget.
+	st = NewStack(base, StackOptions{})
+	if st.Cache == nil || st.Store != Store(st.Cache) {
+		t.Fatal("zero CacheBytes should enable the default cache")
+	}
+}
+
+// TestStackRegistryMatchesMetrics is the drift check the chaos harness
+// also enforces: the registry's store.* counters and the legacy atomic
+// Metrics must agree after a workload.
+func TestStackRegistryMatchesMetrics(t *testing.T) {
+	ctx := simtime.With(context.Background(), simtime.NewSession())
+	base := NewMemStore(simtime.NewVirtualClock())
+	model := DefaultS3Model()
+	st := NewStack(base, StackOptions{Latency: &model, CacheBytes: -1})
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := st.Store.Put(ctx, key, make([]byte, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Store.Get(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Store.List(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	legacy := st.Metrics.Snapshot()
+	view := MetricsFromSnapshot(st.MetricsSnapshot())
+	if legacy != view {
+		t.Fatalf("registry view %+v != legacy metrics %+v", view, legacy)
+	}
+	if legacy.Gets != 5 || legacy.Puts != 5 || legacy.Lists != 1 {
+		t.Fatalf("unexpected totals: %+v", legacy)
+	}
+}
+
+// TestFanGetRegistryConcurrent hammers the registry from parallel
+// FanGet branches; run under -race via make check.
+func TestFanGetRegistryConcurrent(t *testing.T) {
+	base := NewMemStore(simtime.NewVirtualClock())
+	model := DefaultS3Model()
+	st := NewStack(base, StackOptions{Latency: &model, CacheBytes: -1})
+	ctx := context.Background()
+	const objects = 8
+	for i := 0; i < objects; i++ {
+		if err := st.Store.Put(ctx, fmt.Sprintf("obj%d", i), make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sctx := simtime.With(ctx, simtime.NewSession())
+			reqs := make([]RangeRequest, objects)
+			for i := range reqs {
+				reqs[i] = RangeRequest{Key: fmt.Sprintf("obj%d", i), Offset: int64(w * 16), Length: 256}
+			}
+			if _, err := FanGet(sctx, st.Store, reqs); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := st.MetricsSnapshot()
+	wantGets := int64(workers * objects)
+	if got := snap.Counter("store.gets"); got != wantGets {
+		t.Fatalf("store.gets = %d, want %d", got, wantGets)
+	}
+	if got := st.Metrics.Gets.Load(); got != wantGets {
+		t.Fatalf("legacy Gets = %d, want %d", got, wantGets)
+	}
+	if snap.Counter("store.bytes_read") != st.Metrics.BytesRead.Load() {
+		t.Fatal("bytes_read drifted between registry and legacy metrics")
+	}
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+// Node is one finished (or abandoned) span in a trace tree. Wall is
+// real elapsed time; Virtual is simulated object-store time — the
+// delta of the span's simtime.Session between Start and End, so on a
+// virtual clock sibling phase durations sum exactly to the session
+// latency the protocol reports.
+type Node struct {
+	Name       string         `json:"name"`
+	Wall       time.Duration  `json:"wall_ns"`
+	Virtual    time.Duration  `json:"virtual_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Unfinished bool           `json:"unfinished,omitempty"`
+	Children   []*Node        `json:"children,omitempty"`
+}
+
+// Find returns the first node named name in a depth-first walk, or
+// nil.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// FindAll returns every node named name in depth-first order.
+func (n *Node) FindAll(name string) []*Node {
+	var out []*Node
+	if n == nil {
+		return out
+	}
+	if n.Name == name {
+		out = append(out, n)
+	}
+	for _, c := range n.Children {
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: every node has a name,
+// was ended, and has non-negative durations. The chaos harness runs
+// it on every traced search so malformed trees surface under faults.
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("obs: nil trace node")
+	}
+	if n.Name == "" {
+		return fmt.Errorf("obs: unnamed span")
+	}
+	if n.Unfinished {
+		return fmt.Errorf("obs: span %q never ended", n.Name)
+	}
+	if n.Wall < 0 {
+		return fmt.Errorf("obs: span %q has negative wall duration %v", n.Name, n.Wall)
+	}
+	if n.Virtual < 0 {
+		return fmt.Errorf("obs: span %q has negative virtual duration %v", n.Name, n.Virtual)
+	}
+	for _, c := range n.Children {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("under %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}
+
+// traceState is the per-tree shared state: one mutex guards every
+// node in the tree, since parallel fan-out branches append children
+// and set attributes concurrently.
+type traceState struct {
+	mu sync.Mutex
+}
+
+// Span is a live node in a trace tree. All methods are nil-safe: a
+// Span obtained from Start against an untraced context is nil, making
+// tracing near-free when disabled.
+type Span struct {
+	t            *traceState
+	node         *Node
+	session      *simtime.Session
+	startWall    time.Time
+	startVirtual time.Duration
+	ended        bool
+}
+
+type ctxKey struct{}
+
+// WithTrace starts a new trace rooted at a span called name and
+// returns the derived context plus the root span. Unlike Start it
+// always records, so it is the explicit opt-in: nothing is traced
+// until a caller (Client.Trace, the harness, -trace tooling) plants a
+// root.
+func WithTrace(ctx context.Context, name string) (context.Context, *Span) {
+	s := newSpan(&traceState{}, ctx, name)
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// Start opens a child span under the current span in ctx. When ctx
+// carries no trace it returns (ctx, nil) at the cost of one context
+// lookup; every Span method tolerates the nil.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := newSpan(parent.t, ctx, name)
+	parent.t.mu.Lock()
+	parent.node.Children = append(parent.node.Children, s.node)
+	parent.t.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// newSpan captures the session from ctx at open time: branch contexts
+// carry their own parallel sessions, so a span measures virtual time
+// on whichever session its phase actually charges.
+func newSpan(t *traceState, ctx context.Context, name string) *Span {
+	sess := simtime.From(ctx)
+	return &Span{
+		t:            t,
+		node:         &Node{Name: name, Unfinished: true},
+		session:      sess,
+		startWall:    time.Now(),
+		startVirtual: sess.Elapsed(),
+	}
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.node.Attrs == nil {
+		s.node.Attrs = make(map[string]any)
+	}
+	s.node.Attrs[key] = value
+	s.t.mu.Unlock()
+}
+
+// End closes the span, fixing its wall and virtual durations. End is
+// idempotent: protocol code ends phase spans eagerly before error
+// checks and again via defer without double counting.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.node.Unfinished = false
+		s.node.Wall = time.Since(s.startWall)
+		s.node.Virtual = s.session.Elapsed() - s.startVirtual
+	}
+	s.t.mu.Unlock()
+}
+
+// Tree returns the span's subtree as a Node. Call it on the root
+// after End to extract the finished trace.
+func (s *Span) Tree() *Node {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.node
+}
+
+// RenderText writes an indented, human-readable rendering of the
+// tree — the "EXPLAIN ANALYZE" view. Attributes print sorted.
+func RenderText(w io.Writer, n *Node) error {
+	return renderText(w, n, 0)
+}
+
+func renderText(w io.Writer, n *Node, depth int) error {
+	if n == nil {
+		return nil
+	}
+	var attrs string
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, n.Attrs[k])
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	suffix := ""
+	if n.Unfinished {
+		suffix = "  [unfinished]"
+	}
+	if _, err := fmt.Fprintf(w, "%s%s  virtual=%v wall=%v%s%s\n",
+		strings.Repeat("  ", depth), n.Name, n.Virtual, n.Wall.Round(time.Microsecond), attrs, suffix); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := renderText(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSONIndent renders the tree as indented JSON (the -trace
+// file format).
+func (n *Node) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(n, "", "  ")
+}

@@ -14,6 +14,23 @@
 // protocol with its four APIs (index, search, compact, vacuum), both
 // evaluation baselines, and the paper's TCO phase-diagram framework.
 //
+// # Store layering
+//
+// Object-store wrappers compose in one canonical order, innermost
+// first: base → fault → retry → instrument → cache (see NewStack).
+// The single-wrapper constructors are conveniences over that order;
+// handing NewStack's outermost Store to CreateTable and NewClient
+// gives every component the same substrate.
+//
+// # Observability
+//
+// Every protocol phase, index probe, in-situ page read, retry sleep,
+// and store request reports into the obs subsystem: Client.Trace runs
+// one search with a span tree attached ("EXPLAIN ANALYZE"; render it
+// with RenderTrace), and Client.Metrics returns a MetricsSnapshot of
+// every counter, gauge, and histogram (Prometheus text format via its
+// WritePrometheus method).
+//
 // # Quick start
 //
 //	store := rottnest.NewMemStore()
@@ -32,6 +49,7 @@ package rottnest
 
 import (
 	"context"
+	"io"
 
 	"rottnest/internal/component"
 	"rottnest/internal/core"
@@ -39,6 +57,7 @@ import (
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
 	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
 	"rottnest/internal/simtime"
 )
@@ -171,7 +190,44 @@ type (
 	FaultProfile = objectstore.FaultProfile
 	// FaultCounts reports injected faults by kind.
 	FaultCounts = objectstore.FaultCounts
+	// StackOptions selects the wrapper layers NewStack composes.
+	StackOptions = objectstore.StackOptions
+	// Stack is a composed wrapper chain with handles to each layer.
+	Stack = objectstore.Stack
 )
+
+// Observability types (the obs subsystem: context-propagated trace
+// spans plus a typed metrics registry).
+type (
+	// TraceNode is one node of a finished span tree, as returned by
+	// Client.Trace; it serializes to JSON and renders via RenderTrace.
+	TraceNode = obs.Node
+	// TraceSpan is a live span created by WithTrace or StartSpan.
+	TraceSpan = obs.Span
+	// MetricsSnapshot is a point-in-time view of every metric
+	// (counters, gauges, histograms), as returned by Client.Metrics.
+	// It renders in Prometheus text format via WritePrometheus.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// WithTrace starts a new trace rooted at name and returns the derived
+// context carrying it. End the returned span, then call its Tree
+// method for the finished TraceNode. Client.Trace wraps this for the
+// common "explain one search" case.
+func WithTrace(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return obs.WithTrace(ctx, name)
+}
+
+// StartSpan opens a child span under the trace carried by ctx; it is
+// a no-op (nil span, same ctx) when ctx carries no trace, so
+// libraries can call it unconditionally.
+func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return obs.Start(ctx, name)
+}
+
+// RenderTrace writes an indented, human-readable rendering of a span
+// tree — the text form of "EXPLAIN ANALYZE".
+func RenderTrace(w io.Writer, n *TraceNode) error { return obs.RenderText(w, n) }
 
 // Clock abstracts time for simulation; see NewVirtualClock.
 type Clock = simtime.Clock
@@ -185,26 +241,59 @@ func NewMemStore() *objectstore.MemStore {
 	return objectstore.NewMemStore(nil)
 }
 
+// NewStack composes the store wrapper zoo around base in the one
+// canonical order, innermost first:
+//
+//	base → fault → retry → instrument → cache
+//
+// Each layer is optional (see StackOptions) but the order is fixed,
+// and it is the order every layer was designed for: faults sit at the
+// bottom so everything above sees the misbehaving substrate a real
+// client would; retries sit directly above the faults so recovery
+// happens before metering (a retried GET costs two metered requests,
+// exactly as on real S3); instrumentation charges the latency model's
+// virtual time and counts requests and bytes; the read cache is
+// outermost so hits cost zero requests and zero virtual latency.
+//
+// The returned Stack exposes a handle to each constructed layer plus
+// MetricsSnapshot, which merges every layer's metric registry. The
+// single-wrapper constructors below (NewCachedStore, NewRetryStore,
+// NewFaultStore, NewSimulatedStore) are all thin wrappers over
+// NewStack.
+func NewStack(base Store, opts StackOptions) *Stack {
+	return objectstore.NewStack(base, opts)
+}
+
 // NewSimulatedStore returns an in-memory object store stamped by a
 // fresh virtual clock, wrapped in the paper's S3 latency model and a
-// shared read cache. Operations run inside a Session (see
-// WithSession) accumulate virtual latency; cache hits are free (zero
-// latency, zero requests). The returned metrics meter the requests
-// and bytes that actually reach the simulated store. A client built
-// over a table on this store joins the same cache (see Config's
-// CacheBytes), so lake snapshot reads are accelerated too.
+// shared read cache (a NewStack with Latency and the default cache).
+// Operations run inside a Session (see WithSession) accumulate
+// virtual latency; cache hits are free (zero latency, zero requests).
+// The returned metrics meter the requests and bytes that actually
+// reach the simulated store. A client built over a table on this
+// store joins the same cache (see Config's CacheBytes), so lake
+// snapshot reads are accelerated too.
 func NewSimulatedStore() (Store, *simtime.VirtualClock, *StoreMetrics) {
 	clock := simtime.NewVirtualClock()
-	inst, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
-	return NewCachedStore(inst, CacheOptions{}), clock, metrics
+	model := objectstore.DefaultS3Model()
+	st := objectstore.NewStack(objectstore.NewMemStore(clock), objectstore.StackOptions{Latency: &model})
+	return st.Store, clock, st.Metrics
 }
 
 // NewCachedStore layers a size-bounded LRU read cache with
 // singleflight and adjacent-range GET coalescing over a store. Safe
 // for immutable-object workloads like Rottnest's lake and index files
-// (stale entries only arise from deletion, which invalidates).
+// (stale entries only arise from deletion, which invalidates). It is
+// the cache layer of NewStack, alone.
 func NewCachedStore(inner Store, opts CacheOptions) *objectstore.CachedStore {
-	return objectstore.NewCachedStore(inner, opts)
+	max := opts.MaxBytes
+	if max < 0 {
+		max = 0 // CacheOptions: <= 0 means the default budget
+	}
+	return objectstore.NewStack(inner, objectstore.StackOptions{
+		CacheBytes:  max,
+		CoalesceGap: opts.CoalesceGap,
+	}).Cache
 }
 
 // NewDirStore returns an object store backed by a local directory, so
@@ -216,18 +305,26 @@ func NewDirStore(dir string) (Store, error) {
 // NewRetryStore layers bounded exponential-backoff-with-jitter
 // retries over a store, resolving ambiguous conditional puts by
 // read-back. Clients built over a table on this store share it (see
-// Config's Retry).
+// Config's Retry). It is the retry layer of NewStack, alone.
 func NewRetryStore(inner Store, policy RetryPolicy) *objectstore.RetryStore {
-	return objectstore.NewRetryStore(inner, policy)
+	policy.Enabled = true
+	return objectstore.NewStack(inner, objectstore.StackOptions{
+		Retry:      policy,
+		CacheBytes: -1,
+	}).Retry
 }
 
 // NewFaultStore wraps a store with seeded, deterministic fault
 // injection for chaos testing: transient errors, throttle bursts,
 // latency spikes, request-deadline expirations, and ambiguous
 // conditional writes (see internal/harness for the differential
-// correctness harness built on it).
+// correctness harness built on it). It is the fault layer of
+// NewStack, alone.
 func NewFaultStore(inner Store, profile FaultProfile) *objectstore.FaultStore {
-	return objectstore.NewFaultStoreWithProfile(inner, profile)
+	return objectstore.NewStack(inner, objectstore.StackOptions{
+		Faults:     &profile,
+		CacheBytes: -1,
+	}).Fault
 }
 
 // NewVirtualClock returns a manually advanced clock for simulations.
@@ -242,35 +339,57 @@ func WithSession(ctx context.Context, s *Session) context.Context {
 	return simtime.With(ctx, s)
 }
 
+// TableOptions configure CreateTableWith/OpenTableWith; the zero
+// value (real wall clock) is what CreateTable/OpenTable use.
+type TableOptions = lake.OpenOptions
+
 // CreateTable initializes a new lake table at root on the store.
 func CreateTable(ctx context.Context, store Store, root string, schema *Schema) (*Table, error) {
-	return lake.Create(ctx, store, nil, root, schema)
+	return lake.CreateWith(ctx, store, root, schema, lake.OpenOptions{})
+}
+
+// CreateTableWith is CreateTable with explicit options (simulations
+// set TableOptions.Clock so lake commits share the virtual timeline).
+func CreateTableWith(ctx context.Context, store Store, root string, schema *Schema, opts TableOptions) (*Table, error) {
+	return lake.CreateWith(ctx, store, root, schema, opts)
 }
 
 // CreateTableWithClock is CreateTable stamping commits from the given
-// clock (used by simulations).
+// clock.
+//
+// Deprecated: use CreateTableWith with TableOptions.Clock.
 func CreateTableWithClock(ctx context.Context, store Store, clock Clock, root string, schema *Schema) (*Table, error) {
-	return lake.Create(ctx, store, clock, root, schema)
+	return CreateTableWith(ctx, store, root, schema, TableOptions{Clock: clock})
 }
 
 // OpenTable opens an existing lake table at root.
 func OpenTable(ctx context.Context, store Store, root string) (*Table, error) {
-	return lake.Open(ctx, store, nil, root)
+	return lake.OpenWith(ctx, store, root, lake.OpenOptions{})
+}
+
+// OpenTableWith is OpenTable with explicit options.
+func OpenTableWith(ctx context.Context, store Store, root string, opts TableOptions) (*Table, error) {
+	return lake.OpenWith(ctx, store, root, opts)
 }
 
 // OpenTableWithClock is OpenTable with an explicit clock.
+//
+// Deprecated: use OpenTableWith with TableOptions.Clock.
 func OpenTableWithClock(ctx context.Context, store Store, clock Clock, root string) (*Table, error) {
-	return lake.Open(ctx, store, clock, root)
+	return OpenTableWith(ctx, store, root, TableOptions{Clock: clock})
 }
 
-// NewClient returns a Rottnest client over the table using the real
-// wall clock.
+// NewClient returns a Rottnest client over the table. The clock
+// driving timeouts and vacuum decisions comes from cfg.Clock; leave it
+// nil for the real wall clock, or set a VirtualClock for simulations.
 func NewClient(table *Table, cfg Config) *Client {
-	return core.NewClient(table, nil, cfg)
+	return core.NewClient(table, cfg)
 }
 
-// NewClientWithClock is NewClient with an explicit clock (used by
-// simulations, whose vacuum timeouts run on virtual time).
+// NewClientWithClock is NewClient with an explicit clock argument.
+//
+// Deprecated: set Config.Clock instead.
 func NewClientWithClock(table *Table, clock Clock, cfg Config) *Client {
-	return core.NewClient(table, clock, cfg)
+	cfg.Clock = clock
+	return NewClient(table, cfg)
 }
