@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPageDecode -run '^FuzzPageDecode$$' -fuzztime=10s ./internal/parquet/
 	$(GO) test -fuzz=FuzzFMIndexOpen -run '^FuzzFMIndexOpen$$' -fuzztime=10s ./internal/fmindex/
 	$(GO) test -fuzz=FuzzSuffixArray -run '^FuzzSuffixArray$$' -fuzztime=10s ./internal/fmindex/
+	$(GO) test -fuzz=FuzzObjCache -run '^FuzzObjCache$$' -fuzztime=10s ./internal/objcache/
 
 # trace-smoke proves the observability path end to end: quickstart
 # runs every lookup through Client.Trace, writes the span trees as
@@ -55,3 +56,8 @@ bench-cache:
 # the prefix-doubling oracle and per-kind build throughput.
 bench-build:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_build.json build
+
+# bench-serve records the warm-serving-path experiment: concurrent
+# clients over a Zipf query mix, cold vs warm p50/p99, GETs/query, QPS.
+bench-serve:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_serve.json serve

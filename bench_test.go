@@ -144,6 +144,17 @@ func BenchmarkSearchCacheWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkServeColdVsWarm measures the warm serving path: concurrent
+// clients replaying a Zipf query mix cold (all caches off) versus warm
+// (plan + decoded-object + byte caches primed).
+func BenchmarkServeColdVsWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Serve(benchOpts(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSearchUnderFaults measures the retry layer's latency
 // overhead when a seeded fault storm hits the search path.
 func BenchmarkSearchUnderFaults(b *testing.B) {

@@ -82,7 +82,7 @@ commands:
   lake-compact  compact the lake's own data files
   status        show table, snapshot, and index state
 
-common flags: -store DIR  -table PREFIX  [-index-dir PREFIX]`)
+common flags: -store DIR  -table PREFIX  [-index-dir PREFIX] [-retries] [-cold]`)
 }
 
 // common holds the flags every subcommand shares.
@@ -92,6 +92,7 @@ type common struct {
 	table    *string
 	indexDir *string
 	retries  *bool
+	cold     *bool
 }
 
 func newCommon(name string) *common {
@@ -102,6 +103,7 @@ func newCommon(name string) *common {
 		table:    fs.String("table", "lake", "table key prefix"),
 		indexDir: fs.String("index-dir", "", "index key prefix (default <table>-index)"),
 		retries:  fs.Bool("retries", false, "retry transient store failures with bounded backoff"),
+		cold:     fs.Bool("cold", false, "disable the byte, decoded-object, and plan caches (cold read path)"),
 	}
 }
 
@@ -127,10 +129,16 @@ func (c *common) open(ctx context.Context) (rottnest.Store, *rottnest.Table, *ro
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	client := rottnest.NewClient(table, rottnest.Config{
+	cfg := rottnest.Config{
 		IndexDir: *c.indexDir,
 		Retry:    rottnest.RetryPolicy{Enabled: *c.retries},
-	})
+	}
+	if *c.cold {
+		cfg.CacheBytes = -1
+		cfg.DecodedCacheBytes = -1
+		cfg.PlanCacheTTLVersions = -1
+	}
+	client := rottnest.NewClient(table, cfg)
 	return store, table, client, nil
 }
 

@@ -110,9 +110,17 @@ func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore
 	}
 	// Figure reproductions model the paper's uncached read path: every
 	// GET pays the Figure 10a latency. Keep the client's read cache off
-	// unless an experiment (e.g. CacheWarmth) asks for it explicitly.
+	// unless an experiment (e.g. CacheWarmth) asks for it explicitly —
+	// and likewise the decoded-object and plan caches, which the Serve
+	// experiment enables deliberately.
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = -1
+	}
+	if cfg.DecodedCacheBytes == 0 {
+		cfg.DecodedCacheBytes = -1
+	}
+	if cfg.PlanCacheTTLVersions == 0 {
+		cfg.PlanCacheTTLVersions = -1
 	}
 	cfg.Clock = clock
 	return &world{

@@ -355,6 +355,40 @@ func TestCacheWarmthShapes(t *testing.T) {
 	}
 }
 
+func TestServeShapes(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Serve(Options{Seed: 14, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 3 {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	for _, w := range res.Workloads {
+		// The tentpole bar: warm serving must at least halve the median
+		// per-query latency versus the cold read path.
+		if w.SpeedupP50 < 2 {
+			t.Fatalf("%s: warm p50 speedup %.2fx < 2x (cold %v, warm %v)",
+				w.Workload, w.SpeedupP50, w.ColdP50, w.WarmP50)
+		}
+		// Every query in the measured stream repeats the primed
+		// universe, so the warm pass must issue zero GETs: no planning
+		// LIST, no directory/manifest/header fetch, no page reads.
+		if w.WarmGETsPerQuery != 0 {
+			t.Fatalf("%s: warm pass issued %.2f GETs/query, want 0", w.Workload, w.WarmGETsPerQuery)
+		}
+		if w.ColdGETsPerQuery == 0 {
+			t.Fatalf("%s: cold pass issued no GETs", w.Workload)
+		}
+		if w.DecodedHits == 0 || w.PlanHits == 0 {
+			t.Fatalf("%s: warm pass recorded no cache activity: %+v", w.Workload, w)
+		}
+		if w.WarmQPS <= w.ColdQPS {
+			t.Fatalf("%s: warm QPS %.1f not above cold %.1f", w.Workload, w.WarmQPS, w.ColdQPS)
+		}
+	}
+}
+
 func TestChaosShapes(t *testing.T) {
 	skipUnderRace(t)
 	res, err := Chaos(Options{Seed: 5, Quick: true})

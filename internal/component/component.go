@@ -210,6 +210,8 @@ type Reader struct {
 	tail    []byte
 	tailOff int64
 
+	retain bool
+
 	mu    sync.Mutex
 	cache map[int][]byte
 }
@@ -220,6 +222,14 @@ type OpenOptions struct {
 	// Defaults to 256 KiB, sized to capture the directory plus a
 	// typical root component in one request.
 	TailBytes int64
+
+	// NoRetain stops the reader from accumulating fetched component
+	// bytes in its per-reader cache: only the open-time tail and the
+	// parsed directory stay resident. Set it when the reader itself is
+	// cached across queries (objcache) so that posting payloads read
+	// through it do not grow without bound; repeat-read savings for
+	// those payloads belong to the byte-level CachedStore below.
+	NoRetain bool
 }
 
 // Open fetches the file's directory (one suffix-range GET) and returns
@@ -287,6 +297,7 @@ func Open(ctx context.Context, store objectstore.Store, key string, opts OpenOpt
 		size:    size,
 		tail:    tail,
 		tailOff: size - int64(len(tail)),
+		retain:  !opts.NoRetain,
 		cache:   make(map[int][]byte),
 	}, nil
 }
@@ -302,6 +313,14 @@ func (r *Reader) NumComponents() int { return len(r.dir) }
 
 // Size returns the file's total byte size.
 func (r *Reader) Size() int64 { return r.size }
+
+// Footprint estimates the reader's resident memory in bytes — the
+// retained tail plus the parsed directory — for cache cost accounting.
+// The per-reader component cache is excluded: readers held across
+// queries are opened with NoRetain, so it stays empty.
+func (r *Reader) Footprint() int64 {
+	return int64(len(r.tail)) + 24*int64(len(r.dir)) + 64
+}
 
 // Component returns the decompressed bytes of component id, fetching
 // it with a ranged GET unless it lies within the cached tail or was
@@ -343,9 +362,11 @@ func (r *Reader) rawComponent(ctx context.Context, id int) ([]byte, error) {
 			return nil, fmt.Errorf("component: %s: read component %d: %w", r.key, id, err)
 		}
 	}
-	r.mu.Lock()
-	r.cache[id] = raw
-	r.mu.Unlock()
+	if r.retain {
+		r.mu.Lock()
+		r.cache[id] = raw
+		r.mu.Unlock()
+	}
 	return raw, nil
 }
 
@@ -371,18 +392,34 @@ func (r *Reader) Components(ctx context.Context, ids []int) ([][]byte, error) {
 		reqs = append(reqs, objectstore.RangeRequest{Key: r.key, Offset: e.offset, Length: e.size})
 		fetchIdx = append(fetchIdx, i)
 	}
+	// The fan's raws are held locally so the call works identically
+	// with NoRetain readers, which never store fetched bytes in r.cache.
+	fetched := make(map[int][]byte, len(reqs))
 	if len(reqs) > 0 {
 		raws, err := objectstore.FanGet(ctx, r.store, reqs)
 		if err != nil {
 			return nil, fmt.Errorf("component: %s: fan read: %w", r.key, err)
 		}
-		r.mu.Lock()
 		for j, raw := range raws {
-			r.cache[ids[fetchIdx[j]]] = raw
+			fetched[ids[fetchIdx[j]]] = raw
 		}
-		r.mu.Unlock()
+		if r.retain {
+			r.mu.Lock()
+			for id, raw := range fetched {
+				r.cache[id] = raw
+			}
+			r.mu.Unlock()
+		}
 	}
 	for i, id := range ids {
+		if raw, ok := fetched[id]; ok {
+			data, err := inflate(raw, r.dir[id].rawSize)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = data
+			continue
+		}
 		data, err := r.Component(ctx, id)
 		if err != nil {
 			return nil, err

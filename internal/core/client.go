@@ -29,6 +29,7 @@ import (
 	"rottnest/internal/ivfpq"
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
+	"rottnest/internal/objcache"
 	"rottnest/internal/objectstore"
 	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
@@ -95,6 +96,25 @@ type Config struct {
 	// TTFB instead of two). 0 means the 128 KiB default; negative
 	// disables coalescing.
 	CoalesceGap int64
+	// DecodedCacheBytes bounds the decoded-object cache holding
+	// per-query reconstruction results across queries: component
+	// reader directories, manifests, FM/trie/IVF-PQ open results
+	// (headers, checkpoints, centroids, codebooks — not posting
+	// payloads), and deletion vectors. Where CacheBytes removes the
+	// repeat GET, this removes the repeat decode CPU and the request
+	// fan above it. 0 means the 64 MiB default; negative disables.
+	// Invalidation is exact (vacuum/compact/append hooks), never
+	// TTL-based, so results are identical with the cache on or off.
+	DecodedCacheBytes int64
+	// PlanCacheTTLVersions bounds the plan cache, which memoizes the
+	// planning round (lake snapshot + metadata listing) keyed by
+	// resolved snapshot version so repeat queries against an
+	// unchanged table skip the planning LIST entirely. The value is
+	// how many lake versions behind the latest commit a cached plan
+	// may trail before being pruned (hygiene only — version keying,
+	// not freshness, is what keeps results exact). 0 means the
+	// default of 8; negative disables the plan cache.
+	PlanCacheTTLVersions int
 	// Retry, when Enabled, layers bounded exponential-backoff retries
 	// (with read-back resolution of ambiguous conditional puts) under
 	// the client's read cache. Off by default: fault-free stores need
@@ -137,6 +157,11 @@ type Client struct {
 	cache *objectstore.CachedStore
 	inst  *objectstore.Instrumented
 	retry *objectstore.RetryStore
+	// objc caches decoded objects (readers, manifests, index opens,
+	// deletion vectors) across queries; plans caches planning rounds
+	// keyed by snapshot version. Both are nil when disabled.
+	objc  *objcache.Cache
+	plans *planCache
 	// reg holds the client's own "search.*" metrics; Metrics() merges
 	// it with the store-layer registries.
 	reg         *obs.Registry
@@ -178,7 +203,15 @@ func NewClient(table *lake.Table, cfg Config) *Client {
 		store = cache
 	}
 	reg := obs.NewRegistry()
-	return &Client{
+	var objc *objcache.Cache
+	if cfg.DecodedCacheBytes >= 0 {
+		objc = objcache.New(cfg.DecodedCacheBytes)
+	}
+	var plans *planCache
+	if cfg.PlanCacheTTLVersions >= 0 {
+		plans = newPlanCache(cfg.PlanCacheTTLVersions, reg)
+	}
+	c := &Client{
 		table:       table,
 		store:       store,
 		clock:       clock,
@@ -187,12 +220,30 @@ func NewClient(table *lake.Table, cfg Config) *Client {
 		cache:       cache,
 		inst:        objectstore.FindInstrumented(store),
 		retry:       retry,
+		objc:        objc,
+		plans:       plans,
 		reg:         reg,
 		searches:    reg.Counter("search.queries"),
 		pagesProbed: reg.Counter("search.pages_probed"),
 		scannedFull: reg.Counter("search.files_scanned"),
 		latencyHist: reg.Histogram("search.latency_ns"),
 	}
+	// Lake hooks keep the warm caches exact under mutation through
+	// this table handle: commits advance the plan cache's latest
+	// version, and lake vacuum drops decoded deletion vectors for the
+	// files it physically deleted.
+	if plans != nil {
+		table.OnCommit(plans.noteCommit)
+	}
+	if objc != nil {
+		root := table.Root()
+		table.OnVacuum(func(removed []string) {
+			for _, rel := range removed {
+				objc.Invalidate(root + rel)
+			}
+		})
+	}
+	return c
 }
 
 // NewClientWithClock returns a client using an explicit clock.
@@ -212,8 +263,10 @@ func (c *Client) Table() *lake.Table { return c.table }
 // Metrics returns one merged snapshot of every metrics registry on
 // the client's store chain plus the client's own search counters:
 // "store.*" (request/byte totals), "cache.*" (hit/miss/eviction),
-// "retry.*" (recovery work), and "search.*" (query counts, pages
-// probed, latency histogram). The legacy CacheStats/RetryStats
+// "retry.*" (recovery work), "objcache.*" (decoded-object cache,
+// aggregate and per-kind), and "search.*" (query counts, pages
+// probed, plan-cache activity, latency histogram). The legacy
+// CacheStats/RetryStats
 // snapshot structs are views derived from this snapshot.
 func (c *Client) Metrics() obs.Snapshot {
 	var snaps []obs.Snapshot
@@ -225,6 +278,9 @@ func (c *Client) Metrics() obs.Snapshot {
 	}
 	if c.cache != nil {
 		snaps = append(snaps, c.cache.Registry().Snapshot())
+	}
+	if c.objc != nil {
+		snaps = append(snaps, c.objc.Registry().Snapshot())
 	}
 	snaps = append(snaps, c.reg.Snapshot())
 	return obs.Merge(snaps...)

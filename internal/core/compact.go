@@ -104,11 +104,11 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 	readers := make([]*component.Reader, len(bin))
 	manifests := make([]*Manifest, len(bin))
 	for i, e := range bin {
-		r, err := component.Open(ctx, c.store, e.IndexKey, component.OpenOptions{})
+		r, err := c.openReader(ctx, e.IndexKey)
 		if err != nil {
 			return nil, fmt.Errorf("core: compact open %s: %w", e.IndexKey, err)
 		}
-		m, err := readManifest(ctx, r)
+		m, err := c.manifest(ctx, r)
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +208,9 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 	if err := c.meta.Insert(cctx, entry); err != nil {
 		return nil, err
 	}
+	// The metadata table changed without a lake commit; cached plans
+	// must replan to pick up the new index file.
+	c.plans.invalidateAll()
 	commitSpan.End()
 	// Post-commit timeout re-check, mirroring IndexAt: if the clock
 	// passed the deadline between the check above and the insert, a
@@ -218,6 +221,7 @@ func (c *Client) mergeBin(ctx context.Context, column string, kind component.Kin
 		if err := c.meta.Delete(rctx, entry.IndexKey); err != nil {
 			return nil, err
 		}
+		c.plans.invalidateAll()
 		return nil, fmt.Errorf("core: compact of %d index files overran commit: %w", len(bin), ErrTimeout)
 	}
 	entry.CreatedAt = c.clock.Now()

@@ -215,6 +215,9 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 	if err := c.meta.Insert(cctx, entry); err != nil {
 		return nil, err
 	}
+	// The metadata table changed without a lake commit; cached plans
+	// must replan to pick up the new index file.
+	c.plans.invalidateAll()
 	commitSpan.End()
 	// Re-check the timeout after commit: the clock can pass the
 	// deadline between the check above and the insert, and a vacuum
@@ -229,6 +232,7 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 		if err := c.meta.Delete(rctx, entry.IndexKey); err != nil {
 			return nil, err
 		}
+		c.plans.invalidateAll()
 		return nil, fmt.Errorf("core: index of %d files overran commit: %w", len(newFiles), ErrTimeout)
 	}
 	entry.CreatedAt = c.clock.Now()

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rottnest/internal/component"
+	"rottnest/internal/lake"
+	"rottnest/internal/meta"
+	"rottnest/internal/obs"
+)
+
+// defaultPlanTTLVersions is how many lake versions behind the latest
+// known commit a cached plan may trail before it is pruned.
+const defaultPlanTTLVersions = 8
+
+// planKey identifies one resolved search plan: the lake version it
+// was planned against plus the (column, kind) pair that selected the
+// metadata listing.
+type planKey struct {
+	version int64
+	column  string
+	kind    component.Kind
+}
+
+// planEntry is a cached planning round: the snapshot and the metadata
+// listing that together cost the search its LIST round. Both are
+// treated as immutable by the search path (filters copy before
+// trimming), so one entry serves any number of concurrent queries.
+type planEntry struct {
+	snap    *lake.Snapshot
+	entries []meta.IndexEntry
+}
+
+// planCache memoizes planning rounds keyed by resolved snapshot
+// version. Safety comes from version keying, not freshness: a pinned
+// version's snapshot is immutable, and a stale metadata listing can
+// only under-use indices (files fall to the scan path) or reference a
+// vacuumed index file — which the search already self-heals via
+// staleIndexError, and every replan bypasses this cache. The latest
+// version is advanced by lake commit hooks (forward-only: commits may
+// report out of order, and versions are monotone, so max is correct),
+// letting repeat latest-snapshot queries skip the planning LIST
+// entirely.
+type planCache struct {
+	ttl int64
+	gen atomic.Int64
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	invalidations *obs.Counter
+
+	mu     sync.Mutex
+	latest int64
+	plans  map[planKey]planEntry
+}
+
+// newPlanCache returns a plan cache keeping entries within ttl
+// versions of the latest known commit (<= 0 means the default),
+// registering its counters under "search.plan_cache_*" in reg.
+func newPlanCache(ttl int, reg *obs.Registry) *planCache {
+	if ttl <= 0 {
+		ttl = defaultPlanTTLVersions
+	}
+	return &planCache{
+		ttl:           int64(ttl),
+		hits:          reg.Counter("search.plan_cache_hits"),
+		misses:        reg.Counter("search.plan_cache_misses"),
+		invalidations: reg.Counter("search.plan_cache_invalidations"),
+		plans:         make(map[planKey]planEntry),
+	}
+}
+
+// get returns the cached plan for the key; version < 0 resolves to
+// the latest hook-reported version (a miss when no commit has been
+// observed yet). Nil-safe.
+func (p *planCache) get(version int64, column string, kind component.Kind) (planEntry, bool) {
+	if p == nil {
+		return planEntry{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version < 0 {
+		if p.latest <= 0 {
+			p.misses.Inc()
+			return planEntry{}, false
+		}
+		version = p.latest
+	}
+	e, ok := p.plans[planKey{version, column, kind}]
+	if ok {
+		p.hits.Inc()
+	} else {
+		p.misses.Inc()
+	}
+	return e, ok
+}
+
+// put stores a resolved plan and advances the latest pointer to its
+// version if newer. Nil-safe.
+func (p *planCache) put(version int64, column string, kind component.Kind, snap *lake.Snapshot, entries []meta.IndexEntry) {
+	if p == nil || version <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if version > p.latest {
+		p.latest = version
+	}
+	p.plans[planKey{version, column, kind}] = planEntry{snap: snap, entries: entries}
+	p.pruneLocked()
+	p.mu.Unlock()
+}
+
+// noteCommit advances the latest pointer (forward-only) from a lake
+// commit hook and prunes plans that fell out of the TTL window.
+// Nil-safe.
+func (p *planCache) noteCommit(version int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if version > p.latest {
+		p.latest = version
+	}
+	p.pruneLocked()
+	p.mu.Unlock()
+}
+
+func (p *planCache) pruneLocked() {
+	for k := range p.plans {
+		if k.version < p.latest-p.ttl {
+			delete(p.plans, k)
+		}
+	}
+}
+
+// invalidateAll drops every cached plan and bumps the generation.
+// Metadata-table writers (index commit, compact commit, vacuum) call
+// it: the meta table is a separate log from the lake, so its changes
+// do not move the version key. Nil-safe.
+func (p *planCache) invalidateAll() {
+	if p == nil {
+		return
+	}
+	p.gen.Add(1)
+	p.invalidations.Inc()
+	p.mu.Lock()
+	p.plans = make(map[planKey]planEntry)
+	p.mu.Unlock()
+}
+
+// generation returns the invalidation count (tests assert hooks fire
+// by watching it). Nil-safe.
+func (p *planCache) generation() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.gen.Load()
+}
+
+// latestVersion returns the hook-maintained latest commit version (0
+// when none observed). Nil-safe.
+func (p *planCache) latestVersion() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latest
+}

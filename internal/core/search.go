@@ -194,27 +194,46 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 		pctx, planSpan := obs.Start(ctx, "search.plan")
 		defer planSpan.End()
 		// Plan. The lake snapshot and the metadata table are
-		// independent logs; read them in parallel so planning pays one
-		// round of LIST latency, not two.
+		// independent logs; a repeat query at a version the plan cache
+		// has seen reuses both, otherwise read them in parallel so
+		// planning pays one round of LIST latency, not two. Replans
+		// (excluded non-empty) always go to the store: the cached plan
+		// is what referenced the vanished index.
 		var snap *lake.Snapshot
 		var entries []meta.IndexEntry
-		var snapErr, metaErr error
-		session.Parallel(
-			func(s *simtime.Session) {
-				snap, snapErr = c.table.SnapshotAt(simtime.With(pctx, s), snapVersion)
-			},
-			func(s *simtime.Session) {
-				entries, metaErr = c.meta.ListFor(simtime.With(pctx, s), q.Column, kind)
-			},
-		)
-		if snapErr != nil {
-			return nil, snapErr
+		planCached := false
+		if len(excluded) == 0 {
+			if e, ok := c.plans.get(snapVersion, q.Column, kind); ok {
+				snap, entries = e.snap, e.entries
+				planCached = true
+				planSpan.SetAttr("plan_cache", true)
+			}
+		}
+		if !planCached {
+			var snapErr, metaErr error
+			session.Parallel(
+				func(s *simtime.Session) {
+					snap, snapErr = c.table.SnapshotAt(simtime.With(pctx, s), snapVersion)
+				},
+				func(s *simtime.Session) {
+					entries, metaErr = c.meta.ListFor(simtime.With(pctx, s), q.Column, kind)
+				},
+			)
+			if snapErr != nil {
+				return nil, snapErr
+			}
+			if metaErr == nil && len(excluded) == 0 {
+				c.plans.put(snap.Version, q.Column, kind, snap, entries)
+			}
+			if metaErr != nil {
+				if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
+					return nil, err
+				}
+				return nil, metaErr
+			}
 		}
 		if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
 			return nil, err
-		}
-		if metaErr != nil {
-			return nil, metaErr
 		}
 		if len(excluded) > 0 {
 			kept := entries[:0:0]
@@ -303,6 +322,10 @@ func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
 			excluded = make(map[string]bool)
 		}
 		excluded[stale.key] = true
+		// The stale plan and any decoded forms of the vanished index
+		// must not serve again.
+		c.plans.invalidateAll()
+		c.objc.Invalidate(stale.key)
 	}
 	if err != nil {
 		return nil, err
@@ -357,10 +380,22 @@ func exactPred(q Query, kind component.Kind) (insitu.Predicate, error) {
 }
 
 // probeTarget collects the pages of one snapshot file that index
-// queries flagged.
+// queries flagged, deduplicated by page ordinal: several indices can
+// cover the same file (overlapping coverage before compaction), and
+// each page should be fetched and probed once.
 type probeTarget struct {
 	file  lake.DataFile
 	pages []parquet.PageInfo
+	seen  map[int]bool
+}
+
+func (t *probeTarget) add(pages []parquet.PageInfo) {
+	for _, p := range pages {
+		if !t.seen[p.Ordinal] {
+			t.seen[p.Ordinal] = true
+			t.pages = append(t.pages, p)
+		}
+	}
 }
 
 // searchExact runs UUID, substring, and regex queries. fmPattern is
@@ -420,10 +455,10 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 					}
 					t := targets[path]
 					if t == nil {
-						t = &probeTarget{file: f}
+						t = &probeTarget{file: f, seen: make(map[int]bool)}
 						targets[path] = t
 					}
-					t.pages = append(t.pages, pages...)
+					t.add(pages)
 				}
 				mu.Unlock()
 			}
@@ -459,7 +494,7 @@ func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, 
 				if s != nil {
 					bctx = simtime.With(readCtx, s)
 				}
-				dv, err := c.table.ReadDeletionVector(bctx, t.file)
+				dv, err := c.readDV(bctx, t.file)
 				if err != nil {
 					probeErrs[idx] = err
 					return
@@ -521,7 +556,7 @@ func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kin
 	defer span.End()
 	span.SetAttr("index", entry.IndexKey)
 	span.SetAttr("kind", kind.String())
-	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
+	r, err := c.openReader(ctx, entry.IndexKey)
 	if err != nil {
 		return nil, false, err
 	}
@@ -536,7 +571,7 @@ func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kin
 			if s != nil {
 				bctx = simtime.With(ctx, s)
 			}
-			manifest, mErr = readManifest(bctx, r)
+			manifest, mErr = c.manifest(bctx, r)
 		},
 		func(s *simtime.Session) {
 			bctx := ctx
@@ -546,13 +581,13 @@ func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kin
 			switch kind {
 			case component.KindTrie:
 				var ix *trie.Index
-				ix, qErr = trie.Open(bctx, r)
+				ix, qErr = c.openTrie(bctx, r)
 				if qErr == nil {
 					refs, qErr = ix.Lookup(bctx, *q.UUID)
 				}
 			default:
 				var ix *fmindex.Index
-				ix, qErr = fmindex.Open(bctx, r)
+				ix, qErr = c.openFM(bctx, r)
 				if qErr == nil {
 					maxRows := 0
 					if q.K > 0 && q.Regex == "" && !unbounded {
@@ -610,7 +645,7 @@ func (c *Client) scanFiles(ctx context.Context, files []lake.DataFile, colIdx in
 			if s != nil {
 				bctx = simtime.With(ctx, s)
 			}
-			dv, err := c.table.ReadDeletionVector(bctx, f)
+			dv, err := c.readDV(bctx, f)
 			if err != nil {
 				errs[idx] = err
 				return
@@ -726,7 +761,7 @@ func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot,
 		dim := len(q.Vector)
 		pred := func(v []byte) (bool, float64) {
 			vec := decodeVector(v, dim)
-			return true, float64(l2dist(q.Vector, vec))
+			return true, float64(ivfpq.L2Sq(q.Vector, vec))
 		}
 		scanned, err := c.scanFiles(ctx, unindexed, colIdx, pred)
 		if err != nil {
@@ -750,7 +785,7 @@ func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, ve
 	defer span.End()
 	span.SetAttr("index", entry.IndexKey)
 	span.SetAttr("kind", component.KindIVFPQ.String())
-	r, err := component.Open(ctx, c.store, entry.IndexKey, component.OpenOptions{})
+	r, err := c.openReader(ctx, entry.IndexKey)
 	if err != nil {
 		return nil, err
 	}
@@ -764,7 +799,7 @@ func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, ve
 			if s != nil {
 				bctx = simtime.With(ctx, s)
 			}
-			manifest, mErr = readManifest(bctx, r)
+			manifest, mErr = c.manifest(bctx, r)
 		},
 		func(s *simtime.Session) {
 			bctx := ctx
@@ -772,7 +807,7 @@ func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, ve
 				bctx = simtime.With(ctx, s)
 			}
 			var ix *ivfpq.Index
-			ix, qErr = ivfpq.Open(bctx, r)
+			ix, qErr = c.openIVF(bctx, r)
 			if qErr == nil {
 				raw, qErr = ix.Search(bctx, vec, nprobe, maxCands)
 			}
@@ -813,19 +848,26 @@ func (c *Client) refineCandidates(ctx context.Context, q Query, snap *lake.Snaps
 	col := snap.Schema.Columns[colIdx]
 	dim := len(q.Vector)
 
+	// Candidate pages are deduplicated by ordinal as they accumulate:
+	// several candidates usually land on the same page, and each page
+	// should be fetched and probed once.
 	type fileGroup struct {
 		file  lake.DataFile
 		pages []parquet.PageInfo
 		rows  map[int64]bool
+		seen  map[int]bool
 	}
 	groups := make(map[string]*fileGroup)
 	for _, cand := range cands {
 		g := groups[cand.file.Path]
 		if g == nil {
-			g = &fileGroup{file: cand.file, rows: make(map[int64]bool)}
+			g = &fileGroup{file: cand.file, rows: make(map[int64]bool), seen: make(map[int]bool)}
 			groups[cand.file.Path] = g
 		}
-		g.pages = append(g.pages, cand.page)
+		if !g.seen[cand.page.Ordinal] {
+			g.seen[cand.page.Ordinal] = true
+			g.pages = append(g.pages, cand.page)
+		}
 		g.rows[cand.row] = true
 	}
 	ordered := make([]*fileGroup, 0, len(groups))
@@ -844,13 +886,13 @@ func (c *Client) refineCandidates(ctx context.Context, q Query, snap *lake.Snaps
 			if s != nil {
 				bctx = simtime.With(ctx, s)
 			}
-			dv, err := c.table.ReadDeletionVector(bctx, g.file)
+			dv, err := c.readDV(bctx, g.file)
 			if err != nil {
 				errs[idx] = err
 				return
 			}
 			pred := func(v []byte) (bool, float64) {
-				return true, float64(l2dist(q.Vector, decodeVector(v, dim)))
+				return true, float64(ivfpq.L2Sq(q.Vector, decodeVector(v, dim)))
 			}
 			all, err := insitu.ProbePages(bctx, c.store, c.table.Root()+g.file.Path, col, g.file.Path, g.pages, dv, pred)
 			if err != nil {
@@ -874,21 +916,9 @@ func (c *Client) refineCandidates(ctx context.Context, q Query, snap *lake.Snaps
 			return nil, 0, errs[i]
 		}
 		matches = append(matches, outs[i]...)
-		totalPages += len(dedupPages(ordered[i].pages))
+		totalPages += len(ordered[i].pages)
 	}
 	return matches, totalPages, nil
-}
-
-func dedupPages(pages []parquet.PageInfo) []parquet.PageInfo {
-	seen := make(map[int]bool, len(pages))
-	out := pages[:0]
-	for _, p := range pages {
-		if !seen[p.Ordinal] {
-			seen[p.Ordinal] = true
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 func sortVecCandidates(cands []vecCandidate) {
@@ -901,17 +931,4 @@ func sortVecCandidates(cands []vecCandidate) {
 		}
 		return cands[i].row < cands[j].row
 	})
-}
-
-func l2dist(a, b []float32) float32 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	var sum float32
-	for i := 0; i < n; i++ {
-		d := a[i] - b[i]
-		sum += d * d
-	}
-	return sum
 }

@@ -117,6 +117,10 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 		if err := c.meta.Delete(cctx, dropped...); err != nil {
 			return nil, err
 		}
+		// The metadata table changed without a lake commit, so cached
+		// plans would keep probing the dropped entries until their
+		// index objects vanish; drop the plans now.
+		c.plans.invalidateAll()
 		commitSpan.End()
 	}
 	report.DroppedEntries = dropped
@@ -148,6 +152,9 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 		if err := c.store.Delete(rctx, info.Key); err != nil {
 			return nil, err
 		}
+		// Every decoded form of the deleted object (reader, manifest,
+		// index open result) must not serve again.
+		c.objc.Invalidate(info.Key)
 		report.RemovedObjects = append(report.RemovedObjects, info.Key)
 	}
 	removeSpan.SetAttr("removed", len(report.RemovedObjects))

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+
+	"rottnest/internal/component"
+	"rottnest/internal/fmindex"
+	"rottnest/internal/ivfpq"
+	"rottnest/internal/lake"
+	"rottnest/internal/trie"
+)
+
+// This file is the client's warm serving path: every decoded object a
+// search reconstructs per query — component reader directories,
+// manifests, index open results, deletion vectors — is fetched
+// through the decoded-object cache when one is configured. Each
+// helper degrades to the direct decode when the cache is off, so the
+// cold path is byte-identical to the pre-cache client.
+//
+// All cached values are immutable under their id: index files,
+// manifests (component 0 of the index file), and deletion vectors all
+// live at crypto-random object keys that are never overwritten, so an
+// id can only go stale by deletion — and the deleting operations
+// (core vacuum, lake vacuum) invalidate exactly those ids.
+
+// openReader returns a (possibly shared) component reader for the
+// index object at key. Shared readers are opened with NoRetain so
+// posting payloads read through them do not accumulate; repeat-read
+// savings for payload bytes belong to the byte-level CachedStore.
+func (c *Client) openReader(ctx context.Context, key string) (*component.Reader, error) {
+	if c.objc == nil {
+		return component.Open(ctx, c.store, key, component.OpenOptions{})
+	}
+	v, err := c.objc.Do(ctx, "reader", key, func(ctx context.Context) (any, int64, error) {
+		r, err := component.Open(ctx, c.store, key, component.OpenOptions{NoRetain: true})
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, r.Footprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*component.Reader), nil
+}
+
+// manifest returns the (possibly shared) decoded manifest of the
+// index file behind r.
+func (c *Client) manifest(ctx context.Context, r *component.Reader) (*Manifest, error) {
+	if c.objc == nil {
+		return readManifest(ctx, r)
+	}
+	v, err := c.objc.Do(ctx, "manifest", r.Key(), func(ctx context.Context) (any, int64, error) {
+		m, err := readManifest(ctx, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, manifestFootprint(m), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Manifest), nil
+}
+
+// manifestFootprint estimates a decoded manifest's resident bytes.
+func manifestFootprint(m *Manifest) int64 {
+	total := int64(128)
+	for _, f := range m.Files {
+		total += int64(len(f.Path)) + 48*int64(len(f.Pages)) + 64
+	}
+	return total
+}
+
+// openTrie returns the (possibly shared) open result of the trie
+// index behind r — its root bucket table; node payloads stay lazy.
+func (c *Client) openTrie(ctx context.Context, r *component.Reader) (*trie.Index, error) {
+	if c.objc == nil {
+		return trie.Open(ctx, r)
+	}
+	v, err := c.objc.Do(ctx, "trie", r.Key(), func(ctx context.Context) (any, int64, error) {
+		ix, err := trie.Open(ctx, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ix, ix.Footprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trie.Index), nil
+}
+
+// openFM returns the (possibly shared) open result of the FM-index
+// behind r — page starts, refs, and occ checkpoints; BWT blocks stay
+// lazy.
+func (c *Client) openFM(ctx context.Context, r *component.Reader) (*fmindex.Index, error) {
+	if c.objc == nil {
+		return fmindex.Open(ctx, r)
+	}
+	v, err := c.objc.Do(ctx, "fm", r.Key(), func(ctx context.Context) (any, int64, error) {
+		ix, err := fmindex.Open(ctx, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ix, ix.Footprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*fmindex.Index), nil
+}
+
+// openIVF returns the (possibly shared) open result of the IVF-PQ
+// index behind r — centroids, codebooks, and list descriptors;
+// posting lists stay lazy.
+func (c *Client) openIVF(ctx context.Context, r *component.Reader) (*ivfpq.Index, error) {
+	if c.objc == nil {
+		return ivfpq.Open(ctx, r)
+	}
+	v, err := c.objc.Do(ctx, "ivfpq", r.Key(), func(ctx context.Context) (any, int64, error) {
+		ix, err := ivfpq.Open(ctx, r)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ix, ix.Footprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ivfpq.Index), nil
+}
+
+// readDV returns the (possibly shared) decoded deletion vector of f.
+// The cache id is the DV's full object key: DeleteRows writes each
+// new vector to a fresh random path, so the id doubles as the DV
+// version and a cached entry can never serve a superseded vector.
+func (c *Client) readDV(ctx context.Context, f lake.DataFile) (*lake.DeletionVector, error) {
+	if c.objc == nil || f.DVPath == "" {
+		return c.table.ReadDeletionVector(ctx, f)
+	}
+	v, err := c.objc.Do(ctx, "dv", c.table.Root()+f.DVPath, func(ctx context.Context) (any, int64, error) {
+		dv, err := c.table.ReadDeletionVector(ctx, f)
+		if err != nil {
+			return nil, 0, err
+		}
+		return dv, dv.Footprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*lake.DeletionVector), nil
+}

@@ -237,6 +237,17 @@ type Index struct {
 	totalSymbols [256]int64
 }
 
+// Footprint estimates the decoded index's resident bytes — page
+// starts, page refs, per-block occ checkpoints, and the fixed count
+// tables — for cache cost accounting. BWT block payloads are fetched
+// lazily per lookup and are not part of the open result.
+func (ix *Index) Footprint() int64 {
+	return 8*int64(len(ix.pageStarts)) +
+		48*int64(len(ix.refs)) +
+		256*8*int64(len(ix.checkpoints)) +
+		257*8 + 256*8 + 128
+}
+
 // Open parses the root component of the FM-index behind r.
 func Open(ctx context.Context, r *component.Reader) (*Index, error) {
 	if r.Kind() != component.KindFM {

@@ -309,6 +309,16 @@ type Index struct {
 	lists     []listDesc
 }
 
+// Footprint estimates the decoded index's resident bytes — coarse
+// centroids, PQ codebooks, and list descriptors — for cache cost
+// accounting. Posting lists are fetched lazily per probe and are not
+// part of the open result.
+func (ix *Index) Footprint() int64 {
+	return 4*int64(len(ix.centroids))*int64(ix.dim) +
+		4*int64(ix.m)*256*int64(ix.subdim) +
+		32*int64(len(ix.lists)) + 128
+}
+
 // Open parses the root component of the index behind r.
 func Open(ctx context.Context, r *component.Reader) (*Index, error) {
 	if r.Kind() != component.KindIVFPQ {

@@ -28,6 +28,19 @@ func l2sq(a, b []float32) float32 {
 	return sum
 }
 
+// L2Sq returns the squared Euclidean distance over the common prefix
+// of a and b (mismatched lengths clamp to the shorter, matching the
+// tolerant behavior callers scoring raw stored vectors rely on). It
+// runs the unrolled kernel with the same single-accumulator serial
+// addition order as a naive scalar loop, so results are IEEE
+// bit-identical to one.
+func L2Sq(a, b []float32) float32 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	return l2sq(a, b)
+}
+
 // l2sqBounded is l2sq with early abandonment: once the partial sum
 // exceeds bound the final distance cannot beat it, so the scan stops
 // and returns the (already > bound) partial. Partial sums of

@@ -1,0 +1,64 @@
+package ivfpq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveL2 is the reference scalar loop the unrolled kernel must match
+// bit for bit: same clamp-to-shorter semantics, same serial addition
+// order.
+func naiveL2(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum float32
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+func TestL2SqMatchesNaiveBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Lengths straddle the unroll width, including 0 and non-multiples
+	// of 4; pairs include mismatched lengths in both directions.
+	lens := []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 127}
+	for _, la := range lens {
+		for _, lb := range lens {
+			a := make([]float32, la)
+			b := make([]float32, lb)
+			for i := range a {
+				a[i] = rng.Float32()*2e3 - 1e3
+			}
+			for i := range b {
+				b[i] = rng.Float32()*2e3 - 1e3
+			}
+			got := L2Sq(a, b)
+			want := naiveL2(a, b)
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("L2Sq(len %d, len %d) = %x, naive = %x: not bit-identical",
+					la, lb, math.Float32bits(got), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+func TestL2SqSpecialValues(t *testing.T) {
+	cases := [][2][]float32{
+		{{float32(math.Inf(1)), 1}, {0, 1}},
+		{{float32(math.NaN())}, {0}},
+		{{math.MaxFloat32}, {-math.MaxFloat32}},
+		{{1e-45, 1e-45, 1e-45, 1e-45, 1e-45}, {0, 0, 0, 0, 0}},
+	}
+	for i, c := range cases {
+		got := L2Sq(c[0], c[1])
+		want := naiveL2(c[0], c[1])
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("case %d: L2Sq = %x, naive = %x", i, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}

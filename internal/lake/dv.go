@@ -34,6 +34,12 @@ func (d *DeletionVector) Contains(row uint32) bool {
 }
 
 // Len returns the number of deleted rows.
+// Footprint estimates the vector's resident bytes for cache cost
+// accounting.
+func (d *DeletionVector) Footprint() int64 {
+	return 16*int64(d.Len()) + 64
+}
+
 func (d *DeletionVector) Len() int {
 	if d == nil {
 		return 0

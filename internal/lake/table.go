@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"rottnest/internal/objectstore"
@@ -91,6 +92,52 @@ type Table struct {
 	store objectstore.Store
 	clock simtime.Clock
 	root  string
+
+	hookMu   sync.Mutex
+	onCommit []func(version int64)
+	onVacuum []func(removed []string)
+}
+
+// OnCommit registers fn to run after every successful commit through
+// this handle, with the committed version. Callers use it to advance
+// version-keyed caches; fn must be fast and must not call back into
+// the table.
+func (t *Table) OnCommit(fn func(version int64)) {
+	t.hookMu.Lock()
+	t.onCommit = append(t.onCommit, fn)
+	t.hookMu.Unlock()
+}
+
+// OnVacuum registers fn to run after every Vacuum through this handle,
+// with the removed keys relative to the table root. Callers use it to
+// drop cached decoded objects (deletion vectors) for deleted files.
+func (t *Table) OnVacuum(fn func(removed []string)) {
+	t.hookMu.Lock()
+	t.onVacuum = append(t.onVacuum, fn)
+	t.hookMu.Unlock()
+}
+
+func (t *Table) fireCommit(version int64) {
+	t.hookMu.Lock()
+	hooks := make([]func(int64), len(t.onCommit))
+	copy(hooks, t.onCommit)
+	t.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(version)
+	}
+}
+
+func (t *Table) fireVacuum(removed []string) {
+	if len(removed) == 0 {
+		return
+	}
+	t.hookMu.Lock()
+	hooks := make([]func([]string), len(t.onVacuum))
+	copy(hooks, t.onVacuum)
+	t.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(removed)
+	}
 }
 
 // OpenOptions configure how a table handle is created or opened.
@@ -276,6 +323,7 @@ func (t *Table) commit(ctx context.Context, op string, actions []Action, validat
 		err = t.store.PutIfAbsent(ctx, logKey(t.root, version+1), data)
 		if err == nil {
 			t.maybeCheckpoint(ctx, version+1)
+			t.fireCommit(version + 1)
 			return version + 1, nil
 		}
 		if !errors.Is(err, objectstore.ErrExists) {
@@ -561,5 +609,6 @@ func (t *Table) Vacuum(ctx context.Context, keepVersion int64, minAge time.Durat
 			removed = append(removed, rel)
 		}
 	}
+	t.fireVacuum(removed)
 	return removed, nil
 }

@@ -1,0 +1,83 @@
+package objcache
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// FuzzObjCache drives the cache with a byte-scripted op sequence
+// (insert/hit/invalidate/flush over a tiny key space with varied
+// costs) and checks the structural invariants after every op: the
+// resident byte total never exceeds the budget, stays equal to the
+// sum over resident entries, and the byID index mirrors the LRU
+// contents exactly.
+func FuzzObjCache(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0x00, 0xc3, 0x04})
+	f.Add([]byte{0xff, 0xff, 0x00, 0x80, 0x40, 0xc0, 0x01, 0x81})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		c := New(256)
+		ctx := context.Background()
+		for _, op := range script {
+			kind := fmt.Sprintf("k%d", (op>>4)&0x3)
+			id := fmt.Sprintf("id%d", op&0xf)
+			switch op >> 6 {
+			case 0, 1: // Do with cost derived from the op byte
+				cost := int64(op % 97)
+				_, err := c.Do(ctx, kind, id, func(context.Context) (any, int64, error) {
+					return op, cost, nil
+				})
+				if err != nil {
+					t.Fatalf("Do: %v", err)
+				}
+			case 2:
+				c.Invalidate(id)
+			case 3:
+				if op&0x3f == 0 {
+					c.Flush()
+				} else {
+					c.Invalidate(id)
+				}
+			}
+			checkInvariants(t, c)
+		}
+	})
+}
+
+func checkInvariants(t *testing.T, c *Cache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bytes > c.maxBytes {
+		t.Fatalf("resident %d bytes over budget %d", c.bytes, c.maxBytes)
+	}
+	var sum int64
+	count := 0
+	for elem := c.lru.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*entry)
+		sum += e.cost
+		count++
+		if c.items[e.ckey] != elem {
+			t.Fatalf("items[%q] does not point at its LRU element", e.ckey)
+		}
+		if c.byID[e.id][e.ckey] != elem {
+			t.Fatalf("byID[%q][%q] does not point at its LRU element", e.id, e.ckey)
+		}
+	}
+	if sum != c.bytes {
+		t.Fatalf("byte total %d != sum over entries %d", c.bytes, sum)
+	}
+	if count != len(c.items) {
+		t.Fatalf("LRU has %d entries, items map has %d", count, len(c.items))
+	}
+	indexed := 0
+	for _, forms := range c.byID {
+		if len(forms) == 0 {
+			t.Fatal("empty byID bucket not pruned")
+		}
+		indexed += len(forms)
+	}
+	if indexed != count {
+		t.Fatalf("byID indexes %d entries, LRU has %d", indexed, count)
+	}
+}

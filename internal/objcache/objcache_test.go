@@ -1,0 +1,240 @@
+package objcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rottnest/internal/simtime"
+)
+
+func TestHitMissAndCounters(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	decodes := 0
+	decode := func(ctx context.Context) (any, int64, error) {
+		decodes++
+		return "v", 10, nil
+	}
+	v, err := c.Do(ctx, "manifest", "k1", decode)
+	if err != nil || v.(string) != "v" {
+		t.Fatalf("Do = %v, %v", v, err)
+	}
+	v, err = c.Do(ctx, "manifest", "k1", decode)
+	if err != nil || v.(string) != "v" {
+		t.Fatalf("repeat Do = %v, %v", v, err)
+	}
+	if decodes != 1 {
+		t.Fatalf("decodes = %d, want 1", decodes)
+	}
+	snap := c.Registry().Snapshot()
+	if got := snap.Counter("objcache.hits"); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := snap.Counter("objcache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := snap.Counter("objcache.hits.manifest"); got != 1 {
+		t.Errorf("per-kind hits = %d, want 1", got)
+	}
+	if c.Bytes() != 10 || c.Len() != 1 {
+		t.Errorf("resident = %d bytes / %d entries, want 10 / 1", c.Bytes(), c.Len())
+	}
+}
+
+func TestKindsAreDistinct(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	if _, err := c.Do(ctx, "a", "k", func(context.Context) (any, int64, error) { return 1, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do(ctx, "b", "k", func(context.Context) (any, int64, error) { return 2, 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 2 {
+		t.Fatalf("kind b value = %v, want 2 (kinds must not collide)", v)
+	}
+}
+
+func TestInvalidateDropsAllFormsAndBumpsGeneration(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	for _, kind := range []string{"reader", "manifest", "fm"} {
+		k := kind
+		if _, err := c.Do(ctx, k, "idx1", func(context.Context) (any, int64, error) { return k, 5, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Do(ctx, "dv", "other", func(context.Context) (any, int64, error) { return "dv", 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	g0 := c.Generation()
+	if n := c.Invalidate("idx1"); n != 3 {
+		t.Fatalf("Invalidate dropped %d, want 3", n)
+	}
+	if c.Generation() != g0+1 {
+		t.Fatalf("generation = %d, want %d", c.Generation(), g0+1)
+	}
+	if c.Len() != 1 || c.Bytes() != 5 {
+		t.Fatalf("after invalidate: %d entries / %d bytes, want 1 / 5", c.Len(), c.Bytes())
+	}
+	// Invalidating an id with nothing resident still bumps the
+	// generation: the hook firing is what tests observe.
+	if n := c.Invalidate("absent"); n != 0 {
+		t.Fatalf("Invalidate(absent) dropped %d, want 0", n)
+	}
+	if c.Generation() != g0+2 {
+		t.Fatalf("generation = %d, want %d", c.Generation(), g0+2)
+	}
+	snap := c.Registry().Snapshot()
+	if got := snap.Counter("objcache.invalidations"); got != 2 {
+		t.Errorf("invalidations = %d, want 2", got)
+	}
+	if got := snap.Counter("objcache.invalidations.fm"); got != 1 {
+		t.Errorf("per-kind invalidations = %d, want 1", got)
+	}
+}
+
+func TestInvalidationSuppressesInFlightInsert(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.Do(ctx, "dv", "k", func(context.Context) (any, int64, error) {
+			close(started)
+			<-release
+			return "stale", 5, nil
+		})
+	}()
+	<-started
+	c.Invalidate("k")
+	close(release)
+	<-done
+	if c.Len() != 0 {
+		t.Fatalf("stale decode was inserted after invalidation (%d entries)", c.Len())
+	}
+}
+
+func TestLRUEvictionByCost(t *testing.T) {
+	c := New(100)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("k%d", i)
+		if _, err := c.Do(ctx, "x", id, func(context.Context) (any, int64, error) { return id, 20, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("resident %d bytes over budget 100", c.Bytes())
+	}
+	if got := c.Registry().Snapshot().Counter("objcache.evictions"); got != 5 {
+		t.Errorf("evictions = %d, want 5", got)
+	}
+	// Oversized values are never cached.
+	if _, err := c.Do(ctx, "x", "big", func(context.Context) (any, int64, error) { return "big", 26, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.lookup(compositeKey("x", "big")); ok {
+		t.Error("oversized value was cached")
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	calls := 0
+	decode := func(context.Context) (any, int64, error) {
+		calls++
+		if calls == 1 {
+			return nil, 0, boom
+		}
+		return "ok", 1, nil
+	}
+	if _, err := c.Do(ctx, "x", "k", decode); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	v, err := c.Do(ctx, "x", "k", decode)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("second Do = %v, %v", v, err)
+	}
+}
+
+func TestSingleflightSharesDecodeAndChargesFollowers(t *testing.T) {
+	c := New(1 << 20)
+	var decodes atomic.Int64
+	const workers = 8
+	sessions := make([]*simtime.Session, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		sessions[i] = simtime.NewSession()
+		ctx := simtime.With(context.Background(), sessions[i])
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			v, err := c.Do(ctx, "fm", "k", func(ctx context.Context) (any, int64, error) {
+				decodes.Add(1)
+				time.Sleep(20 * time.Millisecond) // hold the flight open
+				simtime.Charge(ctx, 3*time.Millisecond)
+				return "v", 1, nil
+			})
+			if err != nil || v.(string) != "v" {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}(ctx)
+	}
+	wg.Wait()
+	if decodes.Load() != 1 {
+		t.Fatalf("decodes = %d, want 1 (singleflight)", decodes.Load())
+	}
+	// Every session — leader and followers alike — paid the decode's
+	// virtual cost.
+	for i, s := range sessions {
+		if s.Elapsed() != 3*time.Millisecond {
+			t.Errorf("session %d elapsed = %v, want 3ms", i, s.Elapsed())
+		}
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	ctx := context.Background()
+	calls := 0
+	for i := 0; i < 2; i++ {
+		v, err := c.Do(ctx, "x", "k", func(context.Context) (any, int64, error) {
+			calls++
+			return "v", 1, nil
+		})
+		if err != nil || v.(string) != "v" {
+			t.Fatalf("nil Do = %v, %v", v, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache memoized (%d calls)", calls)
+	}
+	c.Invalidate("k")
+	c.Flush()
+	if c.Generation() != 0 || c.Bytes() != 0 || c.Len() != 0 || c.Registry() != nil {
+		t.Error("nil accessors not zero")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	if _, err := c.Do(ctx, "x", "k", func(context.Context) (any, int64, error) { return "v", 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after flush: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+}

@@ -384,6 +384,13 @@ type Index struct {
 	buckets [256]bucketDesc
 }
 
+// Footprint estimates the decoded index's resident bytes (the root
+// bucket table; node payloads are fetched lazily per lookup) for
+// cache cost accounting.
+func (ix *Index) Footprint() int64 {
+	return 256*32 + 64
+}
+
 // Open prepares the trie at key for querying. The component open's
 // suffix read captures the directory and root lookup table in one
 // request.
