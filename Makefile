@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ check:
 	$(GO) test ./internal/bench/ ./internal/fmindex/
 	$(MAKE) trace-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) bench-multi
 
 # fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
 # one -fuzz pattern per package invocation): corrupted bytes must
@@ -35,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzFMIndexOpen -run '^FuzzFMIndexOpen$$' -fuzztime=10s ./internal/fmindex/
 	$(GO) test -fuzz=FuzzSuffixArray -run '^FuzzSuffixArray$$' -fuzztime=10s ./internal/fmindex/
 	$(GO) test -fuzz=FuzzObjCache -run '^FuzzObjCache$$' -fuzztime=10s ./internal/objcache/
+	$(GO) test -fuzz=FuzzPredicateParser -run '^FuzzPredicateParser$$' -fuzztime=10s ./internal/core/
 
 # trace-smoke proves the observability path end to end: quickstart
 # runs every lookup through Client.Trace, writes the span trees as
@@ -61,3 +63,10 @@ bench-build:
 # clients over a Zipf query mix, cold vs warm p50/p99, GETs/query, QPS.
 bench-serve:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_serve.json serve
+
+# bench-multi records the multi-predicate planner experiment: compound
+# AND plans vs separate searches (GETs, pages, pages pruned by the
+# page-set intersection) and shared-probe batching (probe runs
+# coalesced vs independent under a concurrent Zipf stream).
+bench-multi:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_multi.json multi

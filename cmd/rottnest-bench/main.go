@@ -10,7 +10,7 @@
 //	rottnest-bench [-quick] [-seed N] [-json FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
-// throughput ablation distribution cache serve chaos build
+// throughput ablation distribution cache serve multi chaos build
 //
 // With -trace, experiments collect one exemplar span tree per search
 // site ("EXPLAIN ANALYZE" for the measured queries) and the map
@@ -75,6 +75,9 @@ var experiments = []struct {
 	}},
 	{"serve", "warm serving path: concurrent Zipf mix, cold vs warm p50/p99, GETs/query, QPS", func(o bench.Options) (any, error) {
 		return bench.Serve(o)
+	}},
+	{"multi", "multi-predicate plans: page-set intersection GETs vs separate searches, shared-probe batching", func(o bench.Options) (any, error) {
+		return bench.Multi(o)
 	}},
 	{"chaos", "search latency overhead under a fault storm with retries on", func(o bench.Options) (any, error) {
 		return bench.Chaos(o)

@@ -75,7 +75,7 @@ commands:
   create        create a lake table (-schema "id:uuid,msg:text,emb:vec:64")
   gen           append synthetic rows matching the table schema
   index         bring one (column, kind) index up to date
-  search        query (-uuid HEX | -substring S | -vector "0.1,0.2,...")
+  search        query (-uuid HEX | -substring S | -vector "0.1,..." | -where 'a~x AND b=HEX')
   compact       merge small index files
   vacuum        garbage-collect index files
   maintain      one pass of index + compact-if-fragmented + vacuum
@@ -335,12 +335,51 @@ func cmdSearch(args []string) error {
 	substring := c.fs.String("substring", "", "substring pattern")
 	regex := c.fs.String("regex", "", "regular expression (driven by its required literal)")
 	vector := c.fs.String("vector", "", "comma-separated floats")
+	where := c.fs.String("where", "", `compound predicate tree, e.g. 'id=HEX AND (body~"err" OR body=~"warn(ing)?")'`)
 	k := c.fs.Int("k", 10, "max results")
 	nprobe := c.fs.Int("nprobe", 8, "vector: coarse lists to probe")
 	refine := c.fs.Int("refine", 0, "vector: candidates to rerank (default 4k)")
 	explain := c.fs.Bool("explain", false, "print the search's span tree (EXPLAIN ANALYZE)")
 	if err := c.parse(args); err != nil {
 		return err
+	}
+	parseVec := func() ([]float32, error) {
+		parts := strings.Split(*vector, ",")
+		vec := make([]float32, len(parts))
+		for i, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad -vector element %q", p)
+			}
+			vec[i] = float32(f)
+		}
+		return vec, nil
+	}
+	if *where != "" {
+		// Compound path: a boolean predicate tree, optionally conjoined
+		// with a ranked vector leaf on -column.
+		expr, err := rottnest.ParseWhere(*where)
+		if err != nil {
+			return err
+		}
+		if *vector != "" {
+			if *column == "" {
+				return fmt.Errorf("-where with -vector needs -column to name the vector column")
+			}
+			vec, err := parseVec()
+			if err != nil {
+				return err
+			}
+			expr = rottnest.And(rottnest.PredVector(*column, vec, *nprobe, *refine), expr)
+		}
+		cq := rottnest.CompoundQuery{Expr: expr, K: *k, Snapshot: -1, Output: *column}
+		return runSearch(c, *explain, *vector != "", func(ctx context.Context, client *rottnest.Client, trace bool) (*rottnest.Result, *rottnest.TraceNode, error) {
+			if trace {
+				return client.TraceCompound(ctx, cq)
+			}
+			res, err := client.SearchCompound(ctx, cq)
+			return res, nil, err
+		})
 	}
 	if *column == "" {
 		return fmt.Errorf("-column is required")
@@ -360,36 +399,37 @@ func cmdSearch(args []string) error {
 	case *regex != "":
 		q.Regex = *regex
 	case *vector != "":
-		parts := strings.Split(*vector, ",")
-		vec := make([]float32, len(parts))
-		for i, p := range parts {
-			f, err := strconv.ParseFloat(strings.TrimSpace(p), 32)
-			if err != nil {
-				return fmt.Errorf("bad -vector element %q", p)
-			}
-			vec[i] = float32(f)
+		vec, err := parseVec()
+		if err != nil {
+			return err
 		}
 		q.Vector = vec
 	default:
-		return fmt.Errorf("one of -uuid, -substring, -regex, -vector is required")
+		return fmt.Errorf("one of -uuid, -substring, -regex, -vector, -where is required")
 	}
+	return runSearch(c, *explain, q.Vector != nil, func(ctx context.Context, client *rottnest.Client, trace bool) (*rottnest.Result, *rottnest.TraceNode, error) {
+		if trace {
+			return client.Trace(ctx, q)
+		}
+		res, err := client.Search(ctx, q)
+		return res, nil, err
+	})
+}
+
+// runSearch opens the client, executes one search (traced under
+// -explain), and prints the result summary and matches.
+func runSearch(c *common, explain, scored bool, do func(ctx context.Context, client *rottnest.Client, trace bool) (*rottnest.Result, *rottnest.TraceNode, error)) error {
 	ctx := context.Background()
 	_, _, client, err := c.open(ctx)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	var res *rottnest.Result
-	if *explain {
-		var tree *rottnest.TraceNode
-		res, tree, err = client.Trace(ctx, q)
-		if tree != nil {
-			if rerr := rottnest.RenderTrace(os.Stdout, tree); rerr != nil {
-				return rerr
-			}
+	res, tree, err := do(ctx, client, explain)
+	if tree != nil {
+		if rerr := rottnest.RenderTrace(os.Stdout, tree); rerr != nil {
+			return rerr
 		}
-	} else {
-		res, err = client.Search(ctx, q)
 	}
 	if err != nil {
 		return err
@@ -400,6 +440,13 @@ func cmdSearch(args []string) error {
 	fmt.Printf("reads: %d GETs, %.1f KB (cache: %d hits, %d misses, %.1f KB saved)\n",
 		res.Stats.GETs, float64(res.Stats.BytesRead)/1e3,
 		res.Stats.CacheHits, res.Stats.CacheMisses, float64(res.Stats.CacheBytesSaved)/1e3)
+	if explain {
+		// Planner savings: pages the probes nominated, pages the page-set
+		// intersection pruned before any fetch, and probes answered by a
+		// shared flight or the probe memo instead of executing.
+		fmt.Printf("plan: %d candidate pages, %d pruned by intersection, %d probes coalesced\n",
+			res.Stats.PagesCandidate, res.Stats.PagesPruned, res.Stats.ProbesCoalesced)
+	}
 	if res.Stats.Retries > 0 {
 		fmt.Printf("retries: %d (%d throttle waits)\n", res.Stats.Retries, res.Stats.ThrottleWaits)
 	}
@@ -408,7 +455,7 @@ func cmdSearch(args []string) error {
 		if len(val) > 80 {
 			val = val[:80]
 		}
-		if q.Vector != nil {
+		if scored {
 			fmt.Printf("%3d. %s row %d  dist=%.4f\n", i+1, m.Path, m.Row, m.Score)
 		} else {
 			fmt.Printf("%3d. %s row %d  %q\n", i+1, m.Path, m.Row, val)

@@ -61,6 +61,7 @@ func TestCLIWorkflow(t *testing.T) {
 	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
 	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "msg", "-kind", "fm")
 	run(cmdSearch, "-store", dir, "-table", "lake", "-column", "msg", "-substring", "a", "-k", "3")
+	run(cmdSearch, "-store", dir, "-table", "lake", "-where", `msg~a AND (msg~e OR msg~"th")`, "-k", "3", "-explain")
 	run(cmdCompact, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
 	run(cmdLakeCompact, "-store", dir, "-table", "lake")
 	run(cmdIndex, "-store", dir, "-table", "lake", "-column", "id", "-kind", "trie")
@@ -82,6 +83,9 @@ func TestCLIWorkflow(t *testing.T) {
 	}
 	if err := cmdSearch([]string{"-store", dir, "-table", "lake", "-column", "id", "-uuid", "nothex"}); err == nil {
 		t.Fatal("bad uuid accepted")
+	}
+	if err := cmdSearch([]string{"-store", dir, "-table", "lake", "-where", "msg~a AND"}); err == nil {
+		t.Fatal("bad -where accepted")
 	}
 	if err := cmdIndex([]string{"-store", dir, "-table", "lake", "-column", "id", "-kind", "wat"}); err == nil {
 		t.Fatal("bad kind accepted")

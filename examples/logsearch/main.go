@@ -116,4 +116,25 @@ func main() {
 	}
 	fmt.Printf("pod drill-down:    %d rows from pod %x..., latency %v\n",
 		len(res.Matches), needlePod[:4], res.Stats.Latency.Round(1e6))
+
+	// Compound query: the SRE's actual question — errors from THIS pod.
+	// One plan probes the trie and the FM index once each, intersects
+	// their candidate page sets, and fetches only surviving pages, so
+	// the cross-column filter costs less than two separate searches.
+	sctx = rottnest.WithSession(ctx, rottnest.NewSession())
+	cres, err := client.SearchCompound(sctx, rottnest.CompoundQuery{
+		Expr: rottnest.And(
+			rottnest.PredUUID("pod_id", needlePod),
+			rottnest.PredSubstring("message", []byte("connection reset")),
+		),
+		K: 5, Snapshot: -1, Output: "message",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compound query:    %d hit(s) for pod AND message, %d candidate pages, %d pruned, latency %v\n",
+		len(cres.Matches), cres.Stats.PagesCandidate, cres.Stats.PagesPruned, cres.Stats.Latency.Round(1e6))
+	for _, m := range cres.Matches {
+		fmt.Printf("    %s row %d: %s\n", m.Path, m.Row, m.Value)
+	}
 }

@@ -122,6 +122,12 @@ func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore
 	if cfg.PlanCacheTTLVersions == 0 {
 		cfg.PlanCacheTTLVersions = -1
 	}
+	// Probe batching memoizes index probes, which would change the GET
+	// shapes the figures assert; experiments that measure coalescing
+	// (Multi) opt in explicitly.
+	if cfg.ProbeBatchBytes == 0 {
+		cfg.ProbeBatchBytes = -1
+	}
 	cfg.Clock = clock
 	return &world{
 		clock:   clock,

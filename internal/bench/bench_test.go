@@ -407,3 +407,37 @@ func TestChaosShapes(t *testing.T) {
 		t.Fatalf("storm latency %v below clean %v", res.StormLatency, res.CleanLatency)
 	}
 }
+
+func TestMultiShapes(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Multi(Options{Seed: 13, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := res.Intersect
+	// The tentpole bar: a compound AND plan probes each index once and
+	// fetches each surviving page once, so it must issue strictly fewer
+	// GETs and read strictly fewer pages than its predicates run as
+	// separate searches.
+	if it.CompoundGETs >= it.SeparateGETs {
+		t.Fatalf("compound plan issued %.1f GETs/query vs %.1f separate", it.CompoundGETs, it.SeparateGETs)
+	}
+	if it.CompoundPages >= it.SeparatePages {
+		t.Fatalf("compound plan read %.1f pages/query vs %.1f separate", it.CompoundPages, it.SeparatePages)
+	}
+	// The intersection must actually prune: candidates above survivors.
+	if it.PagesPruned <= 0 || it.PagesCandidate <= it.PagesPruned {
+		t.Fatalf("intersection pruned nothing: candidate %.1f, pruned %.1f", it.PagesCandidate, it.PagesPruned)
+	}
+	bt := res.Batch
+	// The batching bar: a Zipf stream of identical compound queries must
+	// coalesce probes, executing at least 2x fewer index probes than the
+	// independent baseline.
+	if bt.ProbesCoalesced == 0 {
+		t.Fatal("batched pass coalesced no probes")
+	}
+	if bt.ProbeSavings < 2 {
+		t.Fatalf("probe savings %.2fx < 2x (batched %d runs, independent %d)",
+			bt.ProbeSavings, bt.CoalescedProbeRuns, bt.IndependentProbeRuns)
+	}
+}

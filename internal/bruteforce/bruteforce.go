@@ -203,3 +203,137 @@ func (c *Cluster) Scan(ctx context.Context, snapshotVersion int64, column string
 	report.WorkerSeconds = report.Latency.Seconds() * float64(c.cfg.Workers)
 	return matches, report, nil
 }
+
+// ScanColumns scans several columns of every file at once and applies
+// a row-level predicate over the tuple of values — the oracle for
+// compound (multi-predicate) queries. vals passed to eval are aligned
+// with columns; a nil entry means the value is absent. The returned
+// Match.Value carries the column at outputIdx.
+func (c *Cluster) ScanColumns(ctx context.Context, snapshotVersion int64, columns []string, outputIdx int, eval func(vals [][]byte) (bool, float64)) ([]insitu.Match, *Report, error) {
+	session := simtime.From(ctx)
+	start := session.Elapsed()
+
+	if len(columns) == 0 {
+		return nil, nil, fmt.Errorf("bruteforce: no columns to scan")
+	}
+	if outputIdx < 0 || outputIdx >= len(columns) {
+		return nil, nil, fmt.Errorf("bruteforce: output index %d out of range", outputIdx)
+	}
+	snap, err := c.table.SnapshotAt(ctx, snapshotVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	cis := make([]int, len(columns))
+	for i, col := range columns {
+		cis[i] = snap.Schema.ColumnIndex(col)
+		if cis[i] < 0 {
+			return nil, nil, fmt.Errorf("bruteforce: column %q not in schema", col)
+		}
+	}
+
+	spinUp := c.cfg.SpinUpBase + time.Duration(c.cfg.Workers)*c.cfg.SpinUpPerWorker
+	session.Add(spinUp)
+
+	report := &Report{FilesScanned: len(snap.Files)}
+	files := snap.Files
+	var totalBytes int64
+	for _, f := range files {
+		totalBytes += f.Size
+	}
+	report.BytesScanned = totalBytes
+
+	metas := make([]*parquet.FileMeta, len(files))
+	dvs := make([]*lake.DeletionVector, len(files))
+	planErrs := make([]error, len(files))
+	session.ParallelN(len(files), c.cfg.Workers, func(i int, s *simtime.Session) {
+		bctx := ctx
+		if s != nil {
+			bctx = simtime.With(ctx, s)
+		}
+		metas[i], planErrs[i] = parquet.ReadFileMeta(bctx, c.table.Store(), c.table.Root()+files[i].Path)
+		if planErrs[i] != nil {
+			return
+		}
+		dvs[i], planErrs[i] = c.table.ReadDeletionVector(bctx, files[i])
+	})
+	for _, err := range planErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	type unit struct {
+		file     int
+		group    int
+		firstRow int64
+	}
+	var units []unit
+	for fi, meta := range metas {
+		var row int64
+		for gi, g := range meta.RowGroups {
+			units = append(units, unit{file: fi, group: gi, firstRow: row})
+			row += g.NumRows
+		}
+	}
+
+	outs := make([][]insitu.Match, len(units))
+	errs := make([]error, len(units))
+	scanOne := func(i int, s *simtime.Session) {
+		bctx := ctx
+		if s != nil {
+			bctx = simtime.With(ctx, s)
+		}
+		u := units[i]
+		f := files[u.file]
+		cols := make([][][]byte, len(cis))
+		var chunkBytes int64
+		for k, ci := range cis {
+			vals, err := parquet.ReadColumnChunk(bctx, c.table.Store(), c.table.Root()+f.Path, metas[u.file], u.group, ci)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cols[k] = vals.Bytes
+			chunkBytes += metas[u.file].RowGroups[u.group].Chunks[ci].Size
+		}
+		n := len(cols[0])
+		var ms []insitu.Match
+		tuple := make([][]byte, len(cis))
+		for r := 0; r < n; r++ {
+			row := u.firstRow + int64(r)
+			if dvs[u.file].Contains(uint32(row)) {
+				continue
+			}
+			for k := range cols {
+				if r < len(cols[k]) {
+					tuple[k] = cols[k][r]
+				} else {
+					tuple[k] = nil
+				}
+			}
+			if keep, score := eval(tuple); keep {
+				ms = append(ms, insitu.Match{Path: f.Path, Row: row, Value: tuple[outputIdx], Score: score})
+			}
+		}
+		outs[i] = ms
+		s.Add(time.Duration(float64(chunkBytes) / c.cfg.DecodeBps * float64(time.Second)))
+	}
+
+	session.ParallelN(len(units), c.cfg.Workers, scanOne)
+	work := session.Elapsed() - start - spinUp
+	if work > 0 && c.cfg.StragglerFactor > 1 {
+		session.Add(time.Duration(float64(work) * (c.cfg.StragglerFactor - 1)))
+	}
+
+	var matches []insitu.Match
+	for i := range units {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		matches = append(matches, outs[i]...)
+	}
+	insitu.SortMatches(matches)
+
+	report.Latency = session.Elapsed() - start
+	report.WorkerSeconds = report.Latency.Seconds() * float64(c.cfg.Workers)
+	return matches, report, nil
+}

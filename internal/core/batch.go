@@ -1,0 +1,225 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rottnest/internal/obs"
+	"rottnest/internal/simtime"
+)
+
+// DefaultProbeBatchBytes is the probe batcher's default memo budget,
+// used when Config.ProbeBatchBytes is zero.
+const DefaultProbeBatchBytes = 8 << 20
+
+// probeBatcher coalesces identical index probes across concurrent
+// queries (singleflight) and memoizes their results in a small
+// byte-budgeted LRU. Keys combine the index object key with the
+// normalized probe (predicate pattern plus bound), so N clients
+// walking the same FM checkpoint or trie root for the same pattern
+// pay one walk whose result fans out to all waiters — the collision
+// pattern the Zipf serve workload generates.
+//
+// Memoization is safe for the same reason the decoded-object cache
+// is: an index object is immutable under its key, so a probe result
+// (a posting list) can only go stale by deletion of the index object
+// — and the deleting paths (vacuum's physical removal, the search
+// replan on a vanished index) call invalidateIndex. Snapshot version
+// does not enter the key: postings are positions within the immutable
+// index file, and stale physical locations are filtered against the
+// snapshot after the probe, exactly as for an uncoalesced probe.
+type probeBatcher struct {
+	maxBytes int64
+	gen      atomic.Int64
+
+	// coalesced counts probes answered without an index walk (joined
+	// an in-flight probe or hit the memo); runs is owned by the
+	// executor (it counts walks actually performed).
+	coalesced *obs.Counter
+
+	fmu     sync.Mutex
+	flights map[string]*probeFlight
+
+	mu      sync.Mutex
+	lru     *list.List
+	items   map[string]*list.Element
+	byIndex map[string]map[string]*list.Element
+	bytes   int64
+}
+
+type probeFlight struct {
+	wg    sync.WaitGroup
+	val   any
+	err   error
+	vcost time.Duration
+}
+
+type probeEntry struct {
+	key      string
+	indexKey string
+	val      any
+	cost     int64
+}
+
+// newProbeBatcher returns a batcher with the given memo budget (<= 0
+// means the default).
+func newProbeBatcher(maxBytes int64, coalesced *obs.Counter) *probeBatcher {
+	if maxBytes <= 0 {
+		maxBytes = DefaultProbeBatchBytes
+	}
+	return &probeBatcher{
+		maxBytes:  maxBytes,
+		coalesced: coalesced,
+		flights:   make(map[string]*probeFlight),
+		lru:       list.New(),
+		items:     make(map[string]*list.Element),
+		byIndex:   make(map[string]map[string]*list.Element),
+	}
+}
+
+// do returns the probe result for (indexKey, probeKey), running the
+// probe at most once across concurrent identical callers and serving
+// repeats from the memo. run returns the result and a memo cost
+// estimate in bytes. Nil-safe: a nil (disabled) batcher just runs.
+//
+// Virtual-time accounting follows the decoded-object cache: the
+// leader's store reads charge its own session; a follower that joined
+// the in-flight probe is charged the leader's virtual probe duration;
+// a memo hit charges nothing.
+func (b *probeBatcher) do(ctx context.Context, indexKey, probeKey string, run func(ctx context.Context) (any, int64, error)) (any, error) {
+	if b == nil {
+		v, _, err := run(ctx)
+		return v, err
+	}
+	key := indexKey + "\x00" + probeKey
+	if v, ok := b.lookup(key); ok {
+		b.coalesced.Inc()
+		return v, nil
+	}
+
+	b.fmu.Lock()
+	if f, ok := b.flights[key]; ok {
+		b.fmu.Unlock()
+		f.wg.Wait()
+		if f.err != nil {
+			return nil, f.err
+		}
+		b.coalesced.Inc()
+		simtime.Charge(ctx, f.vcost)
+		return f.val, nil
+	}
+	f := &probeFlight{}
+	f.wg.Add(1)
+	b.flights[key] = f
+	b.fmu.Unlock()
+
+	startGen := b.gen.Load()
+	session := simtime.From(ctx)
+	startElapsed := session.Elapsed()
+	val, cost, err := run(ctx)
+	f.val, f.err = val, err
+	f.vcost = session.Elapsed() - startElapsed
+
+	b.fmu.Lock()
+	delete(b.flights, key)
+	b.fmu.Unlock()
+	f.wg.Done()
+
+	if err != nil {
+		return nil, err
+	}
+	// An invalidation that landed mid-probe may target exactly this
+	// index; skipping the insert keeps invalidation race-free.
+	if b.gen.Load() == startGen {
+		b.insert(key, indexKey, val, cost)
+	}
+	return val, nil
+}
+
+func (b *probeBatcher) lookup(key string) (any, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elem, ok := b.items[key]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(elem)
+	return elem.Value.(*probeEntry).val, true
+}
+
+func (b *probeBatcher) insert(key, indexKey string, val any, cost int64) {
+	if cost < 0 {
+		cost = 0
+	}
+	if cost > b.maxBytes/4 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.items[key]; ok {
+		return
+	}
+	elem := b.lru.PushFront(&probeEntry{key: key, indexKey: indexKey, val: val, cost: cost})
+	b.items[key] = elem
+	forKey := b.byIndex[indexKey]
+	if forKey == nil {
+		forKey = make(map[string]*list.Element)
+		b.byIndex[indexKey] = forKey
+	}
+	forKey[key] = elem
+	b.bytes += cost
+	for b.bytes > b.maxBytes {
+		back := b.lru.Back()
+		if back == nil {
+			break
+		}
+		b.removeLocked(back)
+	}
+}
+
+func (b *probeBatcher) removeLocked(elem *list.Element) {
+	e := elem.Value.(*probeEntry)
+	b.lru.Remove(elem)
+	delete(b.items, e.key)
+	if forKey := b.byIndex[e.indexKey]; forKey != nil {
+		delete(forKey, e.key)
+		if len(forKey) == 0 {
+			delete(b.byIndex, e.indexKey)
+		}
+	}
+	b.bytes -= e.cost
+}
+
+// invalidateIndex drops every memoized probe of the index object and
+// bumps the generation (suppressing inserts of probes in flight).
+// The deleting paths call it: vacuum's physical removal and the
+// search replan on a vanished index. Nil-safe.
+func (b *probeBatcher) invalidateIndex(indexKey string) {
+	if b == nil {
+		return
+	}
+	b.gen.Add(1)
+	b.mu.Lock()
+	forKey := b.byIndex[indexKey]
+	dropped := make([]*list.Element, 0, len(forKey))
+	for _, elem := range forKey {
+		dropped = append(dropped, elem)
+	}
+	for _, elem := range dropped {
+		b.removeLocked(elem)
+	}
+	b.mu.Unlock()
+}
+
+// entries returns the resident memo count (tests).
+func (b *probeBatcher) entries() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}

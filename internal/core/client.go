@@ -115,6 +115,17 @@ type Config struct {
 	// not freshness, is what keeps results exact). 0 means the
 	// default of 8; negative disables the plan cache.
 	PlanCacheTTLVersions int
+	// ProbeBatchBytes bounds the shared-probe batcher, which coalesces
+	// identical index probes across concurrent queries (singleflight)
+	// and memoizes recent probe results keyed by (index object,
+	// normalized probe). Under concurrent skewed workloads N clients
+	// asking the same question of the same immutable index pay one
+	// walk. 0 means the 8 MiB default; negative disables batching.
+	// Correctness does not depend on it: index objects are immutable
+	// under their keys, and the deleting paths (vacuum, stale-index
+	// replans) invalidate the batcher exactly as they do the decoded
+	// cache.
+	ProbeBatchBytes int64
 	// Retry, when Enabled, layers bounded exponential-backoff retries
 	// (with read-back resolution of ambiguous conditional puts) under
 	// the client's read cache. Off by default: fault-free stores need
@@ -162,13 +173,20 @@ type Client struct {
 	// keyed by snapshot version. Both are nil when disabled.
 	objc  *objcache.Cache
 	plans *planCache
+	// batch coalesces and memoizes index probes across concurrent
+	// queries (nil when disabled).
+	batch *probeBatcher
 	// reg holds the client's own "search.*" metrics; Metrics() merges
 	// it with the store-layer registries.
-	reg         *obs.Registry
-	searches    *obs.Counter
-	pagesProbed *obs.Counter
-	scannedFull *obs.Counter
-	latencyHist *obs.Histogram
+	reg            *obs.Registry
+	searches       *obs.Counter
+	pagesProbed    *obs.Counter
+	scannedFull    *obs.Counter
+	pagesCandidate *obs.Counter
+	pagesPruned    *obs.Counter
+	probeRuns      *obs.Counter
+	probeCoalesced *obs.Counter
+	latencyHist    *obs.Histogram
 }
 
 // NewClient returns a client over the table, storing its index under
@@ -212,21 +230,28 @@ func NewClient(table *lake.Table, cfg Config) *Client {
 		plans = newPlanCache(cfg.PlanCacheTTLVersions, reg)
 	}
 	c := &Client{
-		table:       table,
-		store:       store,
-		clock:       clock,
-		cfg:         cfg,
-		meta:        meta.New(store, clock, cfg.IndexDir+"_meta/"),
-		cache:       cache,
-		inst:        objectstore.FindInstrumented(store),
-		retry:       retry,
-		objc:        objc,
-		plans:       plans,
-		reg:         reg,
-		searches:    reg.Counter("search.queries"),
-		pagesProbed: reg.Counter("search.pages_probed"),
-		scannedFull: reg.Counter("search.files_scanned"),
-		latencyHist: reg.Histogram("search.latency_ns"),
+		table:          table,
+		store:          store,
+		clock:          clock,
+		cfg:            cfg,
+		meta:           meta.New(store, clock, cfg.IndexDir+"_meta/"),
+		cache:          cache,
+		inst:           objectstore.FindInstrumented(store),
+		retry:          retry,
+		objc:           objc,
+		plans:          plans,
+		reg:            reg,
+		searches:       reg.Counter("search.queries"),
+		pagesProbed:    reg.Counter("search.pages_probed"),
+		scannedFull:    reg.Counter("search.files_scanned"),
+		pagesCandidate: reg.Counter("search.pages_candidate"),
+		pagesPruned:    reg.Counter("search.pages_pruned"),
+		probeRuns:      reg.Counter("search.probe_runs"),
+		probeCoalesced: reg.Counter("search.probe_coalesced"),
+		latencyHist:    reg.Histogram("search.latency_ns"),
+	}
+	if cfg.ProbeBatchBytes >= 0 {
+		c.batch = newProbeBatcher(cfg.ProbeBatchBytes, c.probeCoalesced)
 	}
 	// Lake hooks keep the warm caches exact under mutation through
 	// this table handle: commits advance the plan cache's latest

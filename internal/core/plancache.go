@@ -32,6 +32,23 @@ type planEntry struct {
 	entries []meta.IndexEntry
 }
 
+// compoundKey identifies one compound plan: the lake version plus the
+// full canonical expression key (planShape.key). Keying on the whole
+// normalized tree is load-bearing: the cached listings are aligned to
+// the tree's probe units, so two different trees over the same columns
+// must never share an entry.
+type compoundKey struct {
+	version int64
+	expr    string
+}
+
+// compoundEntry is one compound planning round: the snapshot plus one
+// metadata listing per probe unit, in planUnits order.
+type compoundEntry struct {
+	snap     *lake.Snapshot
+	listings [][]meta.IndexEntry
+}
+
 // planCache memoizes planning rounds keyed by resolved snapshot
 // version. Safety comes from version keying, not freshness: a pinned
 // version's snapshot is immutable, and a stale metadata listing can
@@ -50,9 +67,10 @@ type planCache struct {
 	misses        *obs.Counter
 	invalidations *obs.Counter
 
-	mu     sync.Mutex
-	latest int64
-	plans  map[planKey]planEntry
+	mu        sync.Mutex
+	latest    int64
+	plans     map[planKey]planEntry
+	compounds map[compoundKey]compoundEntry
 }
 
 // newPlanCache returns a plan cache keeping entries within ttl
@@ -68,6 +86,7 @@ func newPlanCache(ttl int, reg *obs.Registry) *planCache {
 		misses:        reg.Counter("search.plan_cache_misses"),
 		invalidations: reg.Counter("search.plan_cache_invalidations"),
 		plans:         make(map[planKey]planEntry),
+		compounds:     make(map[compoundKey]compoundEntry),
 	}
 }
 
@@ -111,6 +130,90 @@ func (p *planCache) put(version int64, column string, kind component.Kind, snap 
 	p.mu.Unlock()
 }
 
+// peek is get without hit/miss accounting or version resolution: the
+// compound planner resolves the version once, then peeks every probe
+// unit's listing, counting one hit or miss for the whole round.
+// Nil-safe.
+func (p *planCache) peek(version int64, column string, kind component.Kind) (planEntry, bool) {
+	if p == nil {
+		return planEntry{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.plans[planKey{version, column, kind}]
+	return e, ok
+}
+
+// resolveVersion maps the caller's requested version to a cache key:
+// negative (latest) resolves through the hook-maintained pointer,
+// returning 0 when no commit has been observed. Nil-safe.
+func (p *planCache) resolveVersion(version int64) int64 {
+	if p == nil {
+		return 0
+	}
+	if version >= 0 {
+		return version
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latest
+}
+
+// getCompound returns the cached compound plan for (version, expr).
+// The entry must carry exactly units listings (a defensive check: a
+// shape change across processes cannot happen under one key, but a
+// mismatched entry must never misalign probe units). Non-counting;
+// nil-safe.
+func (p *planCache) getCompound(version int64, expr string, units int) (compoundEntry, bool) {
+	if p == nil {
+		return compoundEntry{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version < 0 {
+		if p.latest <= 0 {
+			return compoundEntry{}, false
+		}
+		version = p.latest
+	}
+	e, ok := p.compounds[compoundKey{version, expr}]
+	if ok && len(e.listings) != units {
+		return compoundEntry{}, false
+	}
+	return e, ok
+}
+
+// putCompound stores a compound planning round and advances the latest
+// pointer to its version if newer. Nil-safe.
+func (p *planCache) putCompound(version int64, expr string, snap *lake.Snapshot, listings [][]meta.IndexEntry) {
+	if p == nil || version <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if version > p.latest {
+		p.latest = version
+	}
+	p.compounds[compoundKey{version, expr}] = compoundEntry{snap: snap, listings: listings}
+	p.pruneLocked()
+	p.mu.Unlock()
+}
+
+// noteHit and noteMiss record one planning round's cache outcome (the
+// compound planner counts per round, not per listing). Nil-safe.
+func (p *planCache) noteHit() {
+	if p == nil {
+		return
+	}
+	p.hits.Inc()
+}
+
+func (p *planCache) noteMiss() {
+	if p == nil {
+		return
+	}
+	p.misses.Inc()
+}
+
 // noteCommit advances the latest pointer (forward-only) from a lake
 // commit hook and prunes plans that fell out of the TTL window.
 // Nil-safe.
@@ -132,6 +235,11 @@ func (p *planCache) pruneLocked() {
 			delete(p.plans, k)
 		}
 	}
+	for k := range p.compounds {
+		if k.version < p.latest-p.ttl {
+			delete(p.compounds, k)
+		}
+	}
 }
 
 // invalidateAll drops every cached plan and bumps the generation.
@@ -146,6 +254,7 @@ func (p *planCache) invalidateAll() {
 	p.invalidations.Inc()
 	p.mu.Lock()
 	p.plans = make(map[planKey]planEntry)
+	p.compounds = make(map[compoundKey]compoundEntry)
 	p.mu.Unlock()
 }
 

@@ -1,26 +1,16 @@
 package core
 
 import (
-	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"rottnest/internal/component"
-	"rottnest/internal/fmindex"
 	"rottnest/internal/insitu"
-	"rottnest/internal/ivfpq"
 	"rottnest/internal/lake"
-	"rottnest/internal/meta"
-	"rottnest/internal/objectstore"
-	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
-	"rottnest/internal/postings"
 	"rottnest/internal/simtime"
-	"rottnest/internal/trie"
 )
 
 // searchMaxReplans bounds how many times one Search replans after an
@@ -117,11 +107,23 @@ type Stats struct {
 	UnindexedFiles int
 	// PagesProbed counts data pages fetched for in-situ probing.
 	PagesProbed int
+	// PagesCandidate counts pages (or vector candidates) the indices
+	// nominated before the plan's set algebra ran; PagesPruned is how
+	// many of those the intersection discarded without a fetch. For
+	// single-predicate plans the two are equal and zero respectively.
+	PagesCandidate int
+	PagesPruned    int
 	// FilesScanned counts unindexed files scanned in full.
 	FilesScanned int
 	// PrunedFiles counts snapshot files skipped by the partition
 	// filter.
 	PrunedFiles int
+	// ProbesCoalesced counts index probes this search answered from
+	// the shared-probe batcher (joined an identical in-flight probe or
+	// hit its memo) instead of walking the index. Like GETs the
+	// counter is client-global, so concurrent searches may bleed into
+	// each other's deltas.
+	ProbesCoalesced int64
 	// Latency is the virtual latency of the search when run inside a
 	// simtime session.
 	Latency time.Duration
@@ -157,511 +159,16 @@ type Result struct {
 // parallel, filter stale physical locations, probe result pages in
 // situ (applying deletion vectors), and scan unindexed files when the
 // indexed results cannot satisfy the query.
+//
+// A single-predicate Query is the degenerate one-leaf compound tree;
+// every search runs through the compound planner (SearchCompound), so
+// the two paths cannot drift.
 func (c *Client) Search(ctx context.Context, q Query) (*Result, error) {
-	kind, err := q.kind()
+	cq, err := q.compound()
 	if err != nil {
 		return nil, err
 	}
-	if kind == component.KindIVFPQ && q.K <= 0 {
-		return nil, fmt.Errorf("core: vector queries require K > 0")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	session := simtime.From(ctx)
-	startElapsed := session.Elapsed()
-	var startMetrics objectstore.Snapshot
-	if c.inst != nil {
-		startMetrics = c.inst.Metrics().Snapshot()
-	}
-	var startCache objectstore.CacheStats
-	if c.cache != nil {
-		startCache = c.cache.Stats()
-	}
-	var startRetry objectstore.RetryStats
-	if c.retry != nil {
-		startRetry = c.retry.Stats()
-	}
-
-	snapVersion := q.Snapshot
-	if snapVersion == 0 {
-		snapVersion = -1
-	}
-	attempt := func(excluded map[string]bool) (*Result, error) {
-		// The plan phase is one span on the root session: its virtual
-		// duration is exactly the session time the planning round costs,
-		// so sibling phase durations sum to the search latency.
-		pctx, planSpan := obs.Start(ctx, "search.plan")
-		defer planSpan.End()
-		// Plan. The lake snapshot and the metadata table are
-		// independent logs; a repeat query at a version the plan cache
-		// has seen reuses both, otherwise read them in parallel so
-		// planning pays one round of LIST latency, not two. Replans
-		// (excluded non-empty) always go to the store: the cached plan
-		// is what referenced the vanished index.
-		var snap *lake.Snapshot
-		var entries []meta.IndexEntry
-		planCached := false
-		if len(excluded) == 0 {
-			if e, ok := c.plans.get(snapVersion, q.Column, kind); ok {
-				snap, entries = e.snap, e.entries
-				planCached = true
-				planSpan.SetAttr("plan_cache", true)
-			}
-		}
-		if !planCached {
-			var snapErr, metaErr error
-			session.Parallel(
-				func(s *simtime.Session) {
-					snap, snapErr = c.table.SnapshotAt(simtime.With(pctx, s), snapVersion)
-				},
-				func(s *simtime.Session) {
-					entries, metaErr = c.meta.ListFor(simtime.With(pctx, s), q.Column, kind)
-				},
-			)
-			if snapErr != nil {
-				return nil, snapErr
-			}
-			if metaErr == nil && len(excluded) == 0 {
-				c.plans.put(snap.Version, q.Column, kind, snap, entries)
-			}
-			if metaErr != nil {
-				if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
-					return nil, err
-				}
-				return nil, metaErr
-			}
-		}
-		if _, _, err := kindForColumn(snap.Schema, q.Column, kind); err != nil {
-			return nil, err
-		}
-		if len(excluded) > 0 {
-			kept := entries[:0:0]
-			for _, e := range entries {
-				if !excluded[e.IndexKey] {
-					kept = append(kept, e)
-				}
-			}
-			entries = kept
-		}
-		// Regex planning: extract the required literal that drives the
-		// FM-index. Patterns with no usable literal bypass the index and
-		// scan (an index cannot help them).
-		fmPattern := q.Substring
-		if q.Regex != "" {
-			lit, err := requiredLiteral(q.Regex)
-			if err != nil {
-				return nil, fmt.Errorf("core: bad regex: %w", err)
-			}
-			if len(lit) < minRegexLiteral {
-				entries = nil
-			}
-			fmPattern = lit
-		}
-		// Partition pruning: restrict the searched file set before any
-		// index or scan planning.
-		searched := snap.Files
-		if q.Partition != nil {
-			if snap.Schema.ColumnIndex(q.Partition.Column) < 0 {
-				return nil, fmt.Errorf("core: partition column %q not in schema: %w", q.Partition.Column, ErrBadColumn)
-			}
-			min := parquet.OrderableInt64(q.Partition.Min)
-			max := parquet.OrderableInt64(q.Partition.Max)
-			kept := searched[:0:0]
-			for _, f := range searched {
-				if f.MayContainRange(q.Partition.Column, min, max) {
-					kept = append(kept, f)
-				}
-			}
-			searched = kept
-		}
-
-		active := make(map[string]bool, len(searched))
-		fileByPath := make(map[string]lake.DataFile, len(searched))
-		for _, f := range searched {
-			active[f.Path] = true
-			fileByPath[f.Path] = f
-		}
-		chosen, covered := coverEntries(entries, active)
-		var unindexed []lake.DataFile
-		for _, f := range searched {
-			if !covered[f.Path] {
-				unindexed = append(unindexed, f)
-			}
-		}
-		stats := Stats{IndexFiles: len(chosen), CoveredFiles: len(covered), UnindexedFiles: len(unindexed), PrunedFiles: len(snap.Files) - len(searched)}
-		planSpan.SetAttr("snapshot", snap.Version)
-		planSpan.SetAttr("index_files", stats.IndexFiles)
-		planSpan.SetAttr("covered_files", stats.CoveredFiles)
-		planSpan.SetAttr("unindexed_files", stats.UnindexedFiles)
-		planSpan.SetAttr("pruned_files", stats.PrunedFiles)
-		planSpan.End() // idempotent: the defer covers the early error returns
-
-		switch kind {
-		case component.KindTrie, component.KindFM:
-			return c.searchExact(ctx, q, kind, fmPattern, snap, chosen, unindexed, fileByPath, &stats)
-		default:
-			return c.searchVector(ctx, q, snap, chosen, unindexed, fileByPath, &stats)
-		}
-	}
-	// A vacuum may physically delete an index object after this search
-	// planned against it (commit-then-delete: the metadata row goes
-	// first, so by the time the object is gone the plan is stale).
-	// Replan rather than failing the query, excluding the vanished
-	// index so files it covered fall to another index or to the scan
-	// path — either way the results stay exact.
-	var result *Result
-	var excluded map[string]bool
-	for tries := 0; ; tries++ {
-		result, err = attempt(excluded)
-		var stale *staleIndexError
-		if err == nil || tries >= searchMaxReplans || !errors.As(err, &stale) {
-			break
-		}
-		if excluded == nil {
-			excluded = make(map[string]bool)
-		}
-		excluded[stale.key] = true
-		// The stale plan and any decoded forms of the vanished index
-		// must not serve again.
-		c.plans.invalidateAll()
-		c.objc.Invalidate(stale.key)
-	}
-	if err != nil {
-		return nil, err
-	}
-	result.Stats.Latency = session.Elapsed() - startElapsed
-	var cacheDelta objectstore.CacheStats
-	if c.cache != nil {
-		cacheDelta = c.cache.Stats().Sub(startCache)
-		result.Stats.CacheHits = cacheDelta.Hits
-		result.Stats.CacheMisses = cacheDelta.Misses
-		result.Stats.CacheBytesSaved = cacheDelta.BytesSaved
-	}
-	switch {
-	case c.inst != nil:
-		m := c.inst.Metrics().Snapshot().Sub(startMetrics)
-		result.Stats.GETs = m.Gets
-		result.Stats.BytesRead = m.BytesRead
-	case c.cache != nil:
-		// No instrumented store underneath (e.g. a bare directory
-		// store): meter requests at the cache boundary instead.
-		result.Stats.GETs = cacheDelta.UpstreamGets
-		result.Stats.BytesRead = cacheDelta.UpstreamBytes
-	}
-	if c.retry != nil {
-		r := c.retry.Stats().Sub(startRetry)
-		result.Stats.Retries = r.Retries
-		result.Stats.ThrottleWaits = r.ThrottleWaits
-	}
-	c.searches.Inc()
-	c.pagesProbed.Add(int64(result.Stats.PagesProbed))
-	c.scannedFull.Add(int64(result.Stats.FilesScanned))
-	c.latencyHist.Observe(int64(result.Stats.Latency))
-	return result, nil
-}
-
-// exactPred returns the in-situ re-check predicate for exact queries.
-func exactPred(q Query, kind component.Kind) (insitu.Predicate, error) {
-	switch {
-	case kind == component.KindTrie:
-		key := *q.UUID
-		return func(v []byte) (bool, float64) { return bytes.Equal(v, key[:]), 0 }, nil
-	case q.Regex != "":
-		re, err := compileRegex(q.Regex)
-		if err != nil {
-			return nil, fmt.Errorf("core: bad regex: %w", err)
-		}
-		return func(v []byte) (bool, float64) { return re.Match(v), 0 }, nil
-	default:
-		pattern := q.Substring
-		return func(v []byte) (bool, float64) { return bytes.Contains(v, pattern), 0 }, nil
-	}
-}
-
-// probeTarget collects the pages of one snapshot file that index
-// queries flagged, deduplicated by page ordinal: several indices can
-// cover the same file (overlapping coverage before compaction), and
-// each page should be fetched and probed once.
-type probeTarget struct {
-	file  lake.DataFile
-	pages []parquet.PageInfo
-	seen  map[int]bool
-}
-
-func (t *probeTarget) add(pages []parquet.PageInfo) {
-	for _, p := range pages {
-		if !t.seen[p.Ordinal] {
-			t.seen[p.Ordinal] = true
-			t.pages = append(t.pages, p)
-		}
-	}
-}
-
-// searchExact runs UUID, substring, and regex queries. fmPattern is
-// the byte pattern driving FM-index lookups (the substring itself, or
-// the regex's required literal).
-func (c *Client) searchExact(ctx context.Context, q Query, kind component.Kind, fmPattern []byte, snap *lake.Snapshot, chosen []meta.IndexEntry, unindexed []lake.DataFile, fileByPath map[string]lake.DataFile, stats *Stats) (*Result, error) {
-	session := simtime.From(ctx)
-	pred, err := exactPred(q, kind)
-	if err != nil {
-		return nil, err
-	}
-	colIdx := snap.Schema.ColumnIndex(q.Column)
-	col := snap.Schema.Columns[colIdx]
-
-	// One pass of index query + in-situ probing. Bounded FM lookups
-	// may truncate; the caller retries unbounded if the bounded pass
-	// under-fills an exact top-K.
-	runPass := func(unbounded bool) ([]insitu.Match, bool, error) {
-		// Probe phase: fan the index-file queries. The span lives on the
-		// root session; per-index "index.probe" children live on their
-		// branch sessions.
-		probeCtx, probeSpan := obs.Start(ctx, "search.probe")
-		defer probeSpan.End()
-		probeSpan.SetAttr("index_files", len(chosen))
-		if unbounded {
-			probeSpan.SetAttr("unbounded", true)
-		}
-		targets := make(map[string]*probeTarget)
-		anyTruncated := false
-		var mu sync.Mutex
-		errs := make([]error, len(chosen))
-		branches := make([]func(*simtime.Session), len(chosen))
-		for i := range chosen {
-			entry := chosen[i]
-			idx := i
-			branches[i] = func(s *simtime.Session) {
-				bctx := probeCtx
-				if s != nil {
-					bctx = simtime.With(probeCtx, s)
-				}
-				found, truncated, err := c.queryIndexExact(bctx, entry, kind, q, fmPattern, unbounded)
-				if err != nil {
-					if errors.Is(err, objectstore.ErrNotFound) {
-						err = &staleIndexError{key: entry.IndexKey, err: err}
-					}
-					errs[idx] = err
-					return
-				}
-				mu.Lock()
-				if truncated {
-					anyTruncated = true
-				}
-				for path, pages := range found {
-					f, ok := fileByPath[path]
-					if !ok {
-						continue // stale physical location, filtered out
-					}
-					t := targets[path]
-					if t == nil {
-						t = &probeTarget{file: f, seen: make(map[int]bool)}
-						targets[path] = t
-					}
-					t.add(pages)
-				}
-				mu.Unlock()
-			}
-		}
-		runBranches(session, c.cfg.SearchWidth, branches)
-		probeSpan.End()
-		for _, err := range errs {
-			if err != nil {
-				return nil, false, err
-			}
-		}
-
-		// Read phase: in-situ probing, parallel across files.
-		paths := make([]*probeTarget, 0, len(targets))
-		pagesThisPass := 0
-		for _, t := range targets {
-			paths = append(paths, t)
-			stats.PagesProbed += len(t.pages)
-			pagesThisPass += len(t.pages)
-		}
-		readCtx, readSpan := obs.Start(ctx, "search.read")
-		defer readSpan.End()
-		readSpan.SetAttr("files", len(paths))
-		readSpan.SetAttr("pages", pagesThisPass)
-		probeErrs := make([]error, len(paths))
-		probeOut := make([][]insitu.Match, len(paths))
-		branches = make([]func(*simtime.Session), len(paths))
-		for i := range paths {
-			t := paths[i]
-			idx := i
-			branches[i] = func(s *simtime.Session) {
-				bctx := readCtx
-				if s != nil {
-					bctx = simtime.With(readCtx, s)
-				}
-				dv, err := c.readDV(bctx, t.file)
-				if err != nil {
-					probeErrs[idx] = err
-					return
-				}
-				probeOut[idx], probeErrs[idx] = insitu.ProbePages(bctx, c.store, c.table.Root()+t.file.Path, col, t.file.Path, t.pages, dv, pred)
-			}
-		}
-		runBranches(session, c.cfg.SearchWidth, branches)
-		readSpan.End()
-		for _, err := range probeErrs {
-			if err != nil {
-				return nil, false, err
-			}
-		}
-		var matches []insitu.Match
-		for _, m := range probeOut {
-			matches = append(matches, m...)
-		}
-		return matches, anyTruncated, nil
-	}
-
-	matches, truncated, err := runPass(false)
-	if err != nil {
-		return nil, err
-	}
-	if q.K > 0 && len(matches) < q.K && truncated {
-		// The bounded sample under-filled K (deleted rows or page
-		// false positives): retry unbounded for exact top-K.
-		matches, _, err = runPass(true)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Scan unindexed files when the indexed results cannot satisfy
-	// the query (Section IV-B step 3).
-	needScan := len(unindexed) > 0 && (q.K <= 0 || len(matches) < q.K)
-	if needScan {
-		scanned, err := c.scanFiles(ctx, unindexed, colIdx, pred)
-		if err != nil {
-			return nil, err
-		}
-		matches = append(matches, scanned...)
-		stats.FilesScanned = len(unindexed)
-	}
-
-	insitu.SortMatches(matches)
-	if q.K > 0 && len(matches) > q.K {
-		matches = matches[:q.K]
-	}
-	return &Result{Matches: matches, Stats: *stats}, nil
-}
-
-// queryIndexExact opens one index file and returns path -> page infos
-// for the query key/pattern. The manifest (component 0) is fetched in
-// parallel with the index probe itself.
-func (c *Client) queryIndexExact(ctx context.Context, entry meta.IndexEntry, kind component.Kind, q Query, fmPattern []byte, unbounded bool) (map[string][]parquet.PageInfo, bool, error) {
-	ctx, span := obs.Start(ctx, "index.probe")
-	defer span.End()
-	span.SetAttr("index", entry.IndexKey)
-	span.SetAttr("kind", kind.String())
-	r, err := c.openReader(ctx, entry.IndexKey)
-	if err != nil {
-		return nil, false, err
-	}
-	session := simtime.From(ctx)
-	var manifest *Manifest
-	var refs []postings.PageRef
-	var truncated bool
-	var mErr, qErr error
-	branches := []func(*simtime.Session){
-		func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			manifest, mErr = c.manifest(bctx, r)
-		},
-		func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			switch kind {
-			case component.KindTrie:
-				var ix *trie.Index
-				ix, qErr = c.openTrie(bctx, r)
-				if qErr == nil {
-					refs, qErr = ix.Lookup(bctx, *q.UUID)
-				}
-			default:
-				var ix *fmindex.Index
-				ix, qErr = c.openFM(bctx, r)
-				if qErr == nil {
-					maxRows := 0
-					if q.K > 0 && q.Regex == "" && !unbounded {
-						// Over-fetch to survive page-level false
-						// positives and deleted rows. Regex queries
-						// read all literal hits: the literal may be
-						// far more common than the full pattern.
-						maxRows = q.K * 8
-					}
-					refs, truncated, qErr = ix.LookupBounded(bctx, fmPattern, maxRows)
-				}
-			}
-		},
-	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	if mErr != nil {
-		return nil, false, mErr
-	}
-	if qErr != nil {
-		return nil, false, qErr
-	}
-	out := make(map[string][]parquet.PageInfo)
-	for _, ref := range refs {
-		if int(ref.File) >= len(manifest.Files) {
-			continue
-		}
-		mf := manifest.Files[ref.File]
-		if int(ref.Page) >= len(mf.Pages) {
-			continue
-		}
-		out[mf.Path] = append(out[mf.Path], mf.Pages[ref.Page])
-	}
-	span.SetAttr("refs", len(refs))
-	if truncated {
-		span.SetAttr("truncated", true)
-	}
-	return out, truncated, nil
-}
-
-// scanFiles scans unindexed files in parallel with the predicate, as
-// one "search.scan" phase span.
-func (c *Client) scanFiles(ctx context.Context, files []lake.DataFile, colIdx int, pred insitu.Predicate) ([]insitu.Match, error) {
-	ctx, span := obs.Start(ctx, "search.scan")
-	defer span.End()
-	span.SetAttr("files", len(files))
-	session := simtime.From(ctx)
-	outs := make([][]insitu.Match, len(files))
-	errs := make([]error, len(files))
-	branches := make([]func(*simtime.Session), len(files))
-	for i := range files {
-		f := files[i]
-		idx := i
-		branches[i] = func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			dv, err := c.readDV(bctx, f)
-			if err != nil {
-				errs[idx] = err
-				return
-			}
-			outs[idx], errs[idx] = insitu.ScanFile(bctx, c.store, c.table.Root()+f.Path, colIdx, f.Path, dv, pred)
-		}
-	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	var all []insitu.Match
-	for i := range files {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		all = append(all, outs[i]...)
-	}
-	return all, nil
+	return c.SearchCompound(ctx, cq)
 }
 
 // runBranches executes branches in parallel on the session in waves
@@ -685,240 +192,6 @@ type vecCandidate struct {
 	page   parquet.PageInfo
 	row    int64 // file-global row
 	approx float32
-}
-
-// searchVector runs ANN queries: index probe, in-situ refine, and
-// exhaustive scoring of unindexed files (scoring queries must rank
-// all data).
-func (c *Client) searchVector(ctx context.Context, q Query, snap *lake.Snapshot, chosen []meta.IndexEntry, unindexed []lake.DataFile, fileByPath map[string]lake.DataFile, stats *Stats) (*Result, error) {
-	session := simtime.From(ctx)
-	nprobe := q.NProbe
-	if nprobe <= 0 {
-		nprobe = 8
-	}
-	refine := q.Refine
-	if refine <= 0 {
-		refine = 4 * q.K
-	}
-	if refine < q.K {
-		refine = q.K
-	}
-
-	// Probe phase: query all chosen vector index files in parallel.
-	probeCtx, probeSpan := obs.Start(ctx, "search.probe")
-	defer probeSpan.End()
-	probeSpan.SetAttr("index_files", len(chosen))
-	probeSpan.SetAttr("nprobe", nprobe)
-	candLists := make([][]vecCandidate, len(chosen))
-	errs := make([]error, len(chosen))
-	branches := make([]func(*simtime.Session), len(chosen))
-	for i := range chosen {
-		entry := chosen[i]
-		idx := i
-		branches[i] = func(s *simtime.Session) {
-			bctx := probeCtx
-			if s != nil {
-				bctx = simtime.With(probeCtx, s)
-			}
-			candLists[idx], errs[idx] = c.queryIndexVector(bctx, entry, q.Vector, nprobe, refine, fileByPath)
-			if errs[idx] != nil && errors.Is(errs[idx], objectstore.ErrNotFound) {
-				errs[idx] = &staleIndexError{key: entry.IndexKey, err: errs[idx]}
-			}
-		}
-	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	probeSpan.End()
-	var cands []vecCandidate
-	for i := range chosen {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
-		cands = append(cands, candLists[i]...)
-	}
-
-	// Keep the best `refine` candidates by approximate distance.
-	sortVecCandidates(cands)
-	if len(cands) > refine {
-		cands = cands[:refine]
-	}
-
-	// Read phase: fetch the candidate pages in situ and score exactly.
-	readCtx, readSpan := obs.Start(ctx, "search.read")
-	defer readSpan.End()
-	readSpan.SetAttr("candidates", len(cands))
-	matches, pages, err := c.refineCandidates(readCtx, q, snap, cands)
-	readSpan.SetAttr("pages", pages)
-	readSpan.End()
-	if err != nil {
-		return nil, err
-	}
-	stats.PagesProbed += pages
-
-	// Unindexed files must be scanned exhaustively for scoring
-	// queries.
-	if len(unindexed) > 0 {
-		colIdx := snap.Schema.ColumnIndex(q.Column)
-		dim := len(q.Vector)
-		pred := func(v []byte) (bool, float64) {
-			vec := decodeVector(v, dim)
-			return true, float64(ivfpq.L2Sq(q.Vector, vec))
-		}
-		scanned, err := c.scanFiles(ctx, unindexed, colIdx, pred)
-		if err != nil {
-			return nil, err
-		}
-		matches = append(matches, scanned...)
-		stats.FilesScanned = len(unindexed)
-	}
-
-	insitu.SortByScore(matches)
-	if len(matches) > q.K {
-		matches = matches[:q.K]
-	}
-	return &Result{Matches: matches, Stats: *stats}, nil
-}
-
-// queryIndexVector opens one vector index file, probes it, and
-// resolves candidates to snapshot files and pages.
-func (c *Client) queryIndexVector(ctx context.Context, entry meta.IndexEntry, vec []float32, nprobe, maxCands int, fileByPath map[string]lake.DataFile) ([]vecCandidate, error) {
-	ctx, span := obs.Start(ctx, "index.probe")
-	defer span.End()
-	span.SetAttr("index", entry.IndexKey)
-	span.SetAttr("kind", component.KindIVFPQ.String())
-	r, err := c.openReader(ctx, entry.IndexKey)
-	if err != nil {
-		return nil, err
-	}
-	session := simtime.From(ctx)
-	var manifest *Manifest
-	var raw []ivfpq.Candidate
-	var mErr, qErr error
-	branches := []func(*simtime.Session){
-		func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			manifest, mErr = c.manifest(bctx, r)
-		},
-		func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			var ix *ivfpq.Index
-			ix, qErr = c.openIVF(bctx, r)
-			if qErr == nil {
-				raw, qErr = ix.Search(bctx, vec, nprobe, maxCands)
-			}
-		},
-	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	if mErr != nil {
-		return nil, mErr
-	}
-	if qErr != nil {
-		return nil, qErr
-	}
-	var out []vecCandidate
-	for _, cand := range raw {
-		if int(cand.Ref.File) >= len(manifest.Files) {
-			continue
-		}
-		mf := manifest.Files[cand.Ref.File]
-		f, ok := fileByPath[mf.Path]
-		if !ok {
-			continue // stale physical location
-		}
-		pi := mf.Pages.FindRow(cand.Ref.Row)
-		if pi < 0 {
-			continue
-		}
-		out = append(out, vecCandidate{file: f, page: mf.Pages[pi], row: cand.Ref.Row, approx: cand.Dist})
-	}
-	span.SetAttr("candidates", len(out))
-	return out, nil
-}
-
-// refineCandidates fetches candidate pages per file (one parallel fan
-// per file, files in parallel) and scores the exact rows.
-func (c *Client) refineCandidates(ctx context.Context, q Query, snap *lake.Snapshot, cands []vecCandidate) ([]insitu.Match, int, error) {
-	session := simtime.From(ctx)
-	colIdx := snap.Schema.ColumnIndex(q.Column)
-	col := snap.Schema.Columns[colIdx]
-	dim := len(q.Vector)
-
-	// Candidate pages are deduplicated by ordinal as they accumulate:
-	// several candidates usually land on the same page, and each page
-	// should be fetched and probed once.
-	type fileGroup struct {
-		file  lake.DataFile
-		pages []parquet.PageInfo
-		rows  map[int64]bool
-		seen  map[int]bool
-	}
-	groups := make(map[string]*fileGroup)
-	for _, cand := range cands {
-		g := groups[cand.file.Path]
-		if g == nil {
-			g = &fileGroup{file: cand.file, rows: make(map[int64]bool), seen: make(map[int]bool)}
-			groups[cand.file.Path] = g
-		}
-		if !g.seen[cand.page.Ordinal] {
-			g.seen[cand.page.Ordinal] = true
-			g.pages = append(g.pages, cand.page)
-		}
-		g.rows[cand.row] = true
-	}
-	ordered := make([]*fileGroup, 0, len(groups))
-	totalPages := 0
-	for _, g := range groups {
-		ordered = append(ordered, g)
-	}
-	outs := make([][]insitu.Match, len(ordered))
-	errs := make([]error, len(ordered))
-	branches := make([]func(*simtime.Session), len(ordered))
-	for i := range ordered {
-		g := ordered[i]
-		idx := i
-		branches[i] = func(s *simtime.Session) {
-			bctx := ctx
-			if s != nil {
-				bctx = simtime.With(ctx, s)
-			}
-			dv, err := c.readDV(bctx, g.file)
-			if err != nil {
-				errs[idx] = err
-				return
-			}
-			pred := func(v []byte) (bool, float64) {
-				return true, float64(ivfpq.L2Sq(q.Vector, decodeVector(v, dim)))
-			}
-			all, err := insitu.ProbePages(bctx, c.store, c.table.Root()+g.file.Path, col, g.file.Path, g.pages, dv, pred)
-			if err != nil {
-				errs[idx] = err
-				return
-			}
-			// Keep only the candidate rows.
-			kept := all[:0]
-			for _, m := range all {
-				if g.rows[m.Row] {
-					kept = append(kept, m)
-				}
-			}
-			outs[idx] = kept
-		}
-	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	var matches []insitu.Match
-	for i := range ordered {
-		if errs[i] != nil {
-			return nil, 0, errs[i]
-		}
-		matches = append(matches, outs[i]...)
-		totalPages += len(ordered[i].pages)
-	}
-	return matches, totalPages, nil
 }
 
 func sortVecCandidates(cands []vecCandidate) {

@@ -153,8 +153,10 @@ func (c *Client) Vacuum(ctx context.Context, opts VacuumOptions) (*VacuumReport,
 			return nil, err
 		}
 		// Every decoded form of the deleted object (reader, manifest,
-		// index open result) must not serve again.
+		// index open result) and every memoized probe of it must not
+		// serve again.
 		c.objc.Invalidate(info.Key)
+		c.batch.invalidateIndex(info.Key)
 		report.RemovedObjects = append(report.RemovedObjects, info.Key)
 	}
 	removeSpan.SetAttr("removed", len(report.RemovedObjects))

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// ParseWhere parses the CLI predicate grammar into an expression
+// tree:
+//
+//	expr  := or
+//	or    := and ( OR and )*
+//	and   := unary ( AND unary )*
+//	unary := '(' expr ')' | pred
+//	pred  := column '=' uuid-32-hex
+//	       | column '~' pattern        (substring)
+//	       | column '=~' pattern       (regex)
+//
+// AND/OR are case-insensitive keywords; patterns are single- or
+// double-quoted strings (with \", \', and \\ escapes) or bare words
+// (no spaces or parentheses). AND binds tighter than OR. Vector
+// predicates have no textual form — the CLI supplies them separately
+// and conjoins them with the parsed filter.
+func ParseWhere(input string) (*Expr, error) {
+	p := &whereParser{in: input}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return nil, fmt.Errorf("core: parse -where: trailing input at %d: %q", p.pos, p.in[p.pos:])
+	}
+	return e, nil
+}
+
+// FormatWhere renders an expression tree back to the -where grammar.
+// Round-tripping through ParseWhere yields an equivalent tree (same
+// canonical key); vector leaves are not representable and error.
+func FormatWhere(e *Expr) (string, error) {
+	var b strings.Builder
+	if err := formatWhere(&b, e, false); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func formatWhere(b *strings.Builder, e *Expr, parens bool) error {
+	if e == nil {
+		return fmt.Errorf("core: format -where: nil expression")
+	}
+	switch e.Op {
+	case OpLeaf:
+		p := e.Pred
+		if p == nil {
+			return fmt.Errorf("core: format -where: leaf without predicate")
+		}
+		switch {
+		case p.UUID != nil:
+			fmt.Fprintf(b, "%s=%s", quoteWhereWord(p.Column), hex.EncodeToString(p.UUID[:]))
+		case p.Substring != nil:
+			fmt.Fprintf(b, "%s~%s", quoteWhereWord(p.Column), quoteWhere(string(p.Substring)))
+		case p.Regex != "":
+			fmt.Fprintf(b, "%s=~%s", quoteWhereWord(p.Column), quoteWhere(p.Regex))
+		default:
+			return fmt.Errorf("core: format -where: vector predicates have no textual form")
+		}
+		return nil
+	case OpAnd, OpOr:
+		word := " AND "
+		if e.Op == OpOr {
+			word = " OR "
+		}
+		if parens {
+			b.WriteByte('(')
+		}
+		for i, c := range e.Children {
+			if i > 0 {
+				b.WriteString(word)
+			}
+			// Parenthesize any nested compound: AND inside OR needs it
+			// for precedence, and explicit grouping never hurts.
+			if err := formatWhere(b, c, c.Op != OpLeaf); err != nil {
+				return err
+			}
+		}
+		if parens {
+			b.WriteByte(')')
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: format -where: unknown op %d", e.Op)
+	}
+}
+
+// quoteWhere renders a pattern as a double-quoted -where string.
+func quoteWhere(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// quoteWhereWord quotes a column name only when the bare-word form
+// cannot carry it.
+func quoteWhereWord(s string) string {
+	if s != "" && !strings.ContainsAny(s, " \t\r\n()\"'~=\\") && !isKeyword(s) {
+		return s
+	}
+	return quoteWhere(s)
+}
+
+func isKeyword(s string) bool {
+	return strings.EqualFold(s, "and") || strings.EqualFold(s, "or")
+}
+
+type whereParser struct {
+	in  string
+	pos int
+}
+
+func (p *whereParser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peekKeyword reports whether the next token is the keyword (case-
+// insensitive, followed by a word boundary) and consumes it if so.
+func (p *whereParser) peekKeyword(word string) bool {
+	p.skipSpace()
+	if p.pos+len(word) > len(p.in) {
+		return false
+	}
+	if !strings.EqualFold(p.in[p.pos:p.pos+len(word)], word) {
+		return false
+	}
+	rest := p.in[p.pos+len(word):]
+	if rest != "" {
+		switch rest[0] {
+		case ' ', '\t', '\r', '\n', '(':
+		default:
+			return false
+		}
+	}
+	p.pos += len(word)
+	return true
+}
+
+func (p *whereParser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for p.peekKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Expr{Op: OpOr, Children: children}, nil
+}
+
+func (p *whereParser) parseAnd() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Expr{left}
+	for p.peekKeyword("and") {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &Expr{Op: OpAnd, Children: children}, nil
+}
+
+func (p *whereParser) parseUnary() (*Expr, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '(' {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, fmt.Errorf("core: parse -where: missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	}
+	return p.parsePred()
+}
+
+func (p *whereParser) parsePred() (*Expr, error) {
+	col, quoted, err := p.parseColumn()
+	if err != nil {
+		return nil, err
+	}
+	if !quoted && isKeyword(col) {
+		return nil, fmt.Errorf("core: parse -where: keyword %q where a column was expected", col)
+	}
+	if col == "" {
+		return nil, fmt.Errorf("core: parse -where: empty column name")
+	}
+	p.skipSpace()
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "=~"):
+		p.pos += 2
+		pat, err := p.parseWord("regex")
+		if err != nil {
+			return nil, err
+		}
+		if pat == "" {
+			return nil, fmt.Errorf("core: parse -where: empty regex for column %q", col)
+		}
+		return Leaf(Pred{Column: col, Regex: pat}), nil
+	case p.pos < len(p.in) && p.in[p.pos] == '=':
+		p.pos++
+		word, err := p.parseWord("uuid")
+		if err != nil {
+			return nil, err
+		}
+		raw, err := hex.DecodeString(word)
+		if err != nil || len(raw) != 16 {
+			return nil, fmt.Errorf("core: parse -where: %q is not a 32-hex-digit uuid", word)
+		}
+		var key [16]byte
+		copy(key[:], raw)
+		return Leaf(Pred{Column: col, UUID: &key}), nil
+	case p.pos < len(p.in) && p.in[p.pos] == '~':
+		p.pos++
+		pat, err := p.parseWord("pattern")
+		if err != nil {
+			return nil, err
+		}
+		if pat == "" {
+			return nil, fmt.Errorf("core: parse -where: empty pattern for column %q", col)
+		}
+		return Leaf(Pred{Column: col, Substring: []byte(pat)}), nil
+	default:
+		return nil, fmt.Errorf("core: parse -where: expected '=', '~', or '=~' after column %q at %d", col, p.pos)
+	}
+}
+
+// parseColumn reads a column name: a quoted string (which may carry
+// keywords or operator characters), or a bare word that additionally
+// stops at the '='/'~' operators.
+func (p *whereParser) parseColumn() (string, bool, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		if q := p.in[p.pos]; q == '"' || q == '\'' {
+			col, err := p.parseWord("column")
+			return col, true, err
+		}
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\r', '\n', '(', ')', '"', '\'', '=', '~':
+			goto done
+		}
+		p.pos++
+	}
+done:
+	if p.pos == start {
+		return "", false, fmt.Errorf("core: parse -where: expected column at %d", start)
+	}
+	return p.in[start:p.pos], false, nil
+}
+
+// parseWord reads a quoted string or a bare word (patterns: operators
+// are legal inside).
+func (p *whereParser) parseWord(what string) (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return "", fmt.Errorf("core: parse -where: expected %s at end of input", what)
+	}
+	if q := p.in[p.pos]; q == '"' || q == '\'' {
+		p.pos++
+		var b strings.Builder
+		for p.pos < len(p.in) {
+			c := p.in[p.pos]
+			switch c {
+			case q:
+				p.pos++
+				return b.String(), nil
+			case '\\':
+				if p.pos+1 >= len(p.in) {
+					return "", fmt.Errorf("core: parse -where: dangling escape in %s", what)
+				}
+				p.pos++
+				b.WriteByte(p.in[p.pos])
+				p.pos++
+			default:
+				b.WriteByte(c)
+				p.pos++
+			}
+		}
+		return "", fmt.Errorf("core: parse -where: unterminated quoted %s", what)
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\r', '\n', '(', ')', '"', '\'':
+			goto done
+		}
+		p.pos++
+	}
+done:
+	if p.pos == start {
+		return "", fmt.Errorf("core: parse -where: expected %s at %d", what, start)
+	}
+	return p.in[start:p.pos], nil
+}

@@ -57,6 +57,10 @@ const (
 	// ModeText ingests Zipf documents with planted markers under an
 	// FM-index and searches substrings and regexes.
 	ModeText
+	// ModeCompound ingests two indexed columns (16-byte keys under a
+	// trie, documents under an FM-index) and searches compound AND/OR
+	// trees spanning both, checked against the multi-column oracle.
+	ModeCompound
 )
 
 // Options configures one harness run.
@@ -131,6 +135,7 @@ type world struct {
 
 	column string
 	kind   component.Kind
+	specs  []core.IndexSpec // every indexed column of the mode
 	schema *parquet.Schema
 
 	mu      sync.Mutex
@@ -156,6 +161,11 @@ var uuidSchema = parquet.MustSchema(
 )
 
 var textSchema = parquet.MustSchema(
+	parquet.Column{Name: "body", Type: parquet.TypeByteArray},
+)
+
+var compoundSchema = parquet.MustSchema(
+	parquet.Column{Name: "id", Type: parquet.TypeFixedLenByteArray, TypeLen: 16},
 	parquet.Column{Name: "body", Type: parquet.TypeByteArray},
 )
 
@@ -193,11 +203,16 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 	w.metrics = st.Metrics
 	chain := st.Store
 
-	if opts.Mode == ModeText {
+	switch opts.Mode {
+	case ModeText:
 		w.column, w.kind, w.schema = "body", component.KindFM, textSchema
-	} else {
+	case ModeCompound:
+		w.column, w.kind, w.schema = "id", component.KindTrie, compoundSchema
+		w.specs = append(w.specs, core.IndexSpec{Column: "body", Kind: component.KindFM})
+	default:
 		w.column, w.kind, w.schema = "id", component.KindTrie, uuidSchema
 	}
+	w.specs = append([]core.IndexSpec{{Column: w.column, Kind: w.kind}}, w.specs...)
 
 	err := w.run(ctx, chain)
 	sum := &Summary{
@@ -383,7 +398,8 @@ func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
 	b := parquet.NewBatch(w.schema)
 	var keys [][16]byte
 	var needle string
-	if w.opts.Mode == ModeText {
+	switch w.opts.Mode {
+	case ModeText:
 		w.mu.Lock()
 		docs := w.textGen.Docs(n)
 		needle = fmt.Sprintf("marker-%d-x", len(w.needles))
@@ -394,7 +410,26 @@ func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
 			vals[i] = []byte(d)
 		}
 		b.Cols[0] = parquet.ColumnValues{Bytes: vals}
-	} else {
+	case ModeCompound:
+		// Two indexed columns per row: a unique key and a document.
+		// Every document carries the common tag (so key AND tag pins
+		// exactly one row); a per-batch marker lands on three rows.
+		w.mu.Lock()
+		keys = w.uuidGen.Batch(n)
+		docs := w.textGen.Docs(n)
+		needle = fmt.Sprintf("marker-%d-x", len(w.needles))
+		w.mu.Unlock()
+		docs = workload.PlantNeedle(docs, needle, []int{0, n / 2, n - 1})
+		ids := make([][]byte, n)
+		bodies := make([][]byte, n)
+		for i, k := range keys {
+			kk := k
+			ids[i] = kk[:]
+			bodies[i] = []byte(docs[i] + " common-tag")
+		}
+		b.Cols[0] = parquet.ColumnValues{Bytes: ids}
+		b.Cols[1] = parquet.ColumnValues{Bytes: bodies}
+	default:
 		w.mu.Lock()
 		keys = w.uuidGen.Batch(n)
 		w.mu.Unlock()
@@ -413,12 +448,11 @@ func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
 		return fmt.Errorf("append: %w", err)
 	}
 	w.mu.Lock()
-	if w.opts.Mode == ModeText {
+	if needle != "" {
 		w.needles = append(w.needles, needle)
-	} else {
-		for _, k := range keys {
-			w.live[k] = path
-		}
+	}
+	for _, k := range keys {
+		w.live[k] = path
 	}
 	w.appends++
 	w.mu.Unlock()
@@ -494,23 +528,27 @@ func (w *world) deleteOne(ctx context.Context, rng *rand.Rand) error {
 }
 
 func (w *world) index(ctx context.Context) error {
-	_, err := w.cli.Index(ctx, w.column, w.kind)
-	if errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrBelowMinRows) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("index: %w", err)
+	for _, spec := range w.specs {
+		_, err := w.cli.Index(ctx, spec.Column, spec.Kind)
+		if errors.Is(err, core.ErrAborted) || errors.Is(err, core.ErrBelowMinRows) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("index %s: %w", spec.Column, err)
+		}
 	}
 	return nil
 }
 
 func (w *world) compact(ctx context.Context) error {
-	_, err := w.cli.Compact(ctx, w.column, w.kind, core.CompactOptions{})
-	if errors.Is(err, core.ErrAborted) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("compact: %w", err)
+	for _, spec := range w.specs {
+		_, err := w.cli.Compact(ctx, spec.Column, spec.Kind, core.CompactOptions{})
+		if errors.Is(err, core.ErrAborted) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("compact %s: %w", spec.Column, err)
+		}
 	}
 	return nil
 }
@@ -612,6 +650,97 @@ func (w *world) pickQuery(rng *rand.Rand, version int64) (core.Query, insitu.Pre
 		func(v []byte) (bool, float64) { return bytes.Equal(v, kk[:]), 0 }, nil
 }
 
+// pickCompound builds one compound K=0 query plus the multi-column
+// oracle predicate defining its ground truth. columns lists what the
+// oracle must scan, aligned with the vals tuple eval receives;
+// outputIdx locates the query's output column in that tuple.
+func (w *world) pickCompound(rng *rand.Rand, version int64) (cq core.CompoundQuery, columns []string, outputIdx int, eval func([][]byte) (bool, float64), err error) {
+	w.mu.Lock()
+	var liveKey, deadKey [16]byte
+	haveLive, haveDead := false, false
+	for k := range w.live {
+		liveKey, haveLive = k, true
+		break
+	}
+	for k := range w.deleted {
+		deadKey, haveDead = k, true
+		break
+	}
+	n1, n2 := "marker-", "common-tag"
+	if len(w.needles) > 0 {
+		n1 = w.needles[rng.Intn(len(w.needles))]
+		n2 = w.needles[rng.Intn(len(w.needles))]
+	}
+	w.mu.Unlock()
+	if !haveLive {
+		rng.Read(liveKey[:])
+	}
+	if !haveDead {
+		rng.Read(deadKey[:])
+	}
+	lk, dk := liveKey, deadKey
+
+	has := func(pat string) func(v []byte) bool {
+		p := []byte(pat)
+		return func(v []byte) bool { return bytes.Contains(v, p) }
+	}
+	markerRe := regexp.MustCompile(`marker-[0-9]+-x`)
+	bodyOnly := func(expr *core.Expr, pred func(v []byte) bool) {
+		cq = core.CompoundQuery{Expr: expr, K: 0, Snapshot: version, Output: "body"}
+		columns, outputIdx = []string{"body"}, 0
+		eval = func(vals [][]byte) (bool, float64) { return pred(vals[0]), 0 }
+	}
+	cross := func(expr *core.Expr, pred func(id, body []byte) bool) {
+		cq = core.CompoundQuery{Expr: expr, K: 0, Snapshot: version, Output: "body"}
+		columns, outputIdx = []string{"id", "body"}, 1
+		eval = func(vals [][]byte) (bool, float64) { return pred(vals[0], vals[1]), 0 }
+	}
+
+	switch rng.Intn(7) {
+	case 0:
+		// Live key AND the tag every row carries: pins exactly one row
+		// through a cross-column page intersection.
+		cross(core.And(core.PredUUID("id", lk), core.PredSubstring("body", []byte("common-tag"))),
+			func(id, body []byte) bool {
+				return bytes.Equal(id, lk[:]) && bytes.Contains(body, []byte("common-tag"))
+			})
+	case 1:
+		p1, p2 := has("marker-"), has(n1)
+		bodyOnly(core.And(core.PredSubstring("body", []byte("marker-")), core.PredSubstring("body", []byte(n1))),
+			func(v []byte) bool { return p1(v) && p2(v) })
+	case 2:
+		p1, p2 := has(n1), has(n2)
+		bodyOnly(core.Or(core.PredSubstring("body", []byte(n1)), core.PredSubstring("body", []byte(n2))),
+			func(v []byte) bool { return p1(v) || p2(v) })
+	case 3:
+		tag := has("common-tag")
+		bodyOnly(core.And(core.PredRegex("body", `marker-[0-9]+-x`), core.PredSubstring("body", []byte("common-tag"))),
+			func(v []byte) bool { return markerRe.Match(v) && tag(v) })
+	case 4:
+		cq = core.CompoundQuery{
+			Expr: core.Or(core.PredUUID("id", lk), core.PredUUID("id", dk)),
+			K:    0, Snapshot: version, Output: "id",
+		}
+		columns, outputIdx = []string{"id"}, 0
+		eval = func(vals [][]byte) (bool, float64) {
+			return bytes.Equal(vals[0], lk[:]) || bytes.Equal(vals[0], dk[:]), 0
+		}
+	case 5:
+		p1, p2, p3 := has(n1), has(n2), has("marker-")
+		bodyOnly(core.And(
+			core.Or(core.PredSubstring("body", []byte(n1)), core.PredSubstring("body", []byte(n2))),
+			core.PredSubstring("body", []byte("marker-"))),
+			func(v []byte) bool { return (p1(v) || p2(v)) && p3(v) })
+	default:
+		// Deleted key AND tag: both sides must agree the row is gone.
+		cross(core.And(core.PredUUID("id", dk), core.PredSubstring("body", []byte("common-tag"))),
+			func(id, body []byte) bool {
+				return bytes.Equal(id, dk[:]) && bytes.Contains(body, []byte("common-tag"))
+			})
+	}
+	return cq, columns, outputIdx, eval, nil
+}
+
 // searchDifferential pins a snapshot, searches it through the faulty
 // indexed path, scans it through the pristine oracle, and requires
 // byte-for-byte identical results. It also checks version
@@ -626,6 +755,10 @@ func (w *world) searchDifferential(ctx context.Context, rng *rand.Rand, lastVers
 	}
 	unpin := w.pin(v)
 	defer unpin()
+
+	if w.opts.Mode == ModeCompound {
+		return v, w.compareCompound(ctx, rng, v)
+	}
 
 	q, pred, err := w.pickQuery(rng, v)
 	if err != nil {
@@ -655,6 +788,45 @@ func (w *world) searchDifferential(ctx context.Context, rng *rand.Rand, lastVers
 	w.compared += len(want)
 	w.mu.Unlock()
 	return v, nil
+}
+
+// compareCompound runs one compound differential search at the pinned
+// version: the faulty indexed path against the pristine multi-column
+// oracle scan, byte for byte.
+func (w *world) compareCompound(ctx context.Context, rng *rand.Rand, v int64) error {
+	cq, columns, outputIdx, eval, err := w.pickCompound(rng, v)
+	if err != nil {
+		return err
+	}
+	res, tree, err := w.cli.TraceCompound(ctx, cq)
+	if err != nil {
+		return fmt.Errorf("compound search (%s): %w", describeCompound(cq), err)
+	}
+	if verr := tree.Validate(); verr != nil {
+		return fmt.Errorf("compound span tree (%s): %w", describeCompound(cq), verr)
+	}
+	if tree.Find("search.plan") == nil {
+		return fmt.Errorf("compound span tree (%s): no search.plan phase", describeCompound(cq))
+	}
+	want, _, err := w.oracle.ScanColumns(octx(ctx), v, columns, outputIdx, eval)
+	if err != nil {
+		return fmt.Errorf("compound oracle: %w", err)
+	}
+	if err := diffMatches(res.Matches, want); err != nil {
+		return fmt.Errorf("compound differential mismatch at version %d (%s): %w", v, describeCompound(cq), err)
+	}
+	w.mu.Lock()
+	w.searches++
+	w.compared += len(want)
+	w.mu.Unlock()
+	return nil
+}
+
+func describeCompound(cq core.CompoundQuery) string {
+	if s, err := core.FormatWhere(cq.Expr); err == nil {
+		return s
+	}
+	return "compound"
 }
 
 func describeQuery(q core.Query) string {
@@ -700,7 +872,7 @@ func (w *world) finale(ctx context.Context) error {
 		return fmt.Errorf("finale: %w", err)
 	}
 	if _, err := w.cli.Maintain(fctx, core.MaintainPolicy{CompactWhenEntries: 2},
-		core.IndexSpec{Column: w.column, Kind: w.kind}); err != nil {
+		w.specs...); err != nil {
 		return fmt.Errorf("finale maintain: %w", err)
 	}
 	latest, err := w.table.Version(fctx)
@@ -740,7 +912,7 @@ func (w *world) finale(ctx context.Context) error {
 			return fmt.Errorf("finale: %w", err)
 		}
 	}
-	if w.opts.Mode == ModeUUID {
+	if w.opts.Mode == ModeUUID || w.opts.Mode == ModeCompound {
 		checked := 0
 		for k := range w.live {
 			res, err := w.cli.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})

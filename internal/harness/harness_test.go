@@ -78,6 +78,39 @@ func TestDifferentialFaultWorkloads(t *testing.T) {
 	}
 }
 
+// TestCompoundDifferentialWorkloads runs seeded chaos workloads in
+// compound mode: every search is a boolean AND/OR tree over the two
+// indexed columns, executed through the multi-predicate planner under
+// faults and concurrent maintenance, and compared byte-for-byte
+// against the multi-column oracle scan.
+func TestCompoundDifferentialWorkloads(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 6
+	}
+	for seed := int64(100); seed < int64(100+n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{
+				Seed:    seed,
+				Mode:    ModeCompound,
+				Profile: profileFor(seed),
+				Retry:   objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Searches == 0 {
+				t.Fatalf("no differential searches ran: %+v", sum)
+			}
+			if sum.Appends == 0 {
+				t.Fatalf("no appends ran: %+v", sum)
+			}
+		})
+	}
+}
+
 // TestHarnessFaultsActuallyFire is the meta-check that chaos runs
 // exercise the failure paths: faults are injected and the retry layer
 // does real recovery work.
@@ -138,7 +171,7 @@ func TestHarnessSurfacesFaultsWithoutRetries(t *testing.T) {
 // TestHarnessFaultFree sanity-checks the harness itself: a calm world
 // with no faults and no retries must pass every differential check.
 func TestHarnessFaultFree(t *testing.T) {
-	for _, mode := range []Mode{ModeUUID, ModeText} {
+	for _, mode := range []Mode{ModeUUID, ModeText, ModeCompound} {
 		mode := mode
 		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
 			t.Parallel()

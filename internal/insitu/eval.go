@@ -1,0 +1,201 @@
+package insitu
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
+	"rottnest/internal/parquet"
+	"rottnest/internal/postings"
+	"rottnest/internal/simtime"
+)
+
+// ColumnRead describes how one column's values are obtained for a
+// multi-predicate evaluation of one file: either an exact page set
+// (the compound planner's surviving pages, fetched with ranged GETs)
+// or a full column scan (the fallback when no index manifest supplies
+// a page table for the column).
+type ColumnRead struct {
+	// Name is the column name, for error messages.
+	Name string
+	// Col is the schema column (used to decode fetched pages).
+	Col parquet.Column
+	// ColIdx is the column's schema ordinal (used by full scans).
+	ColIdx int
+	// Pages are the pages to fetch when Scan is false. Duplicate
+	// ordinals are allowed; each page is fetched once.
+	Pages []parquet.PageInfo
+	// Scan selects the full-column scan path.
+	Scan bool
+}
+
+// RowEval decides one row of a compound query given the row's value
+// in each requested column, in ColumnRead order. A value is nil when
+// the row fell outside that column's fetched pages (only possible for
+// page-driven columns whose page set does not cover the row).
+type RowEval func(row int64, vals [][]byte) (keep bool, score float64)
+
+// colValues resolves row numbers to one column's values.
+type colValues struct {
+	// scan holds the whole column when scanned.
+	scan parquet.ColumnValues
+	// pages holds decoded pages sorted by FirstRow when page-driven.
+	pages []parquet.Page
+}
+
+func (c *colValues) at(row int64) []byte {
+	if c.scan.Bytes != nil || c.pages == nil {
+		if row < 0 || row >= int64(len(c.scan.Bytes)) {
+			return nil
+		}
+		return c.scan.Bytes[row]
+	}
+	i := sort.Search(len(c.pages), func(i int) bool {
+		p := c.pages[i].Info
+		return p.FirstRow+int64(p.NumValues) > row
+	})
+	if i >= len(c.pages) {
+		return nil
+	}
+	p := c.pages[i]
+	off := row - p.Info.FirstRow
+	if off < 0 || off >= int64(len(p.Values.Bytes)) {
+		return nil
+	}
+	return p.Values.Bytes[off]
+}
+
+// EvalPages is the compound in-situ evaluator: it reads each listed
+// column of one file — page-driven columns with one parallel fan of
+// ranged GETs, scan columns in full — then makes a single pass over
+// the surviving row ranges, applying the deletion vector and the
+// compound predicate once per row. It returns the matching rows (with
+// Value taken from cols[output]) and the number of pages fetched on
+// page-driven columns.
+//
+// Each page appears in at most one fetch regardless of how many
+// predicates selected it: the caller is expected to pass the plan's
+// already-intersected page sets, and duplicate ordinals within one
+// ColumnRead are deduplicated here.
+func EvalPages(ctx context.Context, store objectstore.Store, key, path string, cols []ColumnRead, rows []postings.RowRange, dv *lake.DeletionVector, eval RowEval, output int) (matches []Match, pagesFetched int, err error) {
+	if len(cols) == 0 || output < 0 || output >= len(cols) {
+		return nil, 0, fmt.Errorf("insitu: eval %s: bad column set", path)
+	}
+	if len(rows) == 0 {
+		// The plan admitted no rows; nothing to read. Zero-row files
+		// still take this path (an empty file cannot match).
+		hasScan := false
+		for _, c := range cols {
+			if c.Scan {
+				hasScan = true
+			}
+		}
+		if !hasScan {
+			return nil, 0, nil
+		}
+	}
+
+	// Read every column, each under its own span so traces show the
+	// page-driven fetches (insitu.probe) apart from full scans
+	// (insitu.scan). Columns fan in parallel on the session: they are
+	// independent ranged GETs of the same file.
+	vals := make([]*colValues, len(cols))
+	errs := make([]error, len(cols))
+	fetched := make([]int, len(cols))
+	session := simtime.From(ctx)
+	branches := make([]func(*simtime.Session), len(cols))
+	for i := range cols {
+		cr := cols[i]
+		idx := i
+		branches[i] = func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			if cr.Scan {
+				sctx, span := obs.Start(bctx, "insitu.scan")
+				defer span.End()
+				span.SetAttr("path", path)
+				span.SetAttr("column", cr.Name)
+				v, _, _, err := parquet.ScanColumn(sctx, store, key, cr.ColIdx)
+				if err != nil {
+					errs[idx] = fmt.Errorf("insitu: scan %s: %w", path, err)
+					return
+				}
+				if v.Bytes == nil && v.Len() > 0 {
+					errs[idx] = fmt.Errorf("insitu: column %s of %s is not byte-typed", cr.Name, path)
+					return
+				}
+				vals[idx] = &colValues{scan: v}
+				return
+			}
+			pctx, span := obs.Start(bctx, "insitu.probe")
+			defer span.End()
+			span.SetAttr("path", path)
+			span.SetAttr("column", cr.Name)
+			// Dedup by ordinal on a copy: the caller's slice is often a
+			// shared page table and must not be reordered.
+			pages := append([]parquet.PageInfo(nil), cr.Pages...)
+			sort.Slice(pages, func(a, b int) bool { return pages[a].Ordinal < pages[b].Ordinal })
+			uniq := pages[:0]
+			for _, p := range pages {
+				if len(uniq) == 0 || p.Ordinal != uniq[len(uniq)-1].Ordinal {
+					uniq = append(uniq, p)
+				}
+			}
+			span.SetAttr("pages", len(uniq))
+			fetched[idx] = len(uniq)
+			if len(uniq) == 0 {
+				vals[idx] = &colValues{pages: []parquet.Page{}}
+				return
+			}
+			decoded, err := parquet.ReadPages(pctx, store, key, cr.Col, uniq)
+			if err != nil {
+				errs[idx] = fmt.Errorf("insitu: probe %s: %w", path, err)
+				return
+			}
+			for _, p := range decoded {
+				if p.Values.Bytes == nil && p.Values.Len() > 0 {
+					errs[idx] = fmt.Errorf("insitu: column %s of %s is not byte-typed", cr.Name, path)
+					return
+				}
+			}
+			vals[idx] = &colValues{pages: decoded}
+		}
+	}
+	if session == nil {
+		for _, b := range branches {
+			b(nil)
+		}
+	} else {
+		session.Parallel(branches...)
+	}
+	for i := range cols {
+		if errs[i] != nil {
+			return nil, 0, errs[i]
+		}
+		pagesFetched += fetched[i]
+	}
+
+	// Single pass over the surviving rows: deletion vector, then the
+	// compound predicate with every column's value at hand.
+	rowVals := make([][]byte, len(cols))
+	var out []Match
+	for _, r := range rows {
+		for row := r.Lo; row < r.Hi; row++ {
+			if dv.Contains(uint32(row)) {
+				continue
+			}
+			for i := range cols {
+				rowVals[i] = vals[i].at(row)
+			}
+			if keep, score := eval(row, rowVals); keep {
+				out = append(out, Match{Path: path, Row: row, Value: rowVals[output], Score: score})
+			}
+		}
+	}
+	return out, pagesFetched, nil
+}

@@ -1,0 +1,108 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeRanges(t *testing.T) {
+	cases := []struct {
+		in, want []RowRange
+	}{
+		{nil, nil},
+		{[]RowRange{{5, 5}}, []RowRange{}},
+		{[]RowRange{{0, 10}}, []RowRange{{0, 10}}},
+		{[]RowRange{{10, 20}, {0, 5}}, []RowRange{{0, 5}, {10, 20}}},
+		{[]RowRange{{0, 5}, {5, 10}}, []RowRange{{0, 10}}},
+		{[]RowRange{{0, 8}, {4, 12}, {20, 21}}, []RowRange{{0, 12}, {20, 21}}},
+		{[]RowRange{{3, 2}, {1, 4}, {2, 6}}, []RowRange{{1, 6}}},
+	}
+	for _, c := range cases {
+		got := NormalizeRanges(append([]RowRange(nil), c.in...))
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("NormalizeRanges(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntersectUnionRanges(t *testing.T) {
+	a := []RowRange{{0, 10}, {20, 30}}
+	b := []RowRange{{5, 25}}
+	if got, want := IntersectRanges(a, b), []RowRange{{5, 10}, {20, 25}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("intersect = %v, want %v", got, want)
+	}
+	if got, want := UnionRanges(a, b), []RowRange{{0, 30}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+	if got := IntersectRanges(a, nil); len(got) != 0 {
+		t.Errorf("intersect with empty = %v, want empty", got)
+	}
+	if got, want := UnionRanges(nil, b), []RowRange{{5, 25}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union with empty = %v, want %v", got, want)
+	}
+}
+
+func TestRangesContainOverlapLen(t *testing.T) {
+	rs := []RowRange{{2, 5}, {8, 10}}
+	if RangesLen(rs) != 5 {
+		t.Errorf("RangesLen = %d, want 5", RangesLen(rs))
+	}
+	for row, want := range map[int64]bool{1: false, 2: true, 4: true, 5: false, 8: true, 9: true, 10: false} {
+		if got := RangesContain(rs, row); got != want {
+			t.Errorf("RangesContain(%d) = %v, want %v", row, got, want)
+		}
+	}
+	overlaps := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 2, false}, {0, 3, true}, {5, 8, false}, {4, 9, true}, {10, 12, false}, {3, 3, false},
+	}
+	for _, c := range overlaps {
+		if got := RangesOverlap(rs, c.lo, c.hi); got != c.want {
+			t.Errorf("RangesOverlap(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// TestRangeOpsAgainstBitmap cross-checks the interval algebra against
+// a naive per-row bitmap model on random inputs.
+func TestRangeOpsAgainstBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const universe = 200
+	randSet := func() []RowRange {
+		var rs []RowRange
+		for i := 0; i < rng.Intn(6); i++ {
+			lo := rng.Int63n(universe)
+			rs = append(rs, RowRange{Lo: lo, Hi: lo + rng.Int63n(40)})
+		}
+		return NormalizeRanges(rs)
+	}
+	bitmap := func(rs []RowRange) [universe + 50]bool {
+		var m [universe + 50]bool
+		for _, r := range rs {
+			for i := r.Lo; i < r.Hi && int(i) < len(m); i++ {
+				m[i] = true
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randSet(), randSet()
+		ma, mb := bitmap(a), bitmap(b)
+		inter, uni := IntersectRanges(a, b), UnionRanges(a, b)
+		mi, mu := bitmap(inter), bitmap(uni)
+		for row := 0; row < universe+50; row++ {
+			if want := ma[row] && mb[row]; mi[row] != want {
+				t.Fatalf("trial %d: intersect row %d = %v, want %v (a=%v b=%v)", trial, row, mi[row], want, a, b)
+			}
+			if want := ma[row] || mb[row]; mu[row] != want {
+				t.Fatalf("trial %d: union row %d = %v, want %v (a=%v b=%v)", trial, row, mu[row], want, a, b)
+			}
+		}
+	}
+}

@@ -98,6 +98,54 @@ type (
 	MaintainReport = core.MaintainReport
 )
 
+// Compound query types: boolean AND/OR trees over the predicate kinds,
+// executed by the multi-predicate planner (Client.SearchCompound).
+type (
+	// CompoundQuery is a search over a boolean predicate tree.
+	CompoundQuery = core.CompoundQuery
+	// Expr is one node of a predicate tree.
+	Expr = core.Expr
+	// Pred is one leaf predicate.
+	Pred = core.Pred
+	// Op discriminates Expr nodes.
+	Op = core.Op
+)
+
+// Expr node kinds.
+const (
+	// OpLeaf is a single predicate.
+	OpLeaf = core.OpLeaf
+	// OpAnd is a conjunction of children.
+	OpAnd = core.OpAnd
+	// OpOr is a disjunction of children.
+	OpOr = core.OpOr
+)
+
+// Predicate-tree constructors.
+var (
+	// And conjoins subtrees.
+	And = core.And
+	// Or disjoins subtrees.
+	Or = core.Or
+	// Leaf wraps one predicate as a tree.
+	Leaf = core.Leaf
+	// PredUUID is an exact 16-byte key predicate.
+	PredUUID = core.PredUUID
+	// PredSubstring is a substring predicate.
+	PredSubstring = core.PredSubstring
+	// PredRegex is a regular-expression predicate.
+	PredRegex = core.PredRegex
+	// PredVector is a ranked nearest-neighbour leaf.
+	PredVector = core.PredVector
+)
+
+// ParseWhere parses the CLI's -where predicate grammar ("a~x AND
+// (b=~\"er+or\" OR c=HEX)") into a predicate tree.
+func ParseWhere(input string) (*Expr, error) { return core.ParseWhere(input) }
+
+// FormatWhere renders a predicate tree back to the -where grammar.
+func FormatWhere(e *Expr) (string, error) { return core.FormatWhere(e) }
+
 // IndexKind identifies an index family.
 type IndexKind = component.Kind
 
