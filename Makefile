@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-multi
+	$(MAKE) bench-sharded
 
 # fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
 # one -fuzz pattern per package invocation): corrupted bytes must
@@ -37,6 +38,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzSuffixArray -run '^FuzzSuffixArray$$' -fuzztime=10s ./internal/fmindex/
 	$(GO) test -fuzz=FuzzObjCache -run '^FuzzObjCache$$' -fuzztime=10s ./internal/objcache/
 	$(GO) test -fuzz=FuzzPredicateParser -run '^FuzzPredicateParser$$' -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzShardMerge -run '^FuzzShardMerge$$' -fuzztime=10s ./internal/shard/
 
 # trace-smoke proves the observability path end to end: quickstart
 # runs every lookup through Client.Trace, writes the span trees as
@@ -70,3 +72,9 @@ bench-serve:
 # coalesced vs independent under a concurrent Zipf stream).
 bench-multi:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_multi.json multi
+
+# bench-sharded records the scatter-gather serving experiment:
+# aggregate QPS vs shard count, and hedged-request p50/p99 against a
+# latency-spiked replica at the same N x M x K point.
+bench-sharded:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_sharded.json sharded

@@ -10,7 +10,8 @@
 //	rottnest-bench [-quick] [-seed N] [-json FILE] [-trace FILE] [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
-// throughput ablation distribution cache serve multi chaos build
+// throughput ablation distribution cache serve multi chaos sharded
+// build
 //
 // With -trace, experiments collect one exemplar span tree per search
 // site ("EXPLAIN ANALYZE" for the measured queries) and the map
@@ -81,6 +82,9 @@ var experiments = []struct {
 	}},
 	{"chaos", "search latency overhead under a fault storm with retries on", func(o bench.Options) (any, error) {
 		return bench.Chaos(o)
+	}},
+	{"sharded", "scatter-gather serving: QPS vs shard count, hedged-request p99 with a slow replica", func(o bench.Options) (any, error) {
+		return bench.Sharded(o)
 	}},
 	{"build", "index-build fast path: SA-IS vs oracle, FM/trie/IVF-PQ build rates", func(o bench.Options) (any, error) {
 		return bench.IndexBuild(o)

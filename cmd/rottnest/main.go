@@ -76,6 +76,7 @@ commands:
   gen           append synthetic rows matching the table schema
   index         bring one (column, kind) index up to date
   search        query (-uuid HEX | -substring S | -vector "0.1,..." | -where 'a~x AND b=HEX')
+                [-shards N] [-replicas M] route through the scatter-gather serving tier
   compact       merge small index files
   vacuum        garbage-collect index files
   maintain      one pass of index + compact-if-fragmented + vacuum
@@ -340,6 +341,8 @@ func cmdSearch(args []string) error {
 	nprobe := c.fs.Int("nprobe", 8, "vector: coarse lists to probe")
 	refine := c.fs.Int("refine", 0, "vector: candidates to rerank (default 4k)")
 	explain := c.fs.Bool("explain", false, "print the search's span tree (EXPLAIN ANALYZE)")
+	shards := c.fs.Int("shards", 1, "scatter-gather: partition the snapshot into N contiguous file-range shards")
+	replicas := c.fs.Int("replicas", 1, "scatter-gather: replica workers per shard (hedging kicks in above 1)")
 	if err := c.parse(args); err != nil {
 		return err
 	}
@@ -373,6 +376,16 @@ func cmdSearch(args []string) error {
 			expr = rottnest.And(rottnest.PredVector(*column, vec, *nprobe, *refine), expr)
 		}
 		cq := rottnest.CompoundQuery{Expr: expr, K: *k, Snapshot: -1, Output: *column}
+		if *shards > 1 || *replicas > 1 {
+			return runShardedSearch(c, *explain, *vector != "", *shards, *replicas,
+				func(ctx context.Context, r *rottnest.ShardRouter, trace bool) (*rottnest.ShardResult, *rottnest.TraceNode, error) {
+					if trace {
+						return r.TraceCompound(ctx, cq)
+					}
+					res, err := r.SearchCompound(ctx, cq)
+					return res, nil, err
+				})
+		}
 		return runSearch(c, *explain, *vector != "", func(ctx context.Context, client *rottnest.Client, trace bool) (*rottnest.Result, *rottnest.TraceNode, error) {
 			if trace {
 				return client.TraceCompound(ctx, cq)
@@ -407,6 +420,16 @@ func cmdSearch(args []string) error {
 	default:
 		return fmt.Errorf("one of -uuid, -substring, -regex, -vector, -where is required")
 	}
+	if *shards > 1 || *replicas > 1 {
+		return runShardedSearch(c, *explain, q.Vector != nil, *shards, *replicas,
+			func(ctx context.Context, r *rottnest.ShardRouter, trace bool) (*rottnest.ShardResult, *rottnest.TraceNode, error) {
+				if trace {
+					return r.Trace(ctx, q)
+				}
+				res, err := r.Search(ctx, q)
+				return res, nil, err
+			})
+	}
 	return runSearch(c, *explain, q.Vector != nil, func(ctx context.Context, client *rottnest.Client, trace bool) (*rottnest.Result, *rottnest.TraceNode, error) {
 		if trace {
 			return client.Trace(ctx, q)
@@ -414,6 +437,65 @@ func cmdSearch(args []string) error {
 		res, err := client.Search(ctx, q)
 		return res, nil, err
 	})
+}
+
+// runShardedSearch routes one search through a scatter-gather router
+// at N shards × M replicas; -explain renders the scatter tree
+// (router.plan → router.scatter{router.shard...} → router.merge).
+func runShardedSearch(c *common, explain, scored bool, shards, replicas int, do func(ctx context.Context, r *rottnest.ShardRouter, trace bool) (*rottnest.ShardResult, *rottnest.TraceNode, error)) error {
+	ctx := context.Background()
+	store, err := rottnest.NewDirStore(*c.storeDir)
+	if err != nil {
+		return err
+	}
+	opts := rottnest.ShardOptions{
+		Shards:   shards,
+		Replicas: replicas,
+		IndexDir: *c.indexDir,
+	}
+	if replicas > 1 {
+		opts.Hedge = rottnest.HedgeOptions{Enabled: true}
+	}
+	if *c.cold {
+		opts.CacheBytes = -1
+		opts.DecodedCacheBytes = -1
+		opts.PlanCacheTTLVersions = -1
+	}
+	r, err := rottnest.NewShardRouter(ctx, store, *c.table, opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, tree, err := do(ctx, r, explain)
+	if tree != nil {
+		if rerr := rottnest.RenderTrace(os.Stdout, tree); rerr != nil {
+			return rerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d match(es) in %v via %d shard(s) x %d replica(s) (snapshot %d, %d scattered, hedges %d/%d won)\n",
+		len(res.Matches), time.Since(start).Round(time.Millisecond), shards, replicas,
+		res.Stats.Version, res.Stats.Shards, res.Stats.HedgeWins, res.Stats.Hedges)
+	printMatches(res.Matches, scored)
+	return nil
+}
+
+// printMatches renders the result rows shared by the single-node and
+// sharded search paths.
+func printMatches(matches []rottnest.Match, scored bool) {
+	for i, m := range matches {
+		val := m.Value
+		if len(val) > 80 {
+			val = val[:80]
+		}
+		if scored {
+			fmt.Printf("%3d. %s row %d  dist=%.4f\n", i+1, m.Path, m.Row, m.Score)
+		} else {
+			fmt.Printf("%3d. %s row %d  %q\n", i+1, m.Path, m.Row, val)
+		}
+	}
 }
 
 // runSearch opens the client, executes one search (traced under
@@ -450,17 +532,7 @@ func runSearch(c *common, explain, scored bool, do func(ctx context.Context, cli
 	if res.Stats.Retries > 0 {
 		fmt.Printf("retries: %d (%d throttle waits)\n", res.Stats.Retries, res.Stats.ThrottleWaits)
 	}
-	for i, m := range res.Matches {
-		val := m.Value
-		if len(val) > 80 {
-			val = val[:80]
-		}
-		if scored {
-			fmt.Printf("%3d. %s row %d  dist=%.4f\n", i+1, m.Path, m.Row, m.Score)
-		} else {
-			fmt.Printf("%3d. %s row %d  %q\n", i+1, m.Path, m.Row, val)
-		}
-	}
+	printMatches(res.Matches, scored)
 	return nil
 }
 

@@ -53,7 +53,11 @@ func Ablations(opts Options) (*AblationResult, error) {
 		PageProbeLatency:     map[int]time.Duration{},
 	}
 	clock := simtime.NewVirtualClock()
-	store, _ := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	model := objectstore.DefaultS3Model()
+	store := objectstore.NewStack(objectstore.NewMemStore(clock), objectstore.StackOptions{
+		Latency:    &model,
+		CacheBytes: -1,
+	}).Store
 
 	// --- Componentization vs whole-file download (trie). ---
 	// Large enough that the whole index is throughput-bound to

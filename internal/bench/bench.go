@@ -87,8 +87,17 @@ type world struct {
 func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore.Store) objectstore.Store) (*world, error) {
 	ctx := context.Background()
 	clock := simtime.NewVirtualClock()
-	inst, metrics := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
-	var store objectstore.Store = inst
+	// Every layer — the metered latency model at the bottom, fault and
+	// retry wraps in the middle, any shared cache on top — composes
+	// through objectstore.NewStack, the one canonical code path for
+	// store chains (per-shard budgets in internal/shard use it too).
+	model := objectstore.DefaultS3Model()
+	base := objectstore.NewStack(objectstore.NewMemStore(clock), objectstore.StackOptions{
+		Latency:    &model,
+		CacheBytes: -1,
+	})
+	metrics := base.Metrics
+	store := base.Store
 	for _, wrap := range wraps {
 		store = wrap(store)
 	}
@@ -96,10 +105,10 @@ func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore
 	// between the lake and the client (NewClient joins it via
 	// FindCached), so snapshot log reads are accelerated too.
 	if cfg.CacheBytes > 0 {
-		store = objectstore.NewCachedStore(store, objectstore.CacheOptions{
-			MaxBytes:    cfg.CacheBytes,
+		store = objectstore.NewStack(store, objectstore.StackOptions{
+			CacheBytes:  cfg.CacheBytes,
 			CoalesceGap: cfg.CoalesceGap,
-		})
+		}).Store
 	}
 	table, err := lake.Create(ctx, store, clock, "lake", schema)
 	if err != nil {

@@ -71,10 +71,17 @@ func Chaos(o Options) (*ChaosResult, error) {
 	storm, err := newUUIDWorld(o.Seed, batches, rows, core.Config{},
 		func(s objectstore.Store) objectstore.Store {
 			// Retry above faults so ingest and indexing survive the
-			// storm too; the client joins the same retry layer.
-			faults = objectstore.NewFaultStoreWithProfile(s, profile)
-			retry = objectstore.NewRetryStore(faults, policy)
-			return retry
+			// storm too; the client joins the same retry layer. Both
+			// layers come from objectstore.NewStack — the canonical
+			// composition path — with the cache disabled (the storm
+			// must pay for every read).
+			st := objectstore.NewStack(s, objectstore.StackOptions{
+				Faults:     &profile,
+				Retry:      policy,
+				CacheBytes: -1,
+			})
+			faults, retry = st.Fault, st.Retry
+			return st.Store
 		})
 	if err != nil {
 		return nil, err

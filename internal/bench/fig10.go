@@ -33,7 +33,11 @@ func Fig10ReadGranularity(opts Options) (*Fig10Result, error) {
 	ctx := context.Background()
 	out := opts.out()
 	clock := simtime.NewVirtualClock()
-	store, _ := objectstore.Instrument(objectstore.NewMemStore(clock), objectstore.DefaultS3Model())
+	model := objectstore.DefaultS3Model()
+	store := objectstore.NewStack(objectstore.NewMemStore(clock), objectstore.StackOptions{
+		Latency:    &model,
+		CacheBytes: -1,
+	}).Store
 
 	// One big incompressible object to read ranges from.
 	blob := make([]byte, 128<<20)

@@ -401,6 +401,15 @@ func (c *Client) attempt(ctx context.Context, cq CompoundQuery, shape *planShape
 		}
 		searched = kept
 	}
+	if cq.FileRange != nil {
+		kept := searched[:0:0]
+		for _, f := range searched {
+			if cq.FileRange.Contains(f.Path) {
+				kept = append(kept, f)
+			}
+		}
+		searched = kept
+	}
 	active := make(map[string]bool, len(searched))
 	fileByPath := make(map[string]lake.DataFile, len(searched))
 	for _, f := range searched {

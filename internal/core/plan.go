@@ -121,6 +121,9 @@ type CompoundQuery struct {
 	// Partition optionally restricts the searched files, exactly as
 	// Query.Partition.
 	Partition *PartitionFilter
+	// FileRange optionally restricts the searched files to a
+	// contiguous path range, exactly as Query.FileRange.
+	FileRange *FileRange
 	// Output names the column whose values populate Match.Value. It
 	// must be the column of one of the tree's predicates; empty means
 	// the first predicate's column in the tree as written (or the
@@ -141,6 +144,7 @@ func (q Query) compound() (CompoundQuery, error) {
 		K:         q.K,
 		Snapshot:  q.Snapshot,
 		Partition: q.Partition,
+		FileRange: q.FileRange,
 		Output:    q.Column,
 	}, nil
 }
@@ -434,6 +438,9 @@ func compileShape(cq CompoundQuery) (*planShape, error) {
 	key := exprKey(root)
 	if cq.Partition != nil {
 		key += fmt.Sprintf("|p:%s:%d:%d", hex.EncodeToString([]byte(cq.Partition.Column)), cq.Partition.Min, cq.Partition.Max)
+	}
+	if cq.FileRange != nil {
+		key += fmt.Sprintf("|fr:%s:%s", hex.EncodeToString([]byte(cq.FileRange.Start)), hex.EncodeToString([]byte(cq.FileRange.End)))
 	}
 	shape.key = key
 	return shape, nil

@@ -65,6 +65,30 @@ type Query struct {
 	// clustered by an attribute like timestamp lets every approach
 	// touch only the matching partition.
 	Partition *PartitionFilter
+	// FileRange optionally restricts the search to a contiguous
+	// path range of the snapshot's files — the shard-scoped view the
+	// scatter-gather router fans out (internal/shard). Nil searches
+	// the whole snapshot.
+	FileRange *FileRange
+}
+
+// FileRange selects snapshot files whose path lies in the half-open
+// interval [Start, End); an empty Start means "from the beginning"
+// and an empty End means "to the end". Ranges produced by the shard
+// partitioner are disjoint and cover the whole snapshot, so a union
+// of per-range results equals the unrestricted search.
+type FileRange struct {
+	Start string
+	End   string
+}
+
+// Contains reports whether path falls inside the range. A nil range
+// contains everything.
+func (r *FileRange) Contains(path string) bool {
+	if r == nil {
+		return true
+	}
+	return path >= r.Start && (r.End == "" || path < r.End)
 }
 
 // PartitionFilter prunes the searched files by an int64 column range

@@ -43,6 +43,7 @@ import (
 	"rottnest/internal/lake"
 	"rottnest/internal/objectstore"
 	"rottnest/internal/parquet"
+	"rottnest/internal/shard"
 	"rottnest/internal/simtime"
 	"rottnest/internal/workload"
 )
@@ -61,6 +62,13 @@ const (
 	// trie, documents under an FM-index) and searches compound AND/OR
 	// trees spanning both, checked against the multi-column oracle.
 	ModeCompound
+	// ModeSharded runs the compound workload and additionally replays
+	// every differential search through scatter-gather routers at 1, 2,
+	// and 5 shards (the 2-shard router with two replicas and hedging),
+	// requiring byte-identical results from every fan-out — against the
+	// single-node client and the oracle — under the same faults and
+	// concurrent maintenance.
+	ModeSharded
 )
 
 // Options configures one harness run.
@@ -132,6 +140,7 @@ type world struct {
 	table   *lake.Table
 	cli     *core.Client
 	oracle  *bruteforce.Cluster
+	routers []*shard.Router // ModeSharded: 1-, 2-, and 5-shard fan-outs
 
 	column string
 	kind   component.Kind
@@ -206,7 +215,7 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 	switch opts.Mode {
 	case ModeText:
 		w.column, w.kind, w.schema = "body", component.KindFM, textSchema
-	case ModeCompound:
+	case ModeCompound, ModeSharded:
 		w.column, w.kind, w.schema = "id", component.KindTrie, compoundSchema
 		w.specs = append(w.specs, core.IndexSpec{Column: "body", Kind: component.KindFM})
 	default:
@@ -266,6 +275,30 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 		return fmt.Errorf("harness: open oracle: %w", err)
 	}
 	w.oracle = bruteforce.NewCluster(oracleTable, bruteforce.ClusterConfig{Workers: 4})
+
+	// ModeSharded: scatter-gather routers over the same faulty chain.
+	// Every differential search replays through each fan-out and must
+	// come back byte-identical (compareCompound). The two-shard router
+	// runs two replicas with hedging enabled so the hedge path sees
+	// faults too; worker caches are off so every shard read traverses
+	// the fault layer (the workers share the chain's retry layer).
+	if w.opts.Mode == ModeSharded {
+		for _, o := range []shard.Options{
+			{Shards: 1},
+			{Shards: 2, Replicas: 2, Hedge: shard.HedgeOptions{Enabled: true}},
+			{Shards: 5},
+		} {
+			o.IndexDir = "rottnest"
+			o.Clock = w.clock
+			o.Timeout = time.Hour
+			o.CacheBytes = -1
+			r, err := shard.New(octx(ctx), chain, "lake", o)
+			if err != nil {
+				return fmt.Errorf("harness: shard router: %w", err)
+			}
+			w.routers = append(w.routers, r)
+		}
+	}
 
 	// Seed data so early searches and indexes have something to chew.
 	seedRng := rand.New(rand.NewSource(w.opts.Seed))
@@ -410,7 +443,7 @@ func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
 			vals[i] = []byte(d)
 		}
 		b.Cols[0] = parquet.ColumnValues{Bytes: vals}
-	case ModeCompound:
+	case ModeCompound, ModeSharded:
 		// Two indexed columns per row: a unique key and a document.
 		// Every document carries the common tag (so key AND tag pins
 		// exactly one row); a per-batch marker lands on three rows.
@@ -756,7 +789,7 @@ func (w *world) searchDifferential(ctx context.Context, rng *rand.Rand, lastVers
 	unpin := w.pin(v)
 	defer unpin()
 
-	if w.opts.Mode == ModeCompound {
+	if w.opts.Mode == ModeCompound || w.opts.Mode == ModeSharded {
 		return v, w.compareCompound(ctx, rng, v)
 	}
 
@@ -814,6 +847,33 @@ func (w *world) compareCompound(ctx context.Context, rng *rand.Rand, v int64) er
 	}
 	if err := diffMatches(res.Matches, want); err != nil {
 		return fmt.Errorf("compound differential mismatch at version %d (%s): %w", v, describeCompound(cq), err)
+	}
+	// ModeSharded: the same pinned query must come back byte-identical
+	// through every scatter-gather fan-out. The routers read through
+	// the same faulty chain, so per-shard recovery is exercised too,
+	// and each trace must be a well-formed scatter tree.
+	for _, r := range w.routers {
+		rres, rtree, err := r.TraceCompound(ctx, cq)
+		if err != nil {
+			return fmt.Errorf("sharded search (%d shards, %s): %w", r.Shards(), describeCompound(cq), err)
+		}
+		if verr := rtree.Validate(); verr != nil {
+			return fmt.Errorf("sharded span tree (%d shards, %s): %w", r.Shards(), describeCompound(cq), verr)
+		}
+		if rtree.Find("router.plan") == nil {
+			return fmt.Errorf("sharded span tree (%d shards): no router.plan phase", r.Shards())
+		}
+		if got := len(rtree.FindAll("router.shard")); got != rres.Stats.Shards {
+			return fmt.Errorf("sharded span tree (%d shards): %d router.shard spans, stats say %d",
+				r.Shards(), got, rres.Stats.Shards)
+		}
+		if err := diffMatches(rres.Matches, want); err != nil {
+			return fmt.Errorf("sharded differential mismatch at version %d (%d shards, %s): %w",
+				v, r.Shards(), describeCompound(cq), err)
+		}
+		w.mu.Lock()
+		w.compared += len(want)
+		w.mu.Unlock()
 	}
 	w.mu.Lock()
 	w.searches++
@@ -912,7 +972,7 @@ func (w *world) finale(ctx context.Context) error {
 			return fmt.Errorf("finale: %w", err)
 		}
 	}
-	if w.opts.Mode == ModeUUID || w.opts.Mode == ModeCompound {
+	if w.opts.Mode == ModeUUID || w.opts.Mode == ModeCompound || w.opts.Mode == ModeSharded {
 		checked := 0
 		for k := range w.live {
 			res, err := w.cli.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})
@@ -921,6 +981,18 @@ func (w *world) finale(ctx context.Context) error {
 			}
 			if len(res.Matches) != 1 {
 				return fmt.Errorf("live key %x matched %d times (lost or duplicated row)", k, len(res.Matches))
+			}
+			// Exactly-once must hold through every fan-out too.
+			if checked < 10 {
+				for _, r := range w.routers {
+					rres, err := r.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})
+					if err != nil {
+						return fmt.Errorf("finale sharded live search (%d shards): %w", r.Shards(), err)
+					}
+					if len(rres.Matches) != 1 {
+						return fmt.Errorf("live key %x matched %d times through %d shards", k, len(rres.Matches), r.Shards())
+					}
+				}
 			}
 			if checked++; checked >= 30 {
 				break
@@ -934,6 +1006,17 @@ func (w *world) finale(ctx context.Context) error {
 			}
 			if len(res.Matches) != 0 {
 				return fmt.Errorf("deleted key %x resurrected", k)
+			}
+			if checked < 5 {
+				for _, r := range w.routers {
+					rres, err := r.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})
+					if err != nil {
+						return fmt.Errorf("finale sharded deleted search (%d shards): %w", r.Shards(), err)
+					}
+					if len(rres.Matches) != 0 {
+						return fmt.Errorf("deleted key %x resurrected through %d shards", k, r.Shards())
+					}
+				}
 			}
 			if checked++; checked >= 15 {
 				break

@@ -111,6 +111,39 @@ func TestCompoundDifferentialWorkloads(t *testing.T) {
 	}
 }
 
+// TestShardedDifferentialWorkloads runs seeded chaos workloads in
+// sharded mode: every compound differential search also replays
+// through scatter-gather routers at 1, 2, and 5 shards (the 2-shard
+// router hedging across two replicas), and every fan-out must return
+// byte-identical matches while faults fire and maintenance churns.
+func TestShardedDifferentialWorkloads(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 3
+	}
+	for seed := int64(200); seed < int64(200+n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{
+				Seed:    seed,
+				Mode:    ModeSharded,
+				Profile: profileFor(seed),
+				Retry:   objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Searches == 0 {
+				t.Fatalf("no differential searches ran: %+v", sum)
+			}
+			if sum.Appends == 0 {
+				t.Fatalf("no appends ran: %+v", sum)
+			}
+		})
+	}
+}
+
 // TestHarnessFaultsActuallyFire is the meta-check that chaos runs
 // exercise the failure paths: faults are injected and the retry layer
 // does real recovery work.
@@ -171,7 +204,7 @@ func TestHarnessSurfacesFaultsWithoutRetries(t *testing.T) {
 // TestHarnessFaultFree sanity-checks the harness itself: a calm world
 // with no faults and no retries must pass every differential check.
 func TestHarnessFaultFree(t *testing.T) {
-	for _, mode := range []Mode{ModeUUID, ModeText, ModeCompound} {
+	for _, mode := range []Mode{ModeUUID, ModeText, ModeCompound, ModeSharded} {
 		mode := mode
 		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
 			t.Parallel()

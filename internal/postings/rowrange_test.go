@@ -69,6 +69,63 @@ func TestRangesContainOverlapLen(t *testing.T) {
 	}
 }
 
+// TestIntersectUnionEdgeCases pins the interval algebra on the
+// degenerate shapes the compound planner and the shard merge path
+// produce: empty sets on either side, adjacent spans that must fuse
+// under union but vanish under intersection, single-row spans, and a
+// full-⊤ operand (the whole-file range an unindexed predicate
+// contributes) that must be the identity for intersection and the
+// absorber for union.
+func TestIntersectUnionEdgeCases(t *testing.T) {
+	top := []RowRange{{0, 1 << 40}} // full-⊤: every row of any file
+	cases := []struct {
+		name          string
+		a, b          []RowRange
+		wantIntersect []RowRange
+		wantUnion     []RowRange
+	}{
+		{"both empty", nil, nil, nil, nil},
+		{"left empty", nil, []RowRange{{3, 7}}, nil, []RowRange{{3, 7}}},
+		{"right empty", []RowRange{{3, 7}}, nil, nil, []RowRange{{3, 7}}},
+		{"adjacent spans", []RowRange{{0, 5}}, []RowRange{{5, 10}}, nil, []RowRange{{0, 10}}},
+		{"adjacent chain", []RowRange{{0, 2}, {4, 6}}, []RowRange{{2, 4}, {6, 8}}, nil, []RowRange{{0, 8}}},
+		{"single-row spans", []RowRange{{4, 5}}, []RowRange{{4, 5}}, []RowRange{{4, 5}}, []RowRange{{4, 5}}},
+		{"single-row disjoint", []RowRange{{4, 5}}, []RowRange{{5, 6}}, nil, []RowRange{{4, 6}}},
+		{"single-row inside span", []RowRange{{0, 10}}, []RowRange{{4, 5}}, []RowRange{{4, 5}}, []RowRange{{0, 10}}},
+		{"top is intersect identity", top, []RowRange{{2, 5}, {9, 11}}, []RowRange{{2, 5}, {9, 11}}, top},
+		{"top absorbs union", []RowRange{{2, 5}}, top, []RowRange{{2, 5}}, top},
+		{"top with empty", top, nil, nil, top},
+		{"same set", []RowRange{{1, 4}, {8, 9}}, []RowRange{{1, 4}, {8, 9}}, []RowRange{{1, 4}, {8, 9}}, []RowRange{{1, 4}, {8, 9}}},
+		{"nested spans", []RowRange{{0, 100}}, []RowRange{{10, 20}, {30, 40}}, []RowRange{{10, 20}, {30, 40}}, []RowRange{{0, 100}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkEq := func(op string, got, want []RowRange) {
+				t.Helper()
+				if len(got) == 0 && len(want) == 0 {
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s(%v, %v) = %v, want %v", op, c.a, c.b, got, want)
+				}
+			}
+			checkEq("intersect", IntersectRanges(c.a, c.b), c.wantIntersect)
+			checkEq("union", UnionRanges(c.a, c.b), c.wantUnion)
+			// Both ops are symmetric.
+			checkEq("intersect-sym", IntersectRanges(c.b, c.a), c.wantIntersect)
+			checkEq("union-sym", UnionRanges(c.b, c.a), c.wantUnion)
+			// Results must already be normalized (canonical form).
+			for op, got := range map[string][]RowRange{
+				"intersect": IntersectRanges(c.a, c.b),
+				"union":     UnionRanges(c.a, c.b),
+			} {
+				norm := NormalizeRanges(append([]RowRange(nil), got...))
+				checkEq(op+"-normalized", got, norm)
+			}
+		})
+	}
+}
+
 // TestRangeOpsAgainstBitmap cross-checks the interval algebra against
 // a naive per-row bitmap model on random inputs.
 func TestRangeOpsAgainstBitmap(t *testing.T) {

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"rottnest/internal/insitu"
+)
+
+// MergeExact merges per-shard exact (trie/FM/compound filter) results
+// into the single-node order: concatenate, sort by (path, row), drop
+// duplicates, truncate to k (0 = unbounded). Shard ranges are
+// disjoint so duplicates only arise from replica overlap or callers
+// merging overlapping sets; dedup makes the merge idempotent either
+// way.
+func MergeExact(lists [][]insitu.Match, k int) []insitu.Match {
+	var all []insitu.Match
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	insitu.SortMatches(all)
+	var out []insitu.Match
+	for _, m := range all {
+		if n := len(out); n > 0 && out[n-1].Path == m.Path && out[n-1].Row == m.Row {
+			continue
+		}
+		out = append(out, m)
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// MergeTopK merges per-shard vector results into the global top-k:
+// concatenate, keep the best (lowest) score per (path, row), sort by
+// (score, path, row), truncate to k (0 = unbounded). Because each
+// shard returns its own top-k and the global top-k rows each live in
+// some shard, the union always contains the global answer.
+func MergeTopK(lists [][]insitu.Match, k int) []insitu.Match {
+	type key struct {
+		path string
+		row  int64
+	}
+	best := make(map[key]int)
+	var uniq []insitu.Match
+	for _, l := range lists {
+		for _, m := range l {
+			kk := key{m.Path, m.Row}
+			if i, ok := best[kk]; ok {
+				if m.Score < uniq[i].Score {
+					uniq[i] = m
+				}
+				continue
+			}
+			best[kk] = len(uniq)
+			uniq = append(uniq, m)
+		}
+	}
+	insitu.SortByScore(uniq)
+	if k > 0 && len(uniq) > k {
+		uniq = uniq[:k]
+	}
+	return uniq
+}

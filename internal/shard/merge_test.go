@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rottnest/internal/insitu"
+)
+
+// decodeMergeInput deterministically expands fuzz bytes into
+// per-shard match lists plus a k: paths and rows come from a small
+// alphabet so duplicates across "shards" are common, and scores are
+// derived from the same byte so a (path, row) pair always scores
+// consistently within one list but may differ across lists
+// (replica disagreement exercises keep-best dedup).
+func decodeMergeInput(data []byte) (lists [][]insitu.Match, k int) {
+	if len(data) == 0 {
+		return nil, 0
+	}
+	k = int(data[0] % 8)
+	data = data[1:]
+	nLists := 1 + k%4
+	lists = make([][]insitu.Match, nLists)
+	for i, b := range data {
+		li := i % nLists
+		path := fmt.Sprintf("f%d", b%5)
+		row := int64(b / 5 % 7)
+		score := float64(b%11) / 3
+		lists[li] = append(lists[li], insitu.Match{
+			Path:  path,
+			Row:   row,
+			Value: []byte{b},
+			Score: score,
+		})
+	}
+	return lists, k
+}
+
+// refExact is the merge oracle: plain concatenation, sort by
+// (path, row), drop duplicate keys, truncate.
+func refExact(lists [][]insitu.Match, k int) []insitu.Match {
+	var all []insitu.Match
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	insitu.SortMatches(all)
+	var out []insitu.Match
+	seen := map[[2]interface{}]bool{}
+	for _, m := range all {
+		key := [2]interface{}{m.Path, m.Row}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, m)
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// refTopK is the top-k oracle: global keep-best dedup, sort by
+// (score, path, row), truncate.
+func refTopK(lists [][]insitu.Match, k int) []insitu.Match {
+	best := map[[2]interface{}]insitu.Match{}
+	for _, l := range lists {
+		for _, m := range l {
+			key := [2]interface{}{m.Path, m.Row}
+			if old, ok := best[key]; !ok || m.Score < old.Score {
+				best[key] = m
+			}
+		}
+	}
+	var out []insitu.Match
+	for _, m := range best {
+		out = append(out, m)
+	}
+	insitu.SortByScore(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func matchKeys(ms []insitu.Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = fmt.Sprintf("%s:%d:%g", m.Path, m.Row, m.Score)
+	}
+	return out
+}
+
+func TestMergeExactBasics(t *testing.T) {
+	a := []insitu.Match{{Path: "a", Row: 1}, {Path: "a", Row: 3}}
+	b := []insitu.Match{{Path: "a", Row: 2}, {Path: "b", Row: 0}}
+	got := MergeExact([][]insitu.Match{b, a, nil}, 0)
+	want := []insitu.Match{{Path: "a", Row: 1}, {Path: "a", Row: 2}, {Path: "a", Row: 3}, {Path: "b", Row: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", matchKeys(got), matchKeys(want))
+	}
+	if got := MergeExact([][]insitu.Match{a, a}, 0); len(got) != 2 {
+		t.Fatalf("duplicate lists not deduped: %v", matchKeys(got))
+	}
+	if got := MergeExact([][]insitu.Match{a, b}, 3); len(got) != 3 {
+		t.Fatalf("k truncation: got %d", len(got))
+	}
+	if got := MergeExact(nil, 5); got != nil {
+		t.Fatalf("empty merge = %v, want nil", got)
+	}
+}
+
+func TestMergeTopKKeepsBestScore(t *testing.T) {
+	a := []insitu.Match{{Path: "a", Row: 1, Score: 2.0}}
+	b := []insitu.Match{{Path: "a", Row: 1, Score: 1.0}, {Path: "b", Row: 2, Score: 3.0}}
+	got := MergeTopK([][]insitu.Match{a, b}, 0)
+	if len(got) != 2 || got[0].Score != 1.0 || got[0].Path != "a" {
+		t.Fatalf("top-k merge = %v", matchKeys(got))
+	}
+	if got := MergeTopK([][]insitu.Match{a, b}, 1); len(got) != 1 || got[0].Path != "a" {
+		t.Fatalf("k=1 merge = %v", matchKeys(got))
+	}
+}
+
+// FuzzShardMerge checks the merge laws on arbitrary per-shard result
+// sets: MergeExact must equal sort-dedup of the concatenation, and
+// MergeTopK must equal the global keep-best top-k. Both must be
+// insensitive to shard order.
+func FuzzShardMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 255, 254, 1, 1, 1, 60, 61, 62})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lists, k := decodeMergeInput(data)
+
+		got := MergeExact(lists, k)
+		want := refExact(lists, k)
+		if !reflect.DeepEqual(matchKeys(got), matchKeys(want)) {
+			t.Fatalf("MergeExact = %v, want %v", matchKeys(got), matchKeys(want))
+		}
+		// Shard order must not matter.
+		rev := make([][]insitu.Match, len(lists))
+		for i := range lists {
+			rev[i] = lists[len(lists)-1-i]
+		}
+		if got2 := MergeExact(rev, k); !reflect.DeepEqual(matchKeys(got2), matchKeys(got)) {
+			t.Fatalf("MergeExact order-sensitive: %v vs %v", matchKeys(got2), matchKeys(got))
+		}
+
+		gotK := MergeTopK(lists, k)
+		wantK := refTopK(lists, k)
+		if !reflect.DeepEqual(matchKeys(gotK), matchKeys(wantK)) {
+			t.Fatalf("MergeTopK = %v, want %v", matchKeys(gotK), matchKeys(wantK))
+		}
+		// The merged exact output must be sorted and duplicate-free.
+		for i := 1; i < len(got); i++ {
+			if !(got[i-1].Path < got[i].Path || (got[i-1].Path == got[i].Path && got[i-1].Row < got[i].Row)) {
+				t.Fatalf("MergeExact not strictly ordered at %d: %v", i, matchKeys(got))
+			}
+		}
+		if !sort.SliceIsSorted(gotK, func(i, j int) bool { return gotK[i].Score < gotK[j].Score }) {
+			t.Fatalf("MergeTopK not score-ordered: %v", matchKeys(gotK))
+		}
+	})
+}

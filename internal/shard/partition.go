@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"sort"
+
+	"rottnest/internal/core"
+	"rottnest/internal/lake"
+)
+
+// Part is one shard's slice of a snapshot: the half-open path range
+// the shard serves plus the files and bytes that fall inside it.
+type Part struct {
+	Range core.FileRange
+	Files int
+	Bytes int64
+}
+
+// Partition splits a snapshot's files into n contiguous, byte-balanced
+// path ranges. The returned parts are always exactly n; ranges of
+// non-empty parts are disjoint and cover the full path space
+// ("" → … → ""), so every file — including files committed after the
+// partitioning decision — falls in exactly one part. Empty parts (n
+// larger than the file count, or a giant file absorbing several
+// targets) carry a range that matches nothing.
+//
+// Balancing is greedy over file sizes in sorted path order: the i-th
+// boundary is the first file at which the cumulative size reaches
+// ceil(total*i/n). Files with unknown size weigh 1 so empty stats
+// still balance by count.
+func Partition(files []lake.DataFile, n int) []Part {
+	if n < 1 {
+		n = 1
+	}
+	sorted := append([]lake.DataFile(nil), files...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	prefix := make([]int64, len(sorted)+1)
+	for i, f := range sorted {
+		w := f.Size
+		if w <= 0 {
+			w = 1
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	total := prefix[len(sorted)]
+
+	cuts := make([]int, n+1)
+	cuts[n] = len(sorted)
+	for i := 1; i < n; i++ {
+		target := (total*int64(i) + int64(n) - 1) / int64(n)
+		j := sort.Search(len(prefix), func(k int) bool { return prefix[k] >= target })
+		if j > len(sorted) {
+			j = len(sorted)
+		}
+		if j < cuts[i-1] {
+			j = cuts[i-1]
+		}
+		cuts[i] = j
+	}
+
+	parts := make([]Part, n)
+	prevEnd := ""
+	for i := 0; i < n; i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		p := &parts[i]
+		p.Files = hi - lo
+		for k := lo; k < hi; k++ {
+			p.Bytes += sorted[k].Size
+		}
+		if p.Files == 0 {
+			// Start == End (non-empty) can never contain a path.
+			s := prevEnd
+			if s == "" {
+				s = "\x00"
+			}
+			p.Range = core.FileRange{Start: s, End: s}
+			continue
+		}
+		end := ""
+		if hi < len(sorted) {
+			end = sorted[hi].Path
+		}
+		p.Range = core.FileRange{Start: prevEnd, End: end}
+		prevEnd = end
+	}
+	return parts
+}

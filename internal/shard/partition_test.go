@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"rottnest/internal/lake"
+)
+
+func mkFiles(sizes ...int64) []lake.DataFile {
+	files := make([]lake.DataFile, len(sizes))
+	for i, s := range sizes {
+		files[i] = lake.DataFile{Path: fmt.Sprintf("data/%05d.parquet", i), Size: s}
+	}
+	return files
+}
+
+// checkPartition asserts the structural invariants every partitioning
+// must satisfy: exactly n parts, every file in exactly one part's
+// range, per-part file counts matching range membership, and empty
+// parts matching nothing.
+func checkPartition(t *testing.T, files []lake.DataFile, n int) []Part {
+	t.Helper()
+	parts := Partition(files, n)
+	if len(parts) != n {
+		t.Fatalf("Partition returned %d parts, want %d", len(parts), n)
+	}
+	totalFiles := 0
+	for _, f := range files {
+		owners := 0
+		for _, p := range parts {
+			if p.Range.Contains(f.Path) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("file %q contained by %d part ranges, want 1", f.Path, owners)
+		}
+	}
+	for i, p := range parts {
+		got := 0
+		for _, f := range files {
+			if p.Range.Contains(f.Path) {
+				got++
+			}
+		}
+		if got != p.Files {
+			t.Fatalf("part %d: range contains %d files, Files says %d", i, got, p.Files)
+		}
+		totalFiles += p.Files
+	}
+	if totalFiles != len(files) {
+		t.Fatalf("parts cover %d files, want %d", totalFiles, len(files))
+	}
+	return parts
+}
+
+func TestPartitionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		files []lake.DataFile
+		n     int
+	}{
+		{"no files", nil, 3},
+		{"one file one shard", mkFiles(100), 1},
+		{"n greater than file count", mkFiles(10, 10), 5},
+		{"n equals file count", mkFiles(1, 1, 1, 1), 4},
+		{"one giant file", mkFiles(1, 1000, 1, 1, 1), 4},
+		{"giant file first", mkFiles(1000, 1, 1, 1), 3},
+		{"giant file last", mkFiles(1, 1, 1, 1000), 3},
+		{"unknown sizes", mkFiles(0, 0, 0, 0, 0, 0), 3},
+		{"balanced", mkFiles(10, 10, 10, 10, 10, 10, 10, 10), 4},
+		{"single shard", mkFiles(5, 5, 5), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			parts := checkPartition(t, tc.files, tc.n)
+			// A later file (committed after partitioning) still lands
+			// in exactly one non-empty part: non-empty ranges chain
+			// "" → … → "".
+			if len(tc.files) > 0 {
+				owners := 0
+				for _, p := range parts {
+					if p.Range.Contains("data/99999.parquet") {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("future path contained by %d ranges, want 1", owners)
+				}
+			}
+		})
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// Equal-size files split evenly.
+	parts := checkPartition(t, mkFiles(10, 10, 10, 10, 10, 10, 10, 10), 4)
+	for i, p := range parts {
+		if p.Files != 2 || p.Bytes != 20 {
+			t.Fatalf("part %d = %+v, want 2 files / 20 bytes", i, p)
+		}
+	}
+
+	// A giant file absorbs its shard; the rest still spread.
+	parts = checkPartition(t, mkFiles(1, 1000, 1, 1, 1), 4)
+	empties := 0
+	for _, p := range parts {
+		if p.Files == 0 {
+			empties++
+			if p.Range.Contains("data/00000.parquet") || p.Range.Contains("") {
+				t.Fatalf("empty part range %+v contains paths", p.Range)
+			}
+		}
+	}
+	if empties == 0 {
+		t.Fatalf("expected at least one empty part around the giant file, got %+v", parts)
+	}
+}
+
+func TestPartitionSingleShardIsFullRange(t *testing.T) {
+	parts := Partition(mkFiles(1, 2, 3), 1)
+	if parts[0].Range.Start != "" || parts[0].Range.End != "" {
+		t.Fatalf("single-shard range = %+v, want full", parts[0].Range)
+	}
+	if parts[0].Files != 3 || parts[0].Bytes != 6 {
+		t.Fatalf("single-shard part = %+v", parts[0])
+	}
+}
+
+func TestFileRangeContains(t *testing.T) {
+	full := Partition(mkFiles(1), 1)[0].Range
+	if !full.Contains("anything") || !full.Contains("") {
+		t.Fatal("full range should contain everything")
+	}
+}

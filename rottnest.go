@@ -59,6 +59,7 @@ import (
 	"rottnest/internal/objectstore"
 	"rottnest/internal/obs"
 	"rottnest/internal/parquet"
+	"rottnest/internal/shard"
 	"rottnest/internal/simtime"
 )
 
@@ -138,6 +139,45 @@ var (
 	// PredVector is a ranked nearest-neighbour leaf.
 	PredVector = core.PredVector
 )
+
+// Sharded serving tier: a ShardRouter partitions a table's snapshot
+// into N contiguous file ranges, scatters every query to per-shard
+// replica workers (hedging slow ones), merges the results into
+// single-node order, and rate-limits tenants at the front door.
+type (
+	// ShardRouter is the scatter-gather front door (see shard.Router).
+	ShardRouter = shard.Router
+	// ShardOptions configures a ShardRouter.
+	ShardOptions = shard.Options
+	// ShardResult is a routed query outcome.
+	ShardResult = shard.Result
+	// ShardStats summarizes one routed query.
+	ShardStats = shard.Stats
+	// HedgeOptions tunes hedged replica requests.
+	HedgeOptions = shard.HedgeOptions
+	// AdmissionOptions tunes per-tenant token-bucket rate limits.
+	AdmissionOptions = shard.AdmissionOptions
+	// FileRange restricts a Query or CompoundQuery to a contiguous
+	// path range of the snapshot — the shard-scoped view routers fan
+	// out. Nil searches everything.
+	FileRange = core.FileRange
+)
+
+// ErrRateLimited: the query's tenant exhausted its admission bucket.
+var ErrRateLimited = shard.ErrRateLimited
+
+// NewShardRouter builds a scatter-gather router over the table at
+// root. Every worker reads through store with its own slice of the
+// router's cache budgets.
+func NewShardRouter(ctx context.Context, store Store, root string, opts ShardOptions) (*ShardRouter, error) {
+	return shard.New(ctx, store, root, opts)
+}
+
+// WithTenant tags ctx with the tenant name admission control buckets
+// requests by; untagged requests share the "default" tenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return shard.WithTenant(ctx, tenant)
+}
 
 // ParseWhere parses the CLI's -where predicate grammar ("a~x AND
 // (b=~\"er+or\" OR c=HEX)") into a predicate tree.
