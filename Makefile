@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded bench-planner benchgate vulncheck
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,9 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) bench-multi
 	$(MAKE) bench-sharded
+	$(MAKE) bench-planner
+	$(MAKE) benchgate
+	$(MAKE) vulncheck
 
 # fuzz-smoke runs each fuzz target briefly (native Go fuzzing allows
 # one -fuzz pattern per package invocation): corrupted bytes must
@@ -39,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzObjCache -run '^FuzzObjCache$$' -fuzztime=10s ./internal/objcache/
 	$(GO) test -fuzz=FuzzPredicateParser -run '^FuzzPredicateParser$$' -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzShardMerge -run '^FuzzShardMerge$$' -fuzztime=10s ./internal/shard/
+	$(GO) test -fuzz=FuzzFMSuperwalk -run '^FuzzFMSuperwalk$$' -fuzztime=10s ./internal/fmindex/
 
 # trace-smoke proves the observability path end to end: quickstart
 # runs every lookup through Client.Trace, writes the span trees as
@@ -78,3 +82,23 @@ bench-multi:
 # latency-spiked replica at the same N x M x K point.
 bench-sharded:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_sharded.json sharded
+
+# bench-planner records the probe-side fast-path experiment: FM
+# superwalk occ-fetch dedup vs singleton walks, cost-based AND
+# short-circuit GET savings, and the ADC list-scan rate.
+bench-planner:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_planner.json planner
+
+# benchgate fails check when a regenerated benchmark record regresses
+# a virtual-time QPS field by more than 20% against the committed
+# baseline (untracked files are skipped).
+benchgate:
+	$(GO) run ./cmd/benchgate BENCH_*.json
+
+# vulncheck runs govulncheck when it is installed; environments
+# without it (or without network access to the vuln DB) skip rather
+# than fail, so check stays runnable offline.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vulncheck: findings above are advisory, not failing check"; \
+	else echo "vulncheck: govulncheck not installed, skipping"; fi

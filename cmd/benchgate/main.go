@@ -1,0 +1,117 @@
+// Command benchgate guards the committed benchmark records: for each
+// BENCH_*.json given, it compares every QPS-named numeric field
+// against the version committed at HEAD and fails if any regressed by
+// more than the threshold (default 20%). Files not tracked at HEAD
+// are skipped, so the gate never blocks a brand-new experiment.
+//
+// Only virtual-time throughput fields (whose JSON key contains "qps")
+// are gated: they are deterministic for a fixed seed, unlike
+// wall-clock rates, which would flake on shared CI hardware.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.2] BENCH_multi.json BENCH_sharded.json ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.2, "maximum allowed fractional QPS regression")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] BENCH_*.json")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		cur, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			failed = true
+			continue
+		}
+		old, err := exec.Command("git", "show", "HEAD:"+path).Output()
+		if err != nil {
+			// Not tracked at HEAD: a new benchmark has no baseline.
+			fmt.Printf("benchgate: %s: no committed baseline, skipping\n", path)
+			continue
+		}
+		curQPS, err := qpsFields(cur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		oldQPS, err := qpsFields(old)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s (HEAD): %v\n", path, err)
+			failed = true
+			continue
+		}
+		keys := make([]string, 0, len(oldQPS))
+		for k := range oldQPS {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		checked := 0
+		for _, k := range keys {
+			was := oldQPS[k]
+			now, ok := curQPS[k]
+			if !ok || was <= 0 {
+				continue
+			}
+			checked++
+			if now < was*(1-*threshold) {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: %s regressed %.1f -> %.1f (%.0f%% < -%.0f%% allowed)\n",
+					path, k, was, now, (now/was-1)*100, *threshold*100)
+				failed = true
+			}
+		}
+		fmt.Printf("benchgate: %s: %d qps fields checked\n", path, checked)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// qpsFields flattens a JSON document to path -> value for every
+// numeric field whose key contains "qps" (case-insensitive). Paths
+// look like "scaling[2].qps".
+func qpsFields(data []byte) (map[string]float64, error) {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch t := v.(type) {
+		case map[string]any:
+			for k, child := range t {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				if f, ok := child.(float64); ok && strings.Contains(strings.ToLower(k), "qps") {
+					out[p] = f
+					continue
+				}
+				walk(p, child)
+			}
+		case []any:
+			for i, child := range t {
+				walk(fmt.Sprintf("%s[%d]", prefix, i), child)
+			}
+		}
+	}
+	walk("", doc)
+	return out, nil
+}

@@ -11,7 +11,7 @@
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
 // throughput ablation distribution cache serve multi chaos sharded
-// build
+// build planner
 //
 // With -trace, experiments collect one exemplar span tree per search
 // site ("EXPLAIN ANALYZE" for the measured queries) and the map
@@ -88,6 +88,9 @@ var experiments = []struct {
 	}},
 	{"build", "index-build fast path: SA-IS vs oracle, FM/trie/IVF-PQ build rates", func(o bench.Options) (any, error) {
 		return bench.IndexBuild(o)
+	}},
+	{"planner", "probe-side fast path: FM superwalk occ-fetch dedup, cost-based AND short-circuit, ADC scan rate", func(o bench.Options) (any, error) {
+		return bench.Planner(o)
 	}},
 }
 

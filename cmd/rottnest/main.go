@@ -528,6 +528,17 @@ func runSearch(c *common, explain, scored bool, do func(ctx context.Context, cli
 		// shared flight or the probe memo instead of executing.
 		fmt.Printf("plan: %d candidate pages, %d pruned by intersection, %d probes coalesced\n",
 			res.Stats.PagesCandidate, res.Stats.PagesPruned, res.Stats.ProbesCoalesced)
+		// Cost-based AND staging: whether cheap leaves ran first, and
+		// whether their empty intersection let the executor skip the
+		// expensive probes entirely.
+		if res.Stats.OrderedAND {
+			if res.Stats.ShortCircuited {
+				fmt.Printf("plan: AND ordered by cost, short-circuited (%d expensive probes skipped)\n",
+					res.Stats.LeavesSkipped)
+			} else {
+				fmt.Printf("plan: AND ordered by cost, no short-circuit\n")
+			}
+		}
 	}
 	if res.Stats.Retries > 0 {
 		fmt.Printf("retries: %d (%d throttle waits)\n", res.Stats.Retries, res.Stats.ThrottleWaits)

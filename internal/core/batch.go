@@ -43,6 +43,11 @@ type probeBatcher struct {
 	fmu     sync.Mutex
 	flights map[string]*probeFlight
 
+	// qmu guards fqueues, the per-index wave queues of the FM group
+	// path (doFMBatch).
+	qmu     sync.Mutex
+	fqueues map[string]*fmQueue
+
 	mu      sync.Mutex
 	lru     *list.List
 	items   map[string]*list.Element
@@ -55,6 +60,10 @@ type probeFlight struct {
 	val   any
 	err   error
 	vcost time.Duration
+	// runner is the session that executed the probe; a caller whose
+	// flight another session ran charges vcost instead (it did no store
+	// reads of its own).
+	runner *simtime.Session
 }
 
 type probeEntry struct {
@@ -74,6 +83,7 @@ func newProbeBatcher(maxBytes int64, coalesced *obs.Counter) *probeBatcher {
 		maxBytes:  maxBytes,
 		coalesced: coalesced,
 		flights:   make(map[string]*probeFlight),
+		fqueues:   make(map[string]*fmQueue),
 		lru:       list.New(),
 		items:     make(map[string]*list.Element),
 		byIndex:   make(map[string]map[string]*list.Element),
@@ -137,6 +147,205 @@ func (b *probeBatcher) do(ctx context.Context, indexKey, probeKey string, run fu
 		b.insert(key, indexKey, val, cost)
 	}
 	return val, nil
+}
+
+// fmReq is one FM probe inside a doFMBatch group: the normalized
+// probe key plus the raw pattern and lookup bound the superwalk needs.
+type fmReq struct {
+	probeKey string
+	pattern  []byte
+	maxRows  int
+}
+
+// fmQueue is the per-index wave queue of the FM group path. Callers
+// enqueue their unmemoized probes into pending, then contend on
+// walkMu; whoever acquires it drains everything pending at that
+// moment — its own probes plus any that queued up while the previous
+// wave's superwalk was in flight — and runs them as one walk. Probes
+// therefore chain into waves: non-identical probes arriving during a
+// walk coalesce into the next one instead of walking independently.
+type fmQueue struct {
+	mu      sync.Mutex
+	pending []*fmWaiter
+	walkMu  sync.Mutex
+}
+
+// fmWaiter is one enqueued FM probe awaiting a wave.
+type fmWaiter struct {
+	key     string // full memo key (index + probe)
+	req     fmReq
+	flight  *probeFlight
+	cost    int64
+	reqsIdx int // position in the caller's reqs slice
+}
+
+func (b *probeBatcher) fmQueueFor(indexKey string) *fmQueue {
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	q := b.fqueues[indexKey]
+	if q == nil {
+		q = &fmQueue{}
+		b.fqueues[indexKey] = q
+	}
+	return q
+}
+
+// doFMBatch resolves a group of FM probes against one index object,
+// running at most one multi-pattern superwalk for every probe the memo
+// and in-flight probes cannot answer. runMany executes the walk: it
+// receives the distinct patterns and per-pattern bounds, and returns
+// one result and memo-cost per pattern.
+//
+// Cross-call coalescing happens two ways: identical probes join the
+// existing flight exactly as in do, and distinct probes chain into
+// waves through the per-index queue — a probe arriving while another
+// caller's superwalk is in flight parks in pending and rides the next
+// wave together with every other parked probe, whichever query issued
+// it. Nil-safe: a disabled batcher runs the group as one walk with no
+// memoization.
+func (b *probeBatcher) doFMBatch(ctx context.Context, indexKey string, reqs []fmReq,
+	runMany func(ctx context.Context, patterns [][]byte, maxRows []int) ([]any, []int64, error)) ([]any, error) {
+	if b == nil {
+		patterns := make([][]byte, len(reqs))
+		bounds := make([]int, len(reqs))
+		for i, r := range reqs {
+			patterns[i] = r.pattern
+			bounds[i] = r.maxRows
+		}
+		vals, _, err := runMany(ctx, patterns, bounds)
+		return vals, err
+	}
+	out := make([]any, len(reqs))
+	type joined struct {
+		idx    int
+		flight *probeFlight
+	}
+	var joins []joined
+	var mine []*fmWaiter
+	for i, req := range reqs {
+		key := indexKey + "\x00" + req.probeKey
+		if v, ok := b.lookup(key); ok {
+			b.coalesced.Inc()
+			out[i] = v
+			continue
+		}
+		b.fmu.Lock()
+		if f, ok := b.flights[key]; ok {
+			b.fmu.Unlock()
+			// Joined flights are collected after our own wave runs:
+			// waiting here would deadlock on a duplicate key whose
+			// flight our own wave completes.
+			joins = append(joins, joined{idx: i, flight: f})
+			continue
+		}
+		f := &probeFlight{}
+		f.wg.Add(1)
+		b.flights[key] = f
+		b.fmu.Unlock()
+		mine = append(mine, &fmWaiter{key: key, req: req, flight: f, reqsIdx: i})
+	}
+
+	session := simtime.From(ctx)
+	if len(mine) > 0 {
+		q := b.fmQueueFor(indexKey)
+		q.mu.Lock()
+		q.pending = append(q.pending, mine...)
+		q.mu.Unlock()
+		// By the time walkMu is ours, our waiters either are still
+		// pending (we drain and run them) or were drained by a previous
+		// holder — which completed them before releasing.
+		q.walkMu.Lock()
+		q.mu.Lock()
+		wave := q.pending
+		q.pending = nil
+		q.mu.Unlock()
+		ranByMe := make(map[*fmWaiter]bool, len(wave))
+		if len(wave) > 0 {
+			b.runWave(ctx, indexKey, wave, runMany)
+			for _, w := range wave {
+				ranByMe[w] = true
+			}
+		}
+		q.walkMu.Unlock()
+		for _, w := range mine {
+			w.flight.wg.Wait()
+			if w.flight.err != nil {
+				return nil, w.flight.err
+			}
+			if !ranByMe[w] {
+				// Another caller's wave carried this probe: no store
+				// reads of our own, so charge the wave's virtual cost.
+				b.coalesced.Inc()
+				simtime.Charge(ctx, w.flight.vcost)
+			}
+			out[w.reqsIdx] = w.flight.val
+		}
+	}
+	for _, j := range joins {
+		j.flight.wg.Wait()
+		if j.flight.err != nil {
+			return nil, j.flight.err
+		}
+		b.coalesced.Inc()
+		if j.flight.runner != session {
+			simtime.Charge(ctx, j.flight.vcost)
+		}
+		out[j.idx] = j.flight.val
+	}
+	return out, nil
+}
+
+// runWave executes one superwalk over every waiter in the wave,
+// completing their flights and memoizing the results.
+func (b *probeBatcher) runWave(ctx context.Context, indexKey string, wave []*fmWaiter,
+	runMany func(ctx context.Context, patterns [][]byte, maxRows []int) ([]any, []int64, error)) {
+	startGen := b.gen.Load()
+	session := simtime.From(ctx)
+	startElapsed := session.Elapsed()
+	patterns := make([][]byte, len(wave))
+	bounds := make([]int, len(wave))
+	for i, w := range wave {
+		patterns[i] = w.req.pattern
+		bounds[i] = w.req.maxRows
+	}
+	vals, costs, err := runMany(ctx, patterns, bounds)
+	vcost := session.Elapsed() - startElapsed
+	for i, w := range wave {
+		w.flight.runner = session
+		w.flight.vcost = vcost
+		if err != nil {
+			w.flight.err = err
+		} else {
+			w.flight.val = vals[i]
+			w.cost = costs[i]
+		}
+	}
+	b.fmu.Lock()
+	for _, w := range wave {
+		delete(b.flights, w.key)
+	}
+	b.fmu.Unlock()
+	for _, w := range wave {
+		w.flight.wg.Done()
+	}
+	if err == nil && b.gen.Load() == startGen {
+		for _, w := range wave {
+			b.insert(w.key, indexKey, w.flight.val, w.cost)
+		}
+	}
+}
+
+// peek reports whether (indexKey, probeKey) is memoized, without
+// touching LRU order — the planner's cost model asks, it does not
+// consume. Nil-safe.
+func (b *probeBatcher) peek(indexKey, probeKey string) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.items[indexKey+"\x00"+probeKey]
+	return ok
 }
 
 func (b *probeBatcher) lookup(key string) (any, bool) {

@@ -126,6 +126,12 @@ type Config struct {
 	// replans) invalidate the batcher exactly as they do the decoded
 	// cache.
 	ProbeBatchBytes int64
+	// DisableANDOrdering turns off cost-based ordering of top-level
+	// AND children in the probe phase (cheap/selective children probed
+	// first, expensive ones skipped when the running page-set
+	// intersection is already empty). Results are identical either
+	// way; the flag exists for differential testing and benchmarks.
+	DisableANDOrdering bool
 	// Retry, when Enabled, layers bounded exponential-backoff retries
 	// (with read-back resolution of ambiguous conditional puts) under
 	// the client's read cache. Off by default: fault-free stores need
@@ -186,6 +192,9 @@ type Client struct {
 	pagesPruned    *obs.Counter
 	probeRuns      *obs.Counter
 	probeCoalesced *obs.Counter
+	leavesSkipped  *obs.Counter
+	occFetched     *obs.Counter
+	occReused      *obs.Counter
 	latencyHist    *obs.Histogram
 }
 
@@ -248,6 +257,9 @@ func NewClient(table *lake.Table, cfg Config) *Client {
 		pagesPruned:    reg.Counter("search.pages_pruned"),
 		probeRuns:      reg.Counter("search.probe_runs"),
 		probeCoalesced: reg.Counter("search.probe_coalesced"),
+		leavesSkipped:  reg.Counter("search.leaves_skipped"),
+		occFetched:     reg.Counter("search.occ_fetched"),
+		occReused:      reg.Counter("search.occ_reused"),
 		latencyHist:    reg.Histogram("search.latency_ns"),
 	}
 	if cfg.ProbeBatchBytes >= 0 {

@@ -574,10 +574,10 @@ func (c *Client) probeExactEntry(ctx context.Context, le *leafExec, entry meta.I
 			if s != nil {
 				bctx = simtime.With(ctx, s)
 			}
-			v, err := c.batch.do(bctx, entry.IndexKey, leafProbeKey(le.plan, maxRows), func(bctx context.Context) (any, int64, error) {
-				c.probeRuns.Inc()
-				var p exactProbe
-				if le.plan.kind == component.KindTrie {
+			if le.plan.kind == component.KindTrie {
+				v, err := c.batch.do(bctx, entry.IndexKey, leafProbeKey(le.plan, maxRows), func(bctx context.Context) (any, int64, error) {
+					c.probeRuns.Inc()
+					var p exactProbe
 					ix, err := c.openTrie(bctx, r)
 					if err == nil {
 						p.refs, err = ix.Lookup(bctx, *le.plan.pred.UUID)
@@ -585,22 +585,26 @@ func (c *Client) probeExactEntry(ctx context.Context, le *leafExec, entry meta.I
 					if err != nil {
 						return nil, 0, err
 					}
-				} else {
-					ix, err := c.openFM(bctx, r)
-					if err == nil {
-						p.refs, p.truncated, err = ix.LookupBounded(bctx, le.plan.fmPattern, maxRows)
-					}
-					if err != nil {
-						return nil, 0, err
-					}
+					return p, int64(len(p.refs)*8 + 96), nil
+				})
+				if err != nil {
+					qErr = err
+					return
 				}
-				return p, int64(len(p.refs)*8 + 96), nil
-			})
-			if err != nil {
-				qErr = err
-				return
+				probe = v.(exactProbe)
+			} else {
+				// FM probes route through the batcher's group path even
+				// as singletons: a probe arriving while another query's
+				// superwalk is in flight rides the next wave.
+				vs, err := c.batch.doFMBatch(bctx, entry.IndexKey,
+					[]fmReq{{probeKey: leafProbeKey(le.plan, maxRows), pattern: le.plan.fmPattern, maxRows: maxRows}},
+					c.fmRunner(r))
+				if err != nil {
+					qErr = err
+					return
+				}
+				probe = vs[0].(exactProbe)
 			}
-			probe = v.(exactProbe)
 		},
 	}
 	runBranches(session, c.cfg.SearchWidth, branches)
@@ -617,9 +621,223 @@ func (c *Client) probeExactEntry(ctx context.Context, le *leafExec, entry meta.I
 	return manifest, probe.refs, probe.truncated, nil
 }
 
+// fmRunner returns the batcher's runMany closure for the FM index
+// behind r: one multi-pattern superwalk resolving every pattern in the
+// wave, with checkpoint-block fetches deduplicated across them.
+func (c *Client) fmRunner(r *component.Reader) func(context.Context, [][]byte, []int) ([]any, []int64, error) {
+	return func(bctx context.Context, patterns [][]byte, bounds []int) ([]any, []int64, error) {
+		c.probeRuns.Inc()
+		ix, err := c.openFM(bctx, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		refs, trunc, stats, err := ix.LookupManyBounded(bctx, patterns, bounds)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.occFetched.Add(int64(stats.OccFetched))
+		c.occReused.Add(int64(stats.OccReused))
+		vals := make([]any, len(patterns))
+		costs := make([]int64, len(patterns))
+		for i := range patterns {
+			vals[i] = exactProbe{refs: refs[i], truncated: trunc[i]}
+			costs[i] = int64(len(refs[i])*8 + 96)
+		}
+		return vals, costs, nil
+	}
+}
+
+// probeFMGroup probes several FM leaves that chose the same index
+// object with one superwalk: the manifest is fetched once and the
+// batcher's group path walks all unmemoized patterns together.
+// probes[i] is the result for leaves[i].
+func (c *Client) probeFMGroup(ctx context.Context, indexKey string, leaves []*leafExec, maxRows []int) (*Manifest, []exactProbe, error) {
+	ctx, span := obs.Start(ctx, "index.probe")
+	defer span.End()
+	span.SetAttr("index", indexKey)
+	span.SetAttr("kind", leaves[0].plan.kind.String())
+	span.SetAttr("patterns", len(leaves))
+	r, err := c.openReader(ctx, indexKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	reqs := make([]fmReq, len(leaves))
+	for i, le := range leaves {
+		reqs[i] = fmReq{probeKey: leafProbeKey(le.plan, maxRows[i]), pattern: le.plan.fmPattern, maxRows: maxRows[i]}
+	}
+	session := simtime.From(ctx)
+	var manifest *Manifest
+	probes := make([]exactProbe, len(leaves))
+	var mErr, qErr error
+	branches := []func(*simtime.Session){
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			manifest, mErr = c.manifest(bctx, r)
+		},
+		func(s *simtime.Session) {
+			bctx := ctx
+			if s != nil {
+				bctx = simtime.With(ctx, s)
+			}
+			vs, err := c.batch.doFMBatch(bctx, indexKey, reqs, c.fmRunner(r))
+			if err != nil {
+				qErr = err
+				return
+			}
+			for i, v := range vs {
+				probes[i] = v.(exactProbe)
+			}
+		},
+	}
+	runBranches(session, c.cfg.SearchWidth, branches)
+	if mErr != nil {
+		return nil, nil, mErr
+	}
+	if qErr != nil {
+		return nil, nil, qErr
+	}
+	total := 0
+	for _, p := range probes {
+		total += len(p.refs)
+	}
+	span.SetAttr("refs", total)
+	return manifest, probes, nil
+}
+
+// probeJob is one (leaf, chosen index) probe of the exact probe phase.
+type probeJob struct {
+	leaf  int
+	entry meta.IndexEntry
+}
+
+// countLeaves returns the number of leaves in the expression subtree,
+// matching the DFS leaf numbering of planShape.leaves.
+func countLeaves(e *Expr) int {
+	if e.Op == OpLeaf {
+		return 1
+	}
+	n := 0
+	for _, child := range e.Children {
+		n += countLeaves(child)
+	}
+	return n
+}
+
+// andStaging is the cost model's partition of a top-level AND: which
+// children are cheap to probe (trie walks, memoized probes, leaves
+// that probe nothing) and which leaf indexes they own.
+type andStaging struct {
+	children   []*Expr
+	childStart []int // first leaf index of each child's subtree
+	childLen   []int
+	cheap      []bool
+	cheapLeaf  []bool // per leaf index
+}
+
+// planANDStages builds the probe-order plan for a top-level AND:
+// children whose probes are all cheap — trie lookups (fixed shallow
+// walks), probes the batcher has memoized, or leaves that probe
+// nothing — run first; children needing fresh FM walks wait, and are
+// skipped entirely when the cheap stage's page-set intersection
+// already rules out every file. Returns nil when staging is a no-op:
+// ordering is worthwhile only with both a cheap child that can prune
+// and an expensive child to save.
+func (c *Client) planANDStages(env *execEnv, maxRowsFor func(*leafExec) int) *andStaging {
+	root := env.shape.filter
+	if c.cfg.DisableANDOrdering || root == nil || root.Op != OpAnd || len(env.leaves) < 2 {
+		return nil
+	}
+	st := &andStaging{children: root.Children}
+	leafIdx := 0
+	anyCheapPruning, anyExpensive := false, false
+	for _, child := range root.Children {
+		start := leafIdx
+		n := countLeaves(child)
+		leafIdx += n
+		cheap, prunes := true, false
+		for i := start; i < start+n && cheap; i++ {
+			le := env.leaves[i]
+			if !le.plan.indexable || len(le.chosen) == 0 {
+				continue // probes nothing: free either way
+			}
+			prunes = true
+			if le.plan.kind == component.KindTrie {
+				continue
+			}
+			for _, e := range le.chosen {
+				if !c.batch.peek(e.IndexKey, leafProbeKey(le.plan, maxRowsFor(le))) {
+					cheap = false
+					break
+				}
+			}
+		}
+		st.childStart = append(st.childStart, start)
+		st.childLen = append(st.childLen, n)
+		st.cheap = append(st.cheap, cheap)
+		if cheap && prunes {
+			anyCheapPruning = true
+		}
+		if !cheap {
+			anyExpensive = true
+		}
+	}
+	if !anyCheapPruning || !anyExpensive {
+		return nil
+	}
+	st.cheapLeaf = make([]bool, len(env.leaves))
+	for ci := range st.children {
+		if st.cheap[ci] {
+			for i := st.childStart[ci]; i < st.childStart[ci]+st.childLen[ci]; i++ {
+				st.cheapLeaf[i] = true
+			}
+		}
+	}
+	return st
+}
+
+// cheapStageKills reports whether the cheap stage alone already rules
+// out every searched file: per file, the intersection of the cheap
+// AND children's admitted ranges is empty. Adding the remaining AND
+// terms can only shrink those sets, so an empty result is final and
+// the expensive probes are pure waste.
+func cheapStageKills(env *execEnv, st *andStaging, cands []*leafCandSet) bool {
+	for _, f := range env.searched {
+		if f.Rows == 0 {
+			continue // no rows to match regardless of probes
+		}
+		var inter []postings.RowRange
+		first := true
+		for ci, child := range st.children {
+			if !st.cheap[ci] {
+				continue
+			}
+			leafIdx := st.childStart[ci]
+			rs := filterRanges(child, env, cands, f, &leafIdx)
+			if first {
+				inter, first = rs, false
+			} else {
+				inter = postings.IntersectRanges(inter, rs)
+			}
+			if len(inter) == 0 {
+				break
+			}
+		}
+		if len(inter) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // probeExactLeaves fans all (leaf, chosen index) probes as one
 // "search.probe" phase, returning per-leaf candidate sets and the
-// harvested page tables.
+// harvested page tables. FM probes sharing an index object run as one
+// multi-pattern superwalk; under a top-level AND the cost model may
+// stage the fan, probing cheap children first and skipping the rest
+// when their intersection already rules out every file.
 func (c *Client) probeExactLeaves(ctx context.Context, env *execEnv, unbounded bool) ([]*leafCandSet, pageTables, error) {
 	session := simtime.From(ctx)
 	probeCtx, probeSpan := obs.Start(ctx, "search.probe")
@@ -633,76 +851,172 @@ func (c *Client) probeExactLeaves(ctx context.Context, env *execEnv, unbounded b
 		// truncation would break the set algebra.
 		boundedK = env.cq.K * 8
 	}
+	maxRowsFor := func(le *leafExec) int {
+		if boundedK > 0 && le.plan.kind == component.KindFM {
+			return boundedK
+		}
+		return 0
+	}
 
 	cands := make([]*leafCandSet, len(env.leaves))
 	tables := make(pageTables)
-	type job struct {
-		leaf  int
-		entry meta.IndexEntry
-	}
-	var jobs []job
+	var jobs []probeJob
 	for i, le := range env.leaves {
 		cands[i] = newLeafCandSet()
 		for _, e := range le.chosen {
-			jobs = append(jobs, job{leaf: i, entry: e})
+			jobs = append(jobs, probeJob{leaf: i, entry: e})
 		}
 	}
 	probeSpan.SetAttr("index_files", len(jobs))
 	if unbounded {
 		probeSpan.SetAttr("unbounded", true)
 	}
+
 	var mu sync.Mutex
-	errs := make([]error, len(jobs))
-	branches := make([]func(*simtime.Session), len(jobs))
-	for i := range jobs {
-		j := jobs[i]
-		idx := i
-		branches[i] = func(s *simtime.Session) {
-			bctx := probeCtx
-			if s != nil {
-				bctx = simtime.With(probeCtx, s)
+	merge := func(leaf int, manifest *Manifest, refs []postings.PageRef, truncated bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if truncated {
+			cands[leaf].truncated = true
+		}
+		tables.add(manifest, env.active)
+		for _, ref := range refs {
+			if int(ref.File) >= len(manifest.Files) {
+				continue
 			}
-			le := env.leaves[j.leaf]
-			maxRows := 0
-			if boundedK > 0 && le.plan.kind == component.KindFM {
-				maxRows = boundedK
+			mf := manifest.Files[ref.File]
+			if int(ref.Page) >= len(mf.Pages) {
+				continue
 			}
-			manifest, refs, truncated, err := c.probeExactEntry(bctx, le, j.entry, maxRows)
-			if err != nil {
-				if errors.Is(err, objectstore.ErrNotFound) {
-					err = &staleIndexError{key: j.entry.IndexKey, err: err}
-				}
-				errs[idx] = err
-				return
+			if !env.active[mf.Path] {
+				continue // stale physical location, filtered out
 			}
-			mu.Lock()
-			defer mu.Unlock()
-			if truncated {
-				cands[j.leaf].truncated = true
-			}
-			tables.add(manifest, env.active)
-			for _, ref := range refs {
-				if int(ref.File) >= len(manifest.Files) {
-					continue
-				}
-				mf := manifest.Files[ref.File]
-				if int(ref.Page) >= len(mf.Pages) {
-					continue
-				}
-				if !env.active[mf.Path] {
-					continue // stale physical location, filtered out
-				}
-				cands[j.leaf].add(mf.Path, []parquet.PageInfo{mf.Pages[ref.Page]})
-			}
+			cands[leaf].add(mf.Path, []parquet.PageInfo{mf.Pages[ref.Page]})
 		}
 	}
-	runBranches(session, c.cfg.SearchWidth, branches)
-	probeSpan.End()
-	for _, err := range errs {
-		if err != nil {
+
+	// runJobs fans one wave of probes: FM jobs sharing an index object
+	// group into a single superwalk branch, everything else probes on
+	// its own branch exactly as before.
+	runJobs := func(run []probeJob) error {
+		fmCount := make(map[string]int)
+		for _, j := range run {
+			if env.leaves[j.leaf].plan.kind == component.KindFM {
+				fmCount[j.entry.IndexKey]++
+			}
+		}
+		var singles []probeJob
+		groups := make(map[string][]probeJob)
+		for _, j := range run {
+			if env.leaves[j.leaf].plan.kind == component.KindFM && fmCount[j.entry.IndexKey] >= 2 {
+				groups[j.entry.IndexKey] = append(groups[j.entry.IndexKey], j)
+			} else {
+				singles = append(singles, j)
+			}
+		}
+		groupKeys := make([]string, 0, len(groups))
+		for k := range groups {
+			groupKeys = append(groupKeys, k)
+		}
+		sort.Strings(groupKeys) // deterministic branch (and wave) order
+
+		errs := make([]error, len(singles)+len(groupKeys))
+		branches := make([]func(*simtime.Session), 0, len(errs))
+		for i := range singles {
+			j := singles[i]
+			idx := i
+			branches = append(branches, func(s *simtime.Session) {
+				bctx := probeCtx
+				if s != nil {
+					bctx = simtime.With(probeCtx, s)
+				}
+				le := env.leaves[j.leaf]
+				manifest, refs, truncated, err := c.probeExactEntry(bctx, le, j.entry, maxRowsFor(le))
+				if err != nil {
+					if errors.Is(err, objectstore.ErrNotFound) {
+						err = &staleIndexError{key: j.entry.IndexKey, err: err}
+					}
+					errs[idx] = err
+					return
+				}
+				merge(j.leaf, manifest, refs, truncated)
+			})
+		}
+		for gi, key := range groupKeys {
+			g := groups[key]
+			key := key
+			idx := len(singles) + gi
+			branches = append(branches, func(s *simtime.Session) {
+				bctx := probeCtx
+				if s != nil {
+					bctx = simtime.With(probeCtx, s)
+				}
+				les := make([]*leafExec, len(g))
+				bounds := make([]int, len(g))
+				for i, j := range g {
+					les[i] = env.leaves[j.leaf]
+					bounds[i] = maxRowsFor(les[i])
+				}
+				manifest, probes, err := c.probeFMGroup(bctx, key, les, bounds)
+				if err != nil {
+					if errors.Is(err, objectstore.ErrNotFound) {
+						err = &staleIndexError{key: key, err: err}
+					}
+					errs[idx] = err
+					return
+				}
+				for i, j := range g {
+					merge(j.leaf, manifest, probes[i].refs, probes[i].truncated)
+				}
+			})
+		}
+		runBranches(session, c.cfg.SearchWidth, branches)
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	staged := c.planANDStages(env, maxRowsFor)
+	if staged == nil {
+		if err := runJobs(jobs); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		var stageA, stageB []probeJob
+		for _, j := range jobs {
+			if staged.cheapLeaf[j.leaf] {
+				stageA = append(stageA, j)
+			} else {
+				stageB = append(stageB, j)
+			}
+		}
+		env.stats.OrderedAND = true
+		probeSpan.SetAttr("ordered", true)
+		if err := runJobs(stageA); err != nil {
+			return nil, nil, err
+		}
+		for _, s := range cands {
+			s.buildRanges() // cheap-stage ranges for the kill check
+		}
+		if cheapStageKills(env, staged, cands) {
+			// Every file is already dead under the cheap children alone;
+			// AND can only shrink further, so the expensive probes can
+			// never resurrect a row. Their candidate sets stay empty and
+			// the normal downstream pipeline yields the same (empty)
+			// result it would have computed the long way.
+			env.stats.ShortCircuited = true
+			env.stats.LeavesSkipped = len(stageB)
+			c.leavesSkipped.Add(int64(len(stageB)))
+			probeSpan.SetAttr("short_circuited", true)
+			probeSpan.SetAttr("leaves_skipped", len(stageB))
+		} else if err := runJobs(stageB); err != nil {
 			return nil, nil, err
 		}
 	}
+	probeSpan.End()
 	for _, s := range cands {
 		s.buildRanges()
 	}

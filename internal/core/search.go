@@ -148,6 +148,17 @@ type Stats struct {
 	// counter is client-global, so concurrent searches may bleed into
 	// each other's deltas.
 	ProbesCoalesced int64
+	// OrderedAND reports that the probe phase staged this plan's
+	// top-level AND children by estimated cost: cheap children (trie
+	// walks, memoized probes, unindexed leaves) probed first, expensive
+	// ones only if the cheap intersection left any file alive.
+	OrderedAND bool
+	// ShortCircuited reports that the cheap stage emptied the page-set
+	// intersection for every searched file, so the expensive AND
+	// branches were never probed. LeavesSkipped counts the (leaf,
+	// index) probes skipped that way.
+	ShortCircuited bool
+	LeavesSkipped  int
 	// Latency is the virtual latency of the search when run inside a
 	// simtime session.
 	Latency time.Duration

@@ -130,17 +130,18 @@ type Summary struct {
 
 // world is the shared state of one run.
 type world struct {
-	opts    Options
-	clock   *simtime.VirtualClock
-	base    *objectstore.MemStore
-	faulty  *objectstore.FaultStore
-	retry   *objectstore.RetryStore // nil when disabled
-	inst    *objectstore.Instrumented
-	metrics *objectstore.Metrics
-	table   *lake.Table
-	cli     *core.Client
-	oracle  *bruteforce.Cluster
-	routers []*shard.Router // ModeSharded: 1-, 2-, and 5-shard fan-outs
+	opts      Options
+	clock     *simtime.VirtualClock
+	base      *objectstore.MemStore
+	faulty    *objectstore.FaultStore
+	retry     *objectstore.RetryStore // nil when disabled
+	inst      *objectstore.Instrumented
+	metrics   *objectstore.Metrics
+	table     *lake.Table
+	cli       *core.Client
+	unordered *core.Client // cost-based AND ordering off: differential baseline
+	oracle    *bruteforce.Cluster
+	routers   []*shard.Router // ModeSharded: 1-, 2-, and 5-shard fan-outs
 
 	column string
 	kind   component.Kind
@@ -267,6 +268,18 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 		// read-path recovery is exercised maximally.
 		CacheBytes: -1,
 		Retry:      w.opts.Retry,
+	})
+	// A second client with cost-based AND ordering disabled reads the
+	// same faulty chain: every compound differential also pins that the
+	// staged (ordered / short-circuited) executor returns byte-identical
+	// rows to the unstaged one.
+	w.unordered = core.NewClient(table, core.Config{
+		Clock:              w.clock,
+		IndexDir:           "rottnest",
+		Timeout:            time.Hour,
+		CacheBytes:         -1,
+		Retry:              w.opts.Retry,
+		DisableANDOrdering: true,
 	})
 	// The oracle reads the same bytes through a pristine handle on the
 	// base store: ground truth is never subject to injected faults.
@@ -847,6 +860,19 @@ func (w *world) compareCompound(ctx context.Context, rng *rand.Rand, v int64) er
 	}
 	if err := diffMatches(res.Matches, want); err != nil {
 		return fmt.Errorf("compound differential mismatch at version %d (%s): %w", v, describeCompound(cq), err)
+	}
+	// The same pinned query through the ordering-disabled client must be
+	// byte-identical: cost-based AND staging (and its short-circuit) may
+	// only change probe order and count, never the rows.
+	ures, err := w.unordered.SearchCompound(ctx, cq)
+	if err != nil {
+		return fmt.Errorf("unordered compound search (%s): %w", describeCompound(cq), err)
+	}
+	if ures.Stats.OrderedAND || ures.Stats.ShortCircuited {
+		return fmt.Errorf("unordered client reported staged execution (%s)", describeCompound(cq))
+	}
+	if err := diffMatches(ures.Matches, want); err != nil {
+		return fmt.Errorf("ordered/unordered differential mismatch at version %d (%s): %w", v, describeCompound(cq), err)
 	}
 	// ModeSharded: the same pinned query must come back byte-identical
 	// through every scatter-gather fan-out. The routers read through

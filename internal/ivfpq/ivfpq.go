@@ -471,6 +471,17 @@ func (ix *Index) Search(ctx context.Context, q []float32, nprobe, maxCandidates 
 	var cands []Candidate
 	table := make([]float32, ix.m*pqCodebookSize)
 	res := make([]float32, ix.dim)
+	// kb tracks the maxCandidates-th best distance seen so far; code
+	// strings whose partial ADC sum exceeds it are abandoned mid-gather.
+	// Abandonment cannot change the returned top-maxCandidates set: the
+	// bound only shrinks, so every candidate at or below the final k-th
+	// distance completes its gather (its monotone partials never exceed
+	// the bound in effect while it scans), and the tie-break sort below
+	// makes the cut deterministic.
+	kb := adcBound{k: maxCandidates}
+	if adcAbandonDisabled {
+		kb.k = 0
+	}
 	for _, p := range probes {
 		d := ix.lists[p.list]
 		if d.Count == 0 {
@@ -481,12 +492,7 @@ func (ix *Index) Search(ctx context.Context, q []float32, nprobe, maxCandidates 
 		for j := range res {
 			res[j] = q[j] - cent[j]
 		}
-		for m := 0; m < ix.m; m++ {
-			sub := res[m*ix.subdim : (m+1)*ix.subdim]
-			for j := 0; j < pqCodebookSize; j++ {
-				table[m*pqCodebookSize+j] = l2sq(sub, ix.codebooks[m][j])
-			}
-		}
+		adcTables(table, res, ix.codebooks, ix.subdim)
 		data := comps[d.ComponentID]
 		listData, err := listBytes(data, d)
 		if err != nil {
@@ -511,19 +517,43 @@ func (ix *Index) Search(ctx context.Context, q []float32, nprobe, maxCandidates 
 			if lpos+ix.m > len(listData) {
 				return nil, fmt.Errorf("ivfpq: corrupt list codes")
 			}
-			var dist float32
-			for m := 0; m < ix.m; m++ {
-				dist += table[m*pqCodebookSize+int(listData[lpos+m])]
-			}
+			bound := kb.bound()
+			dist := adcDist(table, listData[lpos:lpos+ix.m], bound)
 			lpos += ix.m
+			if dist > bound {
+				// Abandoned mid-gather, or completed strictly worse
+				// than the current k-th best — either way it cannot
+				// make the final cut.
+				continue
+			}
 			cands = append(cands, Candidate{Ref: postings.RowRef{File: uint32(file), Row: row}, Dist: dist})
+			kb.add(dist)
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].Dist < cands[b].Dist })
+	sortCandidates(cands)
 	if maxCandidates > 0 && len(cands) > maxCandidates {
 		cands = cands[:maxCandidates]
 	}
 	return cands, nil
+}
+
+// adcAbandonDisabled forces every ADC gather to completion (tests
+// flip it to pin abandon-on results against the exhaustive scan).
+var adcAbandonDisabled bool
+
+// sortCandidates orders candidates by ascending ADC distance with a
+// deterministic (file, row) tie-break, so the top-maxCandidates cut
+// among equal distances does not depend on scan or abandonment order.
+func sortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Dist != cands[b].Dist {
+			return cands[a].Dist < cands[b].Dist
+		}
+		if cands[a].Ref.File != cands[b].Ref.File {
+			return cands[a].Ref.File < cands[b].Ref.File
+		}
+		return cands[a].Ref.Row < cands[b].Ref.Row
+	})
 }
 
 // Entries decodes every (ref, approximate vector) pair in the index

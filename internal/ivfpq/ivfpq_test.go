@@ -2,7 +2,10 @@ package ivfpq
 
 import (
 	"context"
+	"encoding/binary"
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"rottnest/internal/component"
@@ -285,4 +288,124 @@ func BenchmarkIVFPQSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestSearchAbandonIdentity pins that early abandonment never changes
+// Search's output: with the bound active the returned candidates must
+// be identical — refs and distance bits — to a forced full scan, for
+// candidate budgets below, at, and above the corpus size.
+func TestSearchAbandonIdentity(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 19, Dim: 32, Clusters: 48, Spread: 0.3})
+	vecs := gen.Batch(4000)
+	ix := buildAndOpen(t, store, "v.index", vecs, seqRefs(len(vecs)), BuildOptions{NList: 64, M: 8, Seed: 20})
+	queries := gen.Queries(16)
+	for _, maxCands := range []int{1, 7, 100, 5000, 0} {
+		for qi, q := range queries {
+			fast, err := ix.Search(ctx, q, 12, maxCands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			adcAbandonDisabled = true
+			full, err := ix.Search(ctx, q, 12, maxCands)
+			adcAbandonDisabled = false
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fast) != len(full) {
+				t.Fatalf("q %d maxCands %d: %d candidates with abandon, %d without", qi, maxCands, len(fast), len(full))
+			}
+			for i := range fast {
+				if fast[i].Ref != full[i].Ref ||
+					math.Float32bits(fast[i].Dist) != math.Float32bits(full[i].Dist) {
+					t.Fatalf("q %d maxCands %d cand %d: abandon %+v vs full %+v", qi, maxCands, i, fast[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// decodeScan is the pre-ADC baseline: reconstruct each candidate's
+// approximate vector from its PQ codes (centroid + codewords) and
+// score it with the L2 kernel. BenchmarkPQScanADC measures the
+// table-gather scan against it.
+func decodeScan(ctx context.Context, ix *Index, q []float32, nprobe, maxCandidates int) ([]Candidate, error) {
+	type cd struct {
+		list int
+		dist float32
+	}
+	cds := make([]cd, len(ix.centroids))
+	for i, c := range ix.centroids {
+		cds[i] = cd{list: i, dist: l2sq(c, q)}
+	}
+	sort.Slice(cds, func(a, b int) bool { return cds[a].dist < cds[b].dist })
+	if nprobe > len(cds) {
+		nprobe = len(cds)
+	}
+	var cands []Candidate
+	approx := make([]float32, ix.dim)
+	for _, p := range cds[:nprobe] {
+		d := ix.lists[p.list]
+		if d.Count == 0 {
+			continue
+		}
+		cent := ix.centroids[p.list]
+		data, err := ix.r.Component(ctx, d.ComponentID)
+		if err != nil {
+			return nil, err
+		}
+		listData, err := listBytes(data, d)
+		if err != nil {
+			return nil, err
+		}
+		_, n := binary.Uvarint(listData)
+		lpos := n
+		for i := 0; i < d.Count; i++ {
+			file, n := binary.Uvarint(listData[lpos:])
+			lpos += n
+			row, n := binary.Varint(listData[lpos:])
+			lpos += n
+			for m := 0; m < ix.m; m++ {
+				cw := ix.codebooks[m][int(listData[lpos+m])]
+				for j, v := range cw {
+					approx[m*ix.subdim+j] = cent[m*ix.subdim+j] + v
+				}
+			}
+			lpos += ix.m
+			cands = append(cands, Candidate{Ref: postings.RowRef{File: uint32(file), Row: row}, Dist: l2sq(q, approx)})
+		}
+	}
+	sortCandidates(cands)
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	return cands, nil
+}
+
+// BenchmarkPQScanADC compares the ADC table-gather list scan against
+// the decode-and-L2 baseline on the same index and queries. The ADC
+// path must be the clear winner: m table adds per candidate versus a
+// dim-wide reconstruction plus a dim-wide distance.
+func BenchmarkPQScanADC(b *testing.B) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 23, Dim: 64, Clusters: 32})
+	vecs := gen.Batch(20000)
+	ix := buildAndOpen(b, store, "v.index", vecs, seqRefs(len(vecs)), BuildOptions{NList: 64, M: 8, Seed: 24})
+	queries := gen.Queries(64)
+	b.Run("adc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(ctx, queries[i%len(queries)], 16, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeScan(ctx, ix, queries[i%len(queries)], 16, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

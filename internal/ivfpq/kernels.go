@@ -3,29 +3,13 @@ package ivfpq
 import "math"
 
 // l2sq returns the squared Euclidean distance between equal-length
-// vectors. The loop is unrolled by four with an up-front reslice so
-// the compiler drops bounds checks, but keeps a single accumulator:
-// the floating-point additions happen in exactly the original serial
-// order, so k-means — and therefore the index bytes — are unchanged.
+// vectors: the bounded kernel with an infinite bound. No partial sum
+// compares greater than +Inf (NaN comparisons are false too), so the
+// scan always completes and the floating-point additions happen in
+// exactly the original serial order — k-means, and therefore the
+// index bytes, are unchanged.
 func l2sq(a, b []float32) float32 {
-	b = b[:len(a)]
-	var sum float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		sum += d0 * d0
-		sum += d1 * d1
-		sum += d2 * d2
-		sum += d3 * d3
-	}
-	for ; i < len(a); i++ {
-		d := a[i] - b[i]
-		sum += d * d
-	}
-	return sum
+	return l2sqBounded(a, b, float32(math.Inf(1)))
 }
 
 // L2Sq returns the squared Euclidean distance over the common prefix
@@ -69,6 +53,109 @@ func l2sqBounded(a, b []float32, bound float32) float32 {
 		sum += d * d
 	}
 	return sum
+}
+
+// adcTables fills table (laid out m × pqCodebookSize) with the
+// asymmetric-distance lookup tables for residual res: entry
+// [m][j] is the squared distance between res's m-th subvector and
+// codeword j of subquantizer m. One fill costs m·256 kernel calls and
+// is amortized over every code string in the probed list; the fills
+// use l2sq, so table entries are bit-identical to the previous inline
+// construction.
+func adcTables(table []float32, res []float32, codebooks [][][]float32, subdim int) {
+	for m := range codebooks {
+		sub := res[m*subdim : (m+1)*subdim]
+		row := table[m*pqCodebookSize : (m+1)*pqCodebookSize]
+		for j, cw := range codebooks[m] {
+			row[j] = l2sq(sub, cw)
+		}
+	}
+}
+
+// adcDist gathers the ADC distance of one code string from table,
+// unrolled by four, abandoning early once the partial sum exceeds
+// bound (terms are non-negative, so partials are monotone and the
+// final sum cannot recover). A completed gather accumulates in the
+// same serial order as the scalar loop, so it is bit-identical;
+// pass an infinite bound to force completion.
+func adcDist(table []float32, codes []byte, bound float32) float32 {
+	var sum float32
+	i := 0
+	for ; i+4 <= len(codes); i += 4 {
+		sum += table[i*pqCodebookSize+int(codes[i])]
+		sum += table[(i+1)*pqCodebookSize+int(codes[i+1])]
+		sum += table[(i+2)*pqCodebookSize+int(codes[i+2])]
+		sum += table[(i+3)*pqCodebookSize+int(codes[i+3])]
+		if sum > bound {
+			return sum
+		}
+	}
+	for ; i < len(codes); i++ {
+		sum += table[i*pqCodebookSize+int(codes[i])]
+	}
+	return sum
+}
+
+// adcBound tracks the k-th smallest distance seen so far with a
+// fixed-capacity max-heap, serving as the early-abandon bound for
+// adcDist: a candidate whose distance exceeds the current k-th best
+// can never make the final top-k cut. k <= 0 disables the bound
+// (bound stays +Inf and add is a no-op), which is also the
+// abandon-off test hook's path.
+type adcBound struct {
+	k int
+	h []float32
+}
+
+// bound returns the current k-th smallest distance, or +Inf until k
+// distances have been seen.
+func (b *adcBound) bound() float32 {
+	if b.k <= 0 || len(b.h) < b.k {
+		return float32(math.Inf(1))
+	}
+	return b.h[0]
+}
+
+// add offers a distance to the heap. NaN distances are harmless: NaN
+// comparisons are false, so a NaN that reaches the root merely makes
+// the bound permanently un-exceedable (abandonment off), never
+// incorrect.
+func (b *adcBound) add(d float32) {
+	if b.k <= 0 {
+		return
+	}
+	if len(b.h) < b.k {
+		b.h = append(b.h, d)
+		i := len(b.h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !(b.h[i] > b.h[p]) {
+				break
+			}
+			b.h[i], b.h[p] = b.h[p], b.h[i]
+			i = p
+		}
+		return
+	}
+	if !(d < b.h[0]) {
+		return
+	}
+	b.h[0] = d
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(b.h) && b.h[l] > b.h[m] {
+			m = l
+		}
+		if r < len(b.h) && b.h[r] > b.h[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		b.h[i], b.h[m] = b.h[m], b.h[i]
+		i = m
+	}
 }
 
 // nearest returns the index of the centroid closest to v and the

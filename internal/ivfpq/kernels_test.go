@@ -3,6 +3,7 @@ package ivfpq
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -60,5 +61,141 @@ func TestL2SqSpecialValues(t *testing.T) {
 		if math.Float32bits(got) != math.Float32bits(want) {
 			t.Fatalf("case %d: L2Sq = %x, naive = %x", i, math.Float32bits(got), math.Float32bits(want))
 		}
+	}
+}
+
+// specialLaneVectors builds vector pairs that exercise the kernels'
+// IEEE edge lanes — ±Inf, NaN, overflow-to-Inf differences, and
+// denormals — at positions straddling the unroll width.
+func specialLaneVectors(rng *rand.Rand) [][2][]float32 {
+	specials := []float32{
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		math.MaxFloat32, -math.MaxFloat32, 1e-45, -1e-45, 0,
+	}
+	var cases [][2][]float32
+	for _, n := range []int{1, 3, 4, 5, 8, 11, 16} {
+		for _, pos := range []int{0, n / 2, n - 1} {
+			for _, s := range specials {
+				a := make([]float32, n)
+				b := make([]float32, n)
+				for i := range a {
+					a[i] = rng.Float32()*2 - 1
+					b[i] = rng.Float32()*2 - 1
+				}
+				a[pos] = s
+				cases = append(cases, [2][]float32{a, b})
+			}
+		}
+	}
+	return cases
+}
+
+// TestL2SqBoundedConsolidated pins the consolidation of l2sq onto
+// l2sqBounded: with an infinite bound the kernel must be bit-identical
+// to the naive serial loop on every special-value lane, and with a
+// finite bound every completed scan must be bit-identical while every
+// abandoned scan returns a partial already above the bound.
+func TestL2SqBoundedConsolidated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inf := float32(math.Inf(1))
+	for ci, c := range specialLaneVectors(rng) {
+		a, b := c[0], c[1]
+		want := naiveL2(a, b)
+		if got := l2sq(a, b); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("case %d: l2sq = %x, naive = %x", ci, math.Float32bits(got), math.Float32bits(want))
+		}
+		if got := l2sqBounded(a, b, inf); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("case %d: l2sqBounded(+Inf) = %x, naive = %x", ci, math.Float32bits(got), math.Float32bits(want))
+		}
+		for _, bound := range []float32{0, want / 2, want, want * 2} {
+			got := l2sqBounded(a, b, bound)
+			if got > bound {
+				continue // abandoned (or full sum above bound): partial must exceed bound, which it does
+			}
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("case %d bound %v: completed scan = %x, naive = %x",
+					ci, bound, math.Float32bits(got), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// naiveADC is the reference gather loop adcDist must match bit for bit
+// when it completes.
+func naiveADC(table []float32, codes []byte) float32 {
+	var sum float32
+	for m, c := range codes {
+		sum += table[m*pqCodebookSize+int(c)]
+	}
+	return sum
+}
+
+func TestADCDistMatchesNaiveGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	inf := float32(math.Inf(1))
+	specials := []float32{inf, float32(math.NaN()), 1e-45, math.MaxFloat32}
+	for _, m := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16} {
+		table := make([]float32, m*pqCodebookSize)
+		for i := range table {
+			table[i] = rng.Float32() * 10
+		}
+		// Sprinkle special values so gathers cross Inf/NaN/denormal
+		// entries too.
+		for i := 0; i < m; i++ {
+			table[i*pqCodebookSize+rng.Intn(pqCodebookSize)] = specials[rng.Intn(len(specials))]
+		}
+		for trial := 0; trial < 50; trial++ {
+			codes := make([]byte, m)
+			rng.Read(codes)
+			want := naiveADC(table, codes)
+			if got := adcDist(table, codes, inf); math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("m=%d: adcDist(+Inf) = %x, naive = %x", m, math.Float32bits(got), math.Float32bits(want))
+			}
+			bound := rng.Float32() * float32(m) * 5
+			got := adcDist(table, codes, bound)
+			if got > bound {
+				continue // abandoned: by construction the partial exceeds the bound
+			}
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("m=%d bound %v: completed gather = %x, naive = %x",
+					m, bound, math.Float32bits(got), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestADCBoundTracksKthSmallest checks the max-heap bound against a
+// sort-based oracle as distances stream in.
+func TestADCBoundTracksKthSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range []int{1, 2, 3, 8, 33} {
+		kb := adcBound{k: k}
+		var seen []float32
+		if got := kb.bound(); !math.IsInf(float64(got), 1) {
+			t.Fatalf("k=%d: empty bound = %v, want +Inf", k, got)
+		}
+		for i := 0; i < 200; i++ {
+			d := rng.Float32() * 100
+			kb.add(d)
+			seen = append(seen, d)
+			sorted := append([]float32(nil), seen...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			got := kb.bound()
+			if len(seen) < k {
+				if !math.IsInf(float64(got), 1) {
+					t.Fatalf("k=%d after %d: bound = %v, want +Inf", k, len(seen), got)
+				}
+				continue
+			}
+			if want := sorted[k-1]; got != want {
+				t.Fatalf("k=%d after %d: bound = %v, want k-th smallest %v", k, len(seen), got, want)
+			}
+		}
+	}
+	// k <= 0 disables the bound entirely.
+	kb := adcBound{k: 0}
+	kb.add(1)
+	if got := kb.bound(); !math.IsInf(float64(got), 1) {
+		t.Fatalf("k=0: bound = %v, want +Inf", got)
 	}
 }
