@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded bench-planner benchgate vulncheck
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded bench-planner bench-ingest benchgate vulncheck
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ check:
 	$(MAKE) bench-multi
 	$(MAKE) bench-sharded
 	$(MAKE) bench-planner
+	$(MAKE) bench-ingest
 	$(MAKE) benchgate
 	$(MAKE) vulncheck
 
@@ -88,6 +89,12 @@ bench-sharded:
 # short-circuit GET savings, and the ADC list-scan rate.
 bench-planner:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_planner.json planner
+
+# bench-ingest records the continuous-ingestion experiment: the
+# group-commit writer's conditional-PUT amortization over per-batch
+# appends and searchable-lag percentiles under the budgeted scheduler.
+bench-ingest:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_ingest.json ingest
 
 # benchgate fails check when a regenerated benchmark record regresses
 # a virtual-time QPS field by more than 20% against the committed

@@ -11,7 +11,7 @@
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
 // throughput ablation distribution cache serve multi chaos sharded
-// build planner
+// build planner ingest
 //
 // With -trace, experiments collect one exemplar span tree per search
 // site ("EXPLAIN ANALYZE" for the measured queries) and the map
@@ -91,6 +91,9 @@ var experiments = []struct {
 	}},
 	{"planner", "probe-side fast path: FM superwalk occ-fetch dedup, cost-based AND short-circuit, ADC scan rate", func(o bench.Options) (any, error) {
 		return bench.Planner(o)
+	}},
+	{"ingest", "continuous ingestion: group-commit conditional-PUT amortization, searchable-lag p50/p99 under a budgeted scheduler", func(o bench.Options) (any, error) {
+		return bench.Ingest(o)
 	}},
 }
 

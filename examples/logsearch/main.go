@@ -31,11 +31,11 @@ func main() {
 		rottnest.Column{Name: "pod_id", Type: rottnest.TypeFixedLenByteArray, TypeLen: 16},
 		rottnest.Column{Name: "message", Type: rottnest.TypeByteArray},
 	)
-	table, err := rottnest.CreateTableWithClock(ctx, store, clock, "lake/logs", schema)
+	table, err := rottnest.CreateTableWith(ctx, store, "lake/logs", schema, rottnest.TableOptions{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := rottnest.NewClientWithClock(table, clock, rottnest.Config{IndexDir: "rottnest/logs"})
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "rottnest/logs", Clock: clock})
 
 	// Ingest + index loop: each batch is indexed as it lands, so the
 	// index accumulates one small file per batch.
@@ -58,7 +58,7 @@ func main() {
 		}
 		b.Cols[0] = rottnest.ColumnValues{Bytes: ids}
 		b.Cols[1] = rottnest.ColumnValues{Bytes: msgs}
-		if _, err := table.Append(ctx, b, rottnest.WriterOptions{RowGroupRows: 1024, PageBytes: 8 << 10}); err != nil {
+		if _, err := table.Append(ctx, b, rottnest.FileWriterOptions{RowGroupRows: 1024, PageBytes: 8 << 10}); err != nil {
 			log.Fatal(err)
 		}
 		if _, err := client.Index(ctx, "message", rottnest.KindFM); err != nil {

@@ -30,11 +30,11 @@ func main() {
 		rottnest.Column{Name: "ts", Type: rottnest.TypeInt64},
 		rottnest.Column{Name: "message", Type: rottnest.TypeByteArray},
 	)
-	table, err := rottnest.CreateTableWithClock(ctx, store, clock, "lake/logs", schema)
+	table, err := rottnest.CreateTableWith(ctx, store, "lake/logs", schema, rottnest.TableOptions{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := rottnest.NewClientWithClock(table, clock, rottnest.Config{IndexDir: "rottnest/logs"})
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "rottnest/logs", Clock: clock})
 
 	// Ingest + index, hour by hour.
 	text := workload.NewTextGen(workload.DefaultTextConfig(13))
@@ -52,7 +52,7 @@ func main() {
 		}
 		b.Cols[0] = rottnest.ColumnValues{Ints: tss}
 		b.Cols[1] = rottnest.ColumnValues{Bytes: msgs}
-		if _, err := table.Append(ctx, b, rottnest.WriterOptions{RowGroupRows: 2048, PageBytes: 16 << 10}); err != nil {
+		if _, err := table.Append(ctx, b, rottnest.FileWriterOptions{RowGroupRows: 2048, PageBytes: 16 << 10}); err != nil {
 			log.Fatal(err)
 		}
 		if _, err := client.Index(ctx, "message", rottnest.KindFM); err != nil {

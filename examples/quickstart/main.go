@@ -72,7 +72,7 @@ func main() {
 		}
 		b.Cols[0] = rottnest.ColumnValues{Bytes: ids}
 		b.Cols[1] = rottnest.ColumnValues{Bytes: payloads}
-		if _, err := table.Append(ctx, b, rottnest.WriterOptions{}); err != nil {
+		if _, err := table.Append(ctx, b, rottnest.FileWriterOptions{}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func main() {
 		}
 	}
 
-	cache := client.CacheStats()
+	cache := rottnest.CacheStatsFrom(client.Metrics())
 	fmt.Printf("read cache: %d hits, %d misses, %.1f KB saved\n",
 		cache.Hits, cache.Misses, float64(cache.BytesSaved)/1e3)
 	snapTotals := metrics.Snapshot()

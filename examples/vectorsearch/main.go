@@ -29,7 +29,7 @@ func main() {
 		rottnest.Column{Name: "emb", Type: rottnest.TypeFixedLenByteArray, TypeLen: 4 * dim},
 		rottnest.Column{Name: "doc", Type: rottnest.TypeByteArray},
 	)
-	table, err := rottnest.CreateTableWithClock(ctx, store, clock, "lake/corpus", schema)
+	table, err := rottnest.CreateTableWith(ctx, store, "lake/corpus", schema, rottnest.TableOptions{Clock: clock})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,11 +45,11 @@ func main() {
 	}
 	b.Cols[0] = rottnest.ColumnValues{Bytes: embs}
 	b.Cols[1] = rottnest.ColumnValues{Bytes: docs}
-	if _, err := table.Append(ctx, b, rottnest.WriterOptions{}); err != nil {
+	if _, err := table.Append(ctx, b, rottnest.FileWriterOptions{}); err != nil {
 		log.Fatal(err)
 	}
 
-	client := rottnest.NewClientWithClock(table, clock, rottnest.Config{IndexDir: "rottnest/corpus"})
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "rottnest/corpus", Clock: clock})
 	entry, err := client.Index(ctx, "emb", rottnest.KindIVFPQ)
 	if err != nil {
 		log.Fatal(err)

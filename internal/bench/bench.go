@@ -110,7 +110,7 @@ func newWorld(schema *parquet.Schema, cfg core.Config, wraps ...func(objectstore
 			CoalesceGap: cfg.CoalesceGap,
 		}).Store
 	}
-	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	table, err := lake.CreateWith(ctx, store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		return nil, err
 	}

@@ -80,12 +80,12 @@ func cacheWorkload(ctx context.Context, name string, build func(cfg core.Config)
 	if _, _, err := warm.measurePass(ctx, queries); err != nil {
 		return r, err
 	}
-	primed := warm.client.CacheStats()
+	primed := objectstore.CacheStatsFrom(warm.client.Metrics())
 	warmLat, warmGets, err := warm.measurePass(ctx, queries)
 	if err != nil {
 		return r, err
 	}
-	delta := warm.client.CacheStats().Sub(primed)
+	delta := objectstore.CacheStatsFrom(warm.client.Metrics()).Sub(primed)
 
 	n := time.Duration(len(queries))
 	r.ColdLatency = coldLat / n

@@ -23,7 +23,7 @@ func newLake(t testing.TB, files, docsPerFile int) (*lake.Table, *simtime.Virtua
 	clock := simtime.NewVirtualClock()
 	inner := objectstore.NewMemStore(clock)
 	store, _ := objectstore.Instrument(inner, objectstore.DefaultS3Model())
-	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	table, err := lake.CreateWith(ctx, store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func TestCacheSurvivesCompactAndVacuum(t *testing.T) {
 			t.Fatalf("key matched %d times before compact", len(res.Matches))
 		}
 	}
-	if s := e.cli.CacheStats(); s.Hits == 0 {
+	if s := objectstore.CacheStatsFrom(e.cli.Metrics()); s.Hits == 0 {
 		t.Fatalf("priming produced no cache hits: %+v", s)
 	}
 
@@ -269,7 +269,7 @@ func TestConcurrentCacheVacuumInvariants(t *testing.T) {
 	if err := e.cli.CheckExistence(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if s := e.cli.CacheStats(); s.Hits == 0 {
+	if s := objectstore.CacheStatsFrom(e.cli.Metrics()); s.Hits == 0 {
 		t.Fatalf("storm produced no cache hits: %+v", s)
 	}
 

@@ -45,7 +45,7 @@ func TestSearchCanceledMidFlight(t *testing.T) {
 		}
 		return false // never inject a fault; the cancel is the event
 	})
-	table, err := lake.Create(context.Background(), fs, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(context.Background(), fs, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"rottnest/internal/component"
@@ -183,7 +184,10 @@ type Client struct {
 	// queries (nil when disabled).
 	batch *probeBatcher
 	// reg holds the client's own "search.*" metrics; Metrics() merges
-	// it with the store-layer registries.
+	// it with the store-layer registries and any attached extras.
+	extraMu   sync.Mutex
+	extraRegs []*obs.Registry
+
 	reg            *obs.Registry
 	searches       *obs.Counter
 	pagesProbed    *obs.Counter
@@ -283,14 +287,6 @@ func NewClient(table *lake.Table, cfg Config) *Client {
 	return c
 }
 
-// NewClientWithClock returns a client using an explicit clock.
-//
-// Deprecated: set Config.Clock instead.
-func NewClientWithClock(table *lake.Table, clock simtime.Clock, cfg Config) *Client {
-	cfg.Clock = clock
-	return NewClient(table, cfg)
-}
-
 // Meta exposes the metadata table (tests and tooling).
 func (c *Client) Meta() *meta.Table { return c.meta }
 
@@ -302,9 +298,10 @@ func (c *Client) Table() *lake.Table { return c.table }
 // "store.*" (request/byte totals), "cache.*" (hit/miss/eviction),
 // "retry.*" (recovery work), "objcache.*" (decoded-object cache,
 // aggregate and per-kind), and "search.*" (query counts, pages
-// probed, plan-cache activity, latency histogram). The legacy
-// CacheStats/RetryStats
-// snapshot structs are views derived from this snapshot.
+// probed, plan-cache activity, latency histogram), plus any attached
+// registries ("ingest.*" when a writer/scheduler is wired in). The
+// legacy per-layer stats structs (objectstore.CacheStatsFrom,
+// RetryStatsFrom) are views derived from this snapshot.
 func (c *Client) Metrics() obs.Snapshot {
 	var snaps []obs.Snapshot
 	if c.retry != nil {
@@ -320,23 +317,27 @@ func (c *Client) Metrics() obs.Snapshot {
 		snaps = append(snaps, c.objc.Registry().Snapshot())
 	}
 	snaps = append(snaps, c.reg.Snapshot())
+	c.extraMu.Lock()
+	extras := make([]*obs.Registry, len(c.extraRegs))
+	copy(extras, c.extraRegs)
+	c.extraMu.Unlock()
+	for _, r := range extras {
+		snaps = append(snaps, r.Snapshot())
+	}
 	return obs.Merge(snaps...)
 }
 
-// CacheStats returns cumulative read-cache counters, or a zero value
-// when the cache is disabled.
-//
-// Deprecated: use Metrics; this is the "cache.*" slice of it.
-func (c *Client) CacheStats() objectstore.CacheStats {
-	return objectstore.CacheStatsFrom(c.Metrics())
-}
-
-// RetryStats returns cumulative retry counters, or a zero value when
-// retries are disabled.
-//
-// Deprecated: use Metrics; this is the "retry.*" slice of it.
-func (c *Client) RetryStats() objectstore.RetryStats {
-	return objectstore.RetryStatsFrom(c.Metrics())
+// AttachRegistry adds a registry to the client's Metrics merge, so
+// subsystems built beside the client (the ingest writer and
+// scheduler) surface through the one snapshot. Registries should use
+// prefix-disjoint names ("ingest.*").
+func (c *Client) AttachRegistry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.extraMu.Lock()
+	c.extraRegs = append(c.extraRegs, reg)
+	c.extraMu.Unlock()
 }
 
 // indexFilePrefix is where index files live under IndexDir.

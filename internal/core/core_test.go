@@ -47,7 +47,7 @@ func newEnv(t testing.TB, schema *parquet.Schema, cfg Config) *env {
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
 	store, _ := objectstore.Instrument(mem, objectstore.DefaultS3Model())
-	table, err := lake.Create(context.Background(), store, clock, "lake", schema)
+	table, err := lake.CreateWith(context.Background(), store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -561,7 +561,7 @@ func TestIndexTimeoutWithAdvancingClock(t *testing.T) {
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
 	slow := &advancingStore{Store: mem, clock: clock, step: 10 * time.Minute}
-	table, err := lake.Create(ctx, slow, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(ctx, slow, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -638,7 +638,7 @@ func TestFailedCommitLeavesOrphanNotCorruption(t *testing.T) {
 		fired = true
 		return true
 	})
-	table, err := lake.Create(ctx, fs, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(ctx, fs, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

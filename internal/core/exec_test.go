@@ -102,7 +102,7 @@ func TestCompoundANDFewerGETsThanSeparateSearches(t *testing.T) {
 	mem := objectstore.NewMemStore(clock)
 	rec := &rangeRecorder{Store: mem, prefix: "lake/"}
 	store, metrics := objectstore.Instrument(rec, objectstore.DefaultS3Model())
-	table, err := lake.Create(ctx, store, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(ctx, store, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

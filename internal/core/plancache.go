@@ -66,6 +66,7 @@ type planCache struct {
 	hits          *obs.Counter
 	misses        *obs.Counter
 	invalidations *obs.Counter
+	entries       *obs.Gauge
 
 	mu        sync.Mutex
 	latest    int64
@@ -85,6 +86,7 @@ func newPlanCache(ttl int, reg *obs.Registry) *planCache {
 		hits:          reg.Counter("search.plan_cache_hits"),
 		misses:        reg.Counter("search.plan_cache_misses"),
 		invalidations: reg.Counter("search.plan_cache_invalidations"),
+		entries:       reg.Gauge("search.plan_cache_entries"),
 		plans:         make(map[planKey]planEntry),
 		compounds:     make(map[compoundKey]compoundEntry),
 	}
@@ -240,6 +242,7 @@ func (p *planCache) pruneLocked() {
 			delete(p.compounds, k)
 		}
 	}
+	p.entries.Set(int64(len(p.plans) + len(p.compounds)))
 }
 
 // invalidateAll drops every cached plan and bumps the generation.
@@ -255,6 +258,7 @@ func (p *planCache) invalidateAll() {
 	p.mu.Lock()
 	p.plans = make(map[planKey]planEntry)
 	p.compounds = make(map[compoundKey]compoundEntry)
+	p.entries.Set(0)
 	p.mu.Unlock()
 }
 

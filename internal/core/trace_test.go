@@ -201,10 +201,11 @@ func TestClientMetricsSnapshot(t *testing.T) {
 	if snap.Counter("search.pages_probed") <= 0 {
 		t.Fatal("search.pages_probed did not advance")
 	}
-	if e.cli.CacheStats() != objectstore.CacheStatsFrom(snap) {
-		t.Fatal("CacheStats deviates from the Metrics snapshot view")
+	// The legacy stats structs are pure views over the snapshot.
+	if cs := objectstore.CacheStatsFrom(snap); cs.Hits != snap.Counter("cache.hits") || cs.Misses != snap.Counter("cache.misses") {
+		t.Fatal("CacheStatsFrom deviates from the snapshot's cache.* counters")
 	}
-	if e.cli.RetryStats() != objectstore.RetryStatsFrom(snap) {
-		t.Fatal("RetryStats deviates from the Metrics snapshot view")
+	if rs := objectstore.RetryStatsFrom(snap); rs.Retries != snap.Counter("retry.retries") {
+		t.Fatal("RetryStatsFrom deviates from the snapshot's retry.* counters")
 	}
 }

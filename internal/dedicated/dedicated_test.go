@@ -17,7 +17,7 @@ func TestUUIDSystem(t *testing.T) {
 	clock := simtime.NewVirtualClock()
 	store := objectstore.NewMemStore(clock)
 	schema := parquet.MustSchema(parquet.Column{Name: "id", Type: parquet.TypeFixedLenByteArray, TypeLen: 16})
-	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	table, err := lake.CreateWith(ctx, store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestSubstringSystem(t *testing.T) {
 	clock := simtime.NewVirtualClock()
 	store := objectstore.NewMemStore(clock)
 	schema := parquet.MustSchema(parquet.Column{Name: "body", Type: parquet.TypeByteArray})
-	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	table, err := lake.CreateWith(ctx, store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestVectorSystemPerfectRecall(t *testing.T) {
 	store := objectstore.NewMemStore(clock)
 	dim := 8
 	schema := parquet.MustSchema(parquet.Column{Name: "emb", Type: parquet.TypeFixedLenByteArray, TypeLen: 4 * dim})
-	table, err := lake.Create(ctx, store, clock, "lake", schema)
+	table, err := lake.CreateWith(ctx, store, "lake", schema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,7 @@ import (
 	"rottnest/internal/bruteforce"
 	"rottnest/internal/component"
 	"rottnest/internal/core"
+	"rottnest/internal/ingest"
 	"rottnest/internal/insitu"
 	"rottnest/internal/lake"
 	"rottnest/internal/objectstore"
@@ -69,6 +70,15 @@ const (
 	// single-node client and the oracle — under the same faults and
 	// concurrent maintenance.
 	ModeSharded
+	// ModeIngest routes every append through the continuous-ingestion
+	// writer (micro-batching, group commits, per-producer acks) and
+	// replaces explicit index/compact/vacuum ops with budgeted
+	// scheduler steps, all under the same faults. It checks ingestion's
+	// exactly-once contract end to end: every acked row is visible
+	// exactly once even across ambiguous group commits (a committed-
+	// but-errored commit round must not duplicate rows on retry), and
+	// every search stays byte-identical to the oracle.
+	ModeIngest
 )
 
 // Options configures one harness run.
@@ -126,6 +136,14 @@ type Summary struct {
 	Store objectstore.Snapshot
 	// FinalVersion is the lake version after the final maintenance.
 	FinalVersion int64
+	// GroupCommits and BatchesCommitted report the ingest writer's
+	// amortization (ModeIngest only): batches exceeding commits means
+	// grouping actually occurred under faults.
+	GroupCommits     int64
+	BatchesCommitted int64
+	// LagObservations counts the searchable-lag measurements the
+	// scheduler's freshness ledger recorded (ModeIngest only).
+	LagObservations int64
 }
 
 // world is the shared state of one run.
@@ -141,7 +159,9 @@ type world struct {
 	cli       *core.Client
 	unordered *core.Client // cost-based AND ordering off: differential baseline
 	oracle    *bruteforce.Cluster
-	routers   []*shard.Router // ModeSharded: 1-, 2-, and 5-shard fan-outs
+	routers   []*shard.Router   // ModeSharded: 1-, 2-, and 5-shard fan-outs
+	writer    *ingest.Writer    // ModeIngest: the group-commit writer
+	sched     *ingest.Scheduler // ModeIngest: the maintenance scheduler
 
 	column string
 	kind   component.Kind
@@ -237,6 +257,12 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		sum.Retry = w.retry.Stats()
 	}
 	sum.Store = w.metrics.Snapshot()
+	if w.writer != nil {
+		ws := w.writer.Registry().Snapshot()
+		sum.GroupCommits = ws.Counter("ingest.group_commits")
+		sum.BatchesCommitted = ws.Counter("ingest.batches_committed")
+		sum.LagObservations = w.sched.Registry().Snapshot().Histograms["ingest.searchable_lag_ns"].Count
+	}
 	if err == nil {
 		err = w.checkStoreDrift()
 	}
@@ -313,6 +339,30 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 		}
 	}
 
+	// ModeIngest: appends flow through the group-commit writer over the
+	// same faulty chain, and maintenance runs as scheduler steps. The
+	// pause watermark sits above anything the run can accumulate —
+	// liveness must not depend on a worker stepping the scheduler while
+	// every other worker is blocked in Append — and the request budget
+	// is effectively unlimited so every step may work (pacing has its
+	// own tests in internal/ingest).
+	if w.opts.Mode == ModeIngest {
+		w.writer = ingest.NewWriter(table, ingest.WriterOptions{
+			MaxBatchRows:       64,
+			GroupCommitBatches: 4,
+			Parquet:            parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024},
+			Clock:              w.clock,
+		})
+		w.sched = ingest.NewScheduler(table, ingest.SchedulerOptions{
+			Client:         w.cli,
+			Writer:         w.writer,
+			Specs:          w.specs,
+			Clock:          w.clock,
+			RequestsPerSec: 1e9,
+			PauseAboveRows: 1 << 30,
+		})
+	}
+
 	// Seed data so early searches and indexes have something to chew.
 	seedRng := rand.New(rand.NewSource(w.opts.Seed))
 	for i := 0; i < 2; i++ {
@@ -372,21 +422,40 @@ func (w *world) worker(ctx context.Context, id int) error {
 		}
 		opCtx := octx(ctx)
 		var err error
-		switch pick := rng.Intn(13); {
-		case pick < 4:
-			lastVersion, err = w.searchDifferential(opCtx, rng, lastVersion)
-		case pick < 6:
-			err = w.appendBatch(opCtx, rng)
-		case pick < 8:
-			err = w.deleteOne(opCtx, rng)
-		case pick < 10:
-			err = w.index(opCtx)
-		case pick == 10:
-			err = w.compact(opCtx)
-		case pick == 11:
-			err = w.lakeCompact(opCtx)
-		default:
-			err = w.vacuum(opCtx, rng)
+		if w.opts.Mode == ModeIngest {
+			// Maintenance flows through the scheduler instead of
+			// explicit index/compact/vacuum ops.
+			switch pick := rng.Intn(13); {
+			case pick < 4:
+				lastVersion, err = w.searchDifferential(opCtx, rng, lastVersion)
+			case pick < 7:
+				err = w.appendBatch(opCtx, rng)
+			case pick < 8:
+				err = w.deleteOne(opCtx, rng)
+			case pick < 11:
+				err = w.schedStep(opCtx)
+			case pick == 11:
+				err = w.lakeCompact(opCtx)
+			default:
+				err = w.writerFlush(opCtx)
+			}
+		} else {
+			switch pick := rng.Intn(13); {
+			case pick < 4:
+				lastVersion, err = w.searchDifferential(opCtx, rng, lastVersion)
+			case pick < 6:
+				err = w.appendBatch(opCtx, rng)
+			case pick < 8:
+				err = w.deleteOne(opCtx, rng)
+			case pick < 10:
+				err = w.index(opCtx)
+			case pick == 10:
+				err = w.compact(opCtx)
+			case pick == 11:
+				err = w.lakeCompact(opCtx)
+			default:
+				err = w.vacuum(opCtx, rng)
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("op %d: %w", i, err)
@@ -489,9 +558,25 @@ func (w *world) appendBatch(ctx context.Context, rng *rand.Rand) error {
 		b.Cols[0] = parquet.ColumnValues{Bytes: ids}
 		b.Cols[1] = parquet.ColumnValues{Bytes: pay}
 	}
-	path, err := w.table.Append(ctx, b, parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024})
-	if err != nil {
-		return fmt.Errorf("append: %w", err)
+	var path string
+	if w.opts.Mode == ModeIngest {
+		// Through the group-commit writer: the ack resolves only at
+		// durability, and its path is where the rows actually landed
+		// (possibly a micro-batch shared with other producers).
+		ack, err := w.writer.Append(ctx, b)
+		if err != nil {
+			return fmt.Errorf("writer append: %w", err)
+		}
+		if _, err := ack.Wait(ctx); err != nil {
+			return fmt.Errorf("writer ack: %w", err)
+		}
+		path = ack.Path()
+	} else {
+		var err error
+		path, err = w.table.Append(ctx, b, parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024})
+		if err != nil {
+			return fmt.Errorf("append: %w", err)
+		}
 	}
 	w.mu.Lock()
 	if needle != "" {
@@ -637,6 +722,34 @@ func (w *world) vacuum(ctx context.Context, rng *rand.Rand) error {
 	w.mu.Lock()
 	w.maintenance++
 	w.mu.Unlock()
+	return nil
+}
+
+// schedStep runs one scheduler decision. Concurrent steps may race on
+// the same maintenance op (two workers both picking the index job),
+// which the protocol resolves by aborting one side — tolerated here
+// exactly as the explicit maintenance ops tolerate it.
+func (w *world) schedStep(ctx context.Context) error {
+	worked, err := w.sched.Step(ctx)
+	if errors.Is(err, core.ErrAborted) || errors.Is(err, lake.ErrConflict) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sched step: %w", err)
+	}
+	if worked {
+		w.mu.Lock()
+		w.maintenance++
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// writerFlush forces the writer to commit everything staged so far.
+func (w *world) writerFlush(ctx context.Context) error {
+	if err := w.writer.Flush(ctx); err != nil {
+		return fmt.Errorf("writer flush: %w", err)
+	}
 	return nil
 }
 
@@ -951,6 +1064,16 @@ func diffMatches(got, want []insitu.Match) error {
 // the terminal invariants.
 func (w *world) finale(ctx context.Context) error {
 	fctx := octx(ctx)
+	// ModeIngest: drain the writer (every pending ack must resolve)
+	// and let the scheduler converge before the terminal invariants.
+	if w.writer != nil {
+		if err := w.writer.Close(fctx); err != nil {
+			return fmt.Errorf("finale writer close: %w", err)
+		}
+		if err := w.sched.Quiesce(fctx); err != nil {
+			return fmt.Errorf("finale scheduler quiesce: %w", err)
+		}
+	}
 	// Age everything past the index timeout so vacuum's physical
 	// deletion actually fires, then tidy up.
 	w.clock.Advance(2 * time.Hour)
@@ -998,7 +1121,7 @@ func (w *world) finale(ctx context.Context) error {
 			return fmt.Errorf("finale: %w", err)
 		}
 	}
-	if w.opts.Mode == ModeUUID || w.opts.Mode == ModeCompound || w.opts.Mode == ModeSharded {
+	if w.opts.Mode != ModeText {
 		checked := 0
 		for k := range w.live {
 			res, err := w.cli.Search(octx(ctx), core.Query{Column: w.column, UUID: ptr(k), K: 0, Snapshot: -1})

@@ -144,6 +144,47 @@ func TestShardedDifferentialWorkloads(t *testing.T) {
 	}
 }
 
+// TestIngestDifferentialWorkloads runs seeded chaos workloads in
+// ingest mode: every append flows through the group-commit writer and
+// all maintenance through the budgeted scheduler, under rotating fault
+// weather. Each run checks byte-identical search results against the
+// oracle and — in the finale — that every acked row is visible exactly
+// once, so an ambiguous group commit that landed must not duplicate
+// rows when the writer retries it.
+func TestIngestDifferentialWorkloads(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 4
+	}
+	for seed := int64(300); seed < int64(300+n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{
+				Seed:    seed,
+				Mode:    ModeIngest,
+				Profile: profileFor(seed),
+				Retry:   objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Searches == 0 {
+				t.Fatalf("no differential searches ran: %+v", sum)
+			}
+			if sum.Appends == 0 {
+				t.Fatalf("no appends ran: %+v", sum)
+			}
+			if sum.GroupCommits == 0 || sum.BatchesCommitted < sum.GroupCommits {
+				t.Fatalf("writer did not group-commit: %+v", sum)
+			}
+			if sum.LagObservations == 0 {
+				t.Fatalf("scheduler recorded no searchable-lag observations: %+v", sum)
+			}
+		})
+	}
+}
+
 // TestHarnessFaultsActuallyFire is the meta-check that chaos runs
 // exercise the failure paths: faults are injected and the retry layer
 // does real recovery work.
@@ -204,7 +245,7 @@ func TestHarnessSurfacesFaultsWithoutRetries(t *testing.T) {
 // TestHarnessFaultFree sanity-checks the harness itself: a calm world
 // with no faults and no retries must pass every differential check.
 func TestHarnessFaultFree(t *testing.T) {
-	for _, mode := range []Mode{ModeUUID, ModeText, ModeCompound, ModeSharded} {
+	for _, mode := range []Mode{ModeUUID, ModeText, ModeCompound, ModeSharded, ModeIngest} {
 		mode := mode
 		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
 			t.Parallel()

@@ -1,0 +1,488 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"rottnest/internal/core"
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/obs"
+	"rottnest/internal/simtime"
+)
+
+// SchedulerOptions configure a Scheduler.
+type SchedulerOptions struct {
+	// Client runs the index/compact/vacuum jobs. Nil means a new
+	// client is built from Config over the scheduler's table.
+	Client *core.Client
+	// Config builds the client when Client is nil.
+	Config core.Config
+	// Writer, if set, is the ingest writer to pressure: the scheduler
+	// pauses it when unindexed rows pass PauseAboveRows and resumes
+	// it below ResumeBelowRows, and its group commits feed the
+	// freshness ledger.
+	Writer *Writer
+	// Specs name the indexes the scheduler keeps fresh. A data file
+	// counts as searchable-by-index only once every spec covers it.
+	Specs []core.IndexSpec
+	// RequestsPerSec is the maintenance budget in object-store
+	// requests per (virtual) second. It defaults to 10% of the
+	// simulated store's per-prefix GET ceiling
+	// (objectstore.DefaultS3Model) — the headroom the throttle model
+	// leaves once foreground traffic is served. The scheduler further
+	// yields to observed foreground traffic, never dropping below 10%
+	// of the configured budget.
+	RequestsPerSec float64
+	// PauseAboveRows pauses the writer once this many acked rows are
+	// not yet index-covered. Default 1<<16. ResumeBelowRows lifts the
+	// pause; default PauseAboveRows/2.
+	PauseAboveRows  int64
+	ResumeBelowRows int64
+	// Policy tunes compact/vacuum, as in Client.Maintain.
+	Policy core.MaintainPolicy
+	// Clock drives the budget refill and lag measurement. Nil means
+	// the real wall clock.
+	Clock simtime.Clock
+	// OnCovered, if set, runs when a committed file becomes covered
+	// by every spec, with its exact searchable lag. Benchmarks use it
+	// to collect precise percentiles beside the bucketed histogram.
+	OnCovered func(path string, rows int64, lag time.Duration)
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.RequestsPerSec <= 0 {
+		o.RequestsPerSec = objectstore.DefaultS3Model().MaxGetRPSPerPrefix / 10
+	}
+	if o.PauseAboveRows <= 0 {
+		o.PauseAboveRows = 1 << 16
+	}
+	if o.ResumeBelowRows <= 0 {
+		o.ResumeBelowRows = o.PauseAboveRows / 2
+	}
+	if o.Clock == nil {
+		o.Clock = simtime.RealClock{}
+	}
+	return o
+}
+
+// ledgerEntry tracks one committed-but-not-yet-covered data file.
+type ledgerEntry struct {
+	rows    int64
+	ackedAt time.Time
+}
+
+// Scheduler is the background maintenance daemon: it watches commit
+// hooks and index coverage, schedules index/compact/vacuum jobs by
+// priority under a requests/sec budget, yields to foreground traffic,
+// and pushes back on the ingest writer when unindexed rows outrun
+// indexing.
+//
+// Backpressure state machine:
+//
+//	flowing --(unindexed > PauseAboveRows)--> paused
+//	paused  --(unindexed < ResumeBelowRows)--> flowing
+//
+// In paused state the writer blocks producers while its committer
+// keeps draining, so the unindexed backlog is bounded by the pending
+// budget plus the pause watermark.
+type Scheduler struct {
+	cli   *core.Client
+	table *lake.Table
+	opts  SchedulerOptions
+	clock simtime.Clock
+	reg   *obs.Registry
+
+	commits chan struct{} // table-commit wakeups for Run
+
+	mu         sync.Mutex
+	ledger     map[string]ledgerEntry
+	stalled    map[int]int64 // spec index → snapshot version it stalled at
+	tokens     float64
+	lastRefill time.Time
+	lastSeen   int64 // store requests observed at last refill
+	ownCost    int64 // store requests this scheduler's jobs issued
+
+	lagHist       *obs.Histogram
+	rowsUnindexed *obs.Gauge
+	steps         *obs.Counter
+	jobsIndex     *obs.Counter
+	jobsCompact   *obs.Counter
+	jobsVacuum    *obs.Counter
+	pauses        *obs.Counter
+	budgetWaits   *obs.Counter
+}
+
+// NewScheduler returns a scheduler over the table. It registers a
+// commit hook for wakeups and, when opts.Writer is set, subscribes to
+// its group commits for the freshness ledger.
+func NewScheduler(table *lake.Table, opts SchedulerOptions) *Scheduler {
+	opts = opts.withDefaults()
+	cli := opts.Client
+	if cli == nil {
+		cfg := opts.Config
+		if cfg.Clock == nil {
+			cfg.Clock = opts.Clock
+		}
+		cli = core.NewClient(table, cfg)
+	}
+	reg := obs.NewRegistry()
+	s := &Scheduler{
+		cli:     cli,
+		table:   table,
+		opts:    opts,
+		clock:   opts.Clock,
+		reg:     reg,
+		commits: make(chan struct{}, 1),
+		ledger:  make(map[string]ledgerEntry),
+		stalled: make(map[int]int64),
+		tokens:  opts.RequestsPerSec, // start with one second of burst
+
+		lagHist:       reg.Histogram("ingest.searchable_lag_ns"),
+		rowsUnindexed: reg.Gauge("ingest.rows_unindexed"),
+		steps:         reg.Counter("ingest.sched_steps"),
+		jobsIndex:     reg.Counter("ingest.jobs_index"),
+		jobsCompact:   reg.Counter("ingest.jobs_compact"),
+		jobsVacuum:    reg.Counter("ingest.jobs_vacuum"),
+		pauses:        reg.Counter("ingest.sched_pauses"),
+		budgetWaits:   reg.Counter("ingest.budget_waits"),
+	}
+	s.lastRefill = s.clock.Now()
+	table.OnCommit(func(int64) {
+		select {
+		case s.commits <- struct{}{}:
+		default:
+		}
+	})
+	if opts.Writer != nil {
+		opts.Writer.OnCommitted(s.NoteCommitted)
+		cli.AttachRegistry(opts.Writer.Registry())
+	}
+	// Freshness metrics (searchable lag, rows unindexed) surface in
+	// the client's one merged Metrics snapshot.
+	cli.AttachRegistry(reg)
+	return s
+}
+
+// Registry returns the scheduler's metrics registry ("ingest.*").
+func (s *Scheduler) Registry() *obs.Registry { return s.reg }
+
+// Client returns the client the scheduler maintains indexes with.
+func (s *Scheduler) Client() *core.Client { return s.cli }
+
+// NoteCommitted feeds committed files into the freshness ledger. The
+// writer calls it from its group-commit hook; callers appending
+// through other paths may call it directly to have those files
+// tracked for searchable lag.
+func (s *Scheduler) NoteCommitted(files []CommittedFile) {
+	s.mu.Lock()
+	for _, f := range files {
+		s.ledger[f.Path] = ledgerEntry{rows: f.Rows, ackedAt: f.AckedAt}
+	}
+	s.mu.Unlock()
+}
+
+// unindexedRowsLocked sums the ledger.
+func (s *Scheduler) unindexedRowsLocked() int64 {
+	var n int64
+	for _, e := range s.ledger {
+		n += e.rows
+	}
+	return n
+}
+
+// coverage describes what one Step observed before picking a job.
+type coverage struct {
+	// perSpec maps spec index → covered paths; snapPaths is the
+	// active file set of the observed snapshot; version its version.
+	perSpec   []map[string]bool
+	snapPaths map[string]bool
+	version   int64
+}
+
+// errNoProgress marks a scheduled job that intentionally did nothing
+// (e.g. indexing stalled below the minimum row count): the step
+// reports no work so converging loops terminate.
+var errNoProgress = errors.New("ingest: job made no progress")
+
+// observe reads the snapshot and meta entries once and resolves the
+// freshness ledger: files now covered by every spec record their
+// searchable lag, files gone from the snapshot (compacted away) are
+// dropped, and the rows_unindexed gauge updates.
+func (s *Scheduler) observe(ctx context.Context) (*coverage, error) {
+	snap, err := s.table.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := s.cli.Meta().List(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cov := &coverage{snapPaths: snap.Paths(), version: snap.Version}
+	cov.perSpec = make([]map[string]bool, len(s.opts.Specs))
+	for i, spec := range s.opts.Specs {
+		covered := make(map[string]bool)
+		for _, e := range entries {
+			if e.Column != spec.Column || e.Kind != spec.Kind {
+				continue
+			}
+			for _, f := range e.Files {
+				if cov.snapPaths[f] {
+					covered[f] = true
+				}
+			}
+		}
+		cov.perSpec[i] = covered
+	}
+
+	now := s.clock.Now()
+	s.mu.Lock()
+	for p, e := range s.ledger {
+		if !cov.snapPaths[p] {
+			// Compacted or removed: its surviving rows are tracked
+			// via the rewritten file's coverage, not this ledger row.
+			delete(s.ledger, p)
+			continue
+		}
+		if s.coveredByAll(cov, p) {
+			lag := now.Sub(e.ackedAt)
+			s.lagHist.Observe(int64(lag))
+			if s.opts.OnCovered != nil {
+				s.opts.OnCovered(p, e.rows, lag)
+			}
+			delete(s.ledger, p)
+		}
+	}
+	unindexed := s.unindexedRowsLocked()
+	s.mu.Unlock()
+	s.rowsUnindexed.Set(unindexed)
+
+	// Backpressure state machine.
+	if w := s.opts.Writer; w != nil {
+		switch {
+		case unindexed > s.opts.PauseAboveRows && !w.Paused():
+			w.Pause()
+			s.pauses.Inc()
+		case unindexed < s.opts.ResumeBelowRows && w.Paused():
+			w.Resume()
+		}
+	}
+	return cov, nil
+}
+
+// coveredByAll reports whether every spec covers the path. With no
+// specs nothing is ever "searchable by index", so the ledger drains
+// only by compaction — callers should configure at least one spec.
+func (s *Scheduler) coveredByAll(cov *coverage, path string) bool {
+	if len(cov.perSpec) == 0 {
+		return false
+	}
+	for _, covered := range cov.perSpec {
+		if !covered[path] {
+			return false
+		}
+	}
+	return true
+}
+
+// storeRequests sums the request counters of the client's store chain.
+func storeRequests(m obs.Snapshot) int64 {
+	return m.Counter("store.gets") + m.Counter("store.puts") +
+		m.Counter("store.lists") + m.Counter("store.deletes") + m.Counter("store.heads")
+}
+
+// refill tops up the token bucket: elapsed virtual time times the
+// budget rate, scaled down by observed foreground traffic (total
+// store requests minus the scheduler's own), floored at 10% of the
+// budget so maintenance always makes progress.
+func (s *Scheduler) refill() {
+	now := s.clock.Now()
+	total := storeRequests(s.cli.Metrics())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elapsed := now.Sub(s.lastRefill).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	foreground := float64(total-s.lastSeen-s.ownCost) / elapsed
+	if foreground < 0 {
+		foreground = 0
+	}
+	rate := s.opts.RequestsPerSec - foreground
+	if min := s.opts.RequestsPerSec / 10; rate < min {
+		rate = min
+	}
+	s.tokens += rate * elapsed
+	if s.tokens > s.opts.RequestsPerSec {
+		s.tokens = s.opts.RequestsPerSec // one second of burst
+	}
+	s.lastRefill = now
+	s.lastSeen = total
+	s.ownCost = 0
+}
+
+// Step runs one scheduling decision: resolve coverage and freshness,
+// apply writer backpressure, and — budget permitting — run the
+// highest-priority maintenance job (index > compact > vacuum). It
+// reports whether a job ran. Tests and deterministic drivers call
+// Step directly; Run loops it.
+func (s *Scheduler) Step(ctx context.Context) (bool, error) {
+	s.steps.Inc()
+	cov, err := s.observe(ctx)
+	if err != nil {
+		return false, err
+	}
+	s.refill()
+	s.mu.Lock()
+	ready := s.tokens > 0
+	s.mu.Unlock()
+	if !ready {
+		s.budgetWaits.Inc()
+		return false, nil
+	}
+
+	statuses, err := s.cli.Status(ctx)
+	if err != nil {
+		return false, err
+	}
+	job, counter := s.pickJob(cov, statuses)
+	if job == nil {
+		return false, nil
+	}
+	before := storeRequests(s.cli.Metrics())
+	jobErr := job(ctx)
+	cost := storeRequests(s.cli.Metrics()) - before
+	s.mu.Lock()
+	// The job's cost may overdraw the bucket; the debt carries over,
+	// delaying the next job (tokens go negative and must refill).
+	s.tokens -= float64(cost)
+	s.ownCost += cost
+	s.mu.Unlock()
+	if errors.Is(jobErr, errNoProgress) {
+		return false, nil
+	}
+	if jobErr != nil {
+		return false, jobErr
+	}
+	counter.Inc()
+	return true, nil
+}
+
+// pickJob chooses the highest-priority maintenance job, or nil.
+// Indexing fresh data outranks compaction, which outranks vacuum:
+// freshness first, then read amplification, then garbage. Compaction
+// triggers on the index's *effective* entry count (entries the greedy
+// cover would keep), so a just-compacted index waits for vacuum to
+// sweep the superseded entries instead of re-compacting them.
+func (s *Scheduler) pickJob(cov *coverage, statuses []core.IndexStatus) (func(context.Context) error, *obs.Counter) {
+	policy := s.opts.Policy
+	if policy.CompactWhenEntries <= 0 {
+		policy.CompactWhenEntries = 8
+	}
+	byKey := make(map[core.IndexSpec]core.IndexStatus, len(statuses))
+	for _, st := range statuses {
+		byKey[core.IndexSpec{Column: st.Column, Kind: st.Kind}] = st
+	}
+
+	// Index: the spec with the most uncovered files first. A spec
+	// with no entries at all (absent from statuses) has everything
+	// uncovered. Specs that stalled below the index's minimum row
+	// count wait for the snapshot to change before being retried.
+	best, bestGap := -1, 0
+	for i := range s.opts.Specs {
+		s.mu.Lock()
+		stalledAt, stalled := s.stalled[i]
+		s.mu.Unlock()
+		if stalled && stalledAt == cov.version {
+			continue
+		}
+		gap := len(cov.snapPaths) - len(cov.perSpec[i])
+		if gap > bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	if best >= 0 {
+		i, spec := best, s.opts.Specs[best]
+		return func(ctx context.Context) error {
+			_, err := s.cli.Index(ctx, spec.Column, spec.Kind)
+			if errors.Is(err, core.ErrBelowMinRows) {
+				// Not enough new rows to justify an index file yet;
+				// scans cover the tail until more data commits.
+				s.mu.Lock()
+				s.stalled[i] = cov.version
+				s.mu.Unlock()
+				return errNoProgress
+			}
+			return err
+		}, s.jobsIndex
+	}
+	for _, spec := range s.opts.Specs {
+		st, ok := byKey[spec]
+		if ok && st.Entries-st.RedundantEntries >= policy.CompactWhenEntries {
+			spec := spec
+			return func(ctx context.Context) error {
+				_, err := s.cli.Compact(ctx, spec.Column, spec.Kind, policy.Compact)
+				return err
+			}, s.jobsCompact
+		}
+	}
+	for _, st := range statuses {
+		if st.StaleRefs > 0 || st.RedundantEntries > 0 {
+			return func(ctx context.Context) error {
+				_, err := s.cli.Vacuum(ctx, policy.Vacuum)
+				return err
+			}, s.jobsVacuum
+		}
+	}
+	return nil, nil
+}
+
+// Quiesce steps until no job runs, bringing maintenance fully up to
+// date (ignoring the budget's pacing, not its accounting). Shutdown
+// paths and tests use it to reach a steady state.
+func (s *Scheduler) Quiesce(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		if s.tokens <= 0 {
+			s.tokens = 1 // pacing is Run's job; Quiesce only converges
+		}
+		s.mu.Unlock()
+		worked, err := s.Step(ctx)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			return nil
+		}
+	}
+}
+
+// Run loops the scheduler until ctx is done: each table commit (or
+// pause in traffic) wakes it, it ticks the writer's age bound, and
+// steps while there is work and budget. It is the daemon entry point
+// for real-clock deployments.
+func (s *Scheduler) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.commits:
+		}
+		if w := s.opts.Writer; w != nil {
+			if err := w.Tick(ctx); err != nil && !errors.Is(err, ErrClosed) {
+				return err
+			}
+		}
+		for {
+			worked, err := s.Step(ctx)
+			if err != nil {
+				return err
+			}
+			if !worked {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rottnest/internal/lake"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/parquet"
+	"rottnest/internal/simtime"
+)
+
+var testSchema = parquet.MustSchema(
+	parquet.Column{Name: "ts", Type: parquet.TypeInt64},
+	parquet.Column{Name: "msg", Type: parquet.TypeByteArray},
+)
+
+func msgBatch(msgs ...string) *parquet.Batch {
+	b := parquet.NewBatch(testSchema)
+	ints := make([]int64, len(msgs))
+	bytes := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		ints[i] = int64(i)
+		bytes[i] = []byte(m)
+	}
+	b.Cols[0] = parquet.ColumnValues{Ints: ints}
+	b.Cols[1] = parquet.ColumnValues{Bytes: bytes}
+	return b
+}
+
+func newTestTable(t *testing.T, store objectstore.Store, clock simtime.Clock) *lake.Table {
+	t.Helper()
+	tbl, err := lake.CreateWith(context.Background(), store, "tbl", testSchema, lake.OpenOptions{Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// rowsAt counts the live rows visible in the latest snapshot.
+func rowsAt(t *testing.T, tbl *lake.Table) int64 {
+	t.Helper()
+	snap, err := tbl.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.LiveRows()
+}
+
+// TestWriterSizeBoundSeals verifies the size trigger: in manual mode
+// nothing commits until Flush, and once flushed, appends that crossed
+// MaxBatchRows landed in multiple micro-batches of one group commit.
+func TestWriterSizeBoundSeals(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl := newTestTable(t, store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchRows: 4, Clock: clock, Manual: true})
+
+	var acks []*Ack
+	for i := 0; i < 10; i++ { // 2 rows each → seal every 2 appends
+		a, err := w.Append(ctx, msgBatch("a", "b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, a)
+	}
+	if got := rowsAt(t, tbl); got != 0 {
+		t.Fatalf("rows visible before flush: %d", got)
+	}
+	if err := w.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range acks {
+		if v, err := a.Wait(ctx); err != nil || v == 0 {
+			t.Fatalf("ack %d: version=%d err=%v", i, v, err)
+		}
+		if a.Path() == "" {
+			t.Fatalf("ack %d has no path", i)
+		}
+	}
+	if got := rowsAt(t, tbl); got != 20 {
+		t.Fatalf("rows = %d, want 20", got)
+	}
+	// 10 appends × 2 rows at 4-row seals = 5 sealed batches; with the
+	// default group size 8 that is one group commit of 5 files.
+	reg := w.Registry().Snapshot()
+	if got := reg.Counter("ingest.group_commits"); got != 1 {
+		t.Fatalf("group_commits = %d, want 1", got)
+	}
+	if got := reg.Counter("ingest.batches_committed"); got != 5 {
+		t.Fatalf("batches_committed = %d, want 5", got)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterAgeBoundSeals verifies the age trigger under a virtual
+// clock: a Tick before MaxBatchAge leaves rows staged, a Tick after
+// the age commits them (manual mode).
+func TestWriterAgeBoundSeals(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl := newTestTable(t, store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchAge: time.Second, Clock: clock, Manual: true})
+
+	a, err := w.Append(ctx, msgBatch("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(500 * time.Millisecond)
+	if err := w.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsAt(t, tbl); got != 0 {
+		t.Fatalf("young batch committed early: %d rows", got)
+	}
+	clock.Advance(600 * time.Millisecond)
+	if err := w.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.Wait(ctx); err != nil || v == 0 {
+		t.Fatalf("ack after age seal: version=%d err=%v", v, err)
+	}
+	if got := rowsAt(t, tbl); got != 1 {
+		t.Fatalf("rows = %d, want 1", got)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterGroupCommitOneRound is the core amortization property: 8
+// sealed batches land through one conditional PUT (one log version).
+func TestWriterGroupCommitOneRound(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl := newTestTable(t, store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchRows: 1, GroupCommitBatches: 8, Clock: clock, Manual: true})
+
+	before, err := tbl.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := w.Append(ctx, msgBatch(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after, err := tbl.Version(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after-before != 1 {
+		t.Fatalf("8 batches advanced %d versions, want 1", after-before)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterCloseDrainsUnderFaults verifies Close resolves every
+// pending ack even when the store injects transient faults, ambiguous
+// conditional PUTs, and latency spikes — and that no acked row is
+// duplicated or lost.
+func TestWriterCloseDrainsUnderFaults(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	mem := objectstore.NewMemStore(clock)
+	tbl0 := newTestTable(t, mem, clock)
+	_ = tbl0
+	for seed := int64(1); seed <= 5; seed++ {
+		faulty := objectstore.NewFaultStoreWithProfile(mem, objectstore.FaultProfile{
+			Seed:         seed,
+			Transient:    0.1,
+			AmbiguousPut: 0.3,
+		})
+		retry := objectstore.NewRetryStore(faulty, objectstore.RetryPolicy{})
+		tbl, err := lake.OpenWith(ctx, retry, "tbl", lake.OpenOptions{Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveBefore := rowsAt(t, tbl)
+
+		w := NewWriter(tbl, WriterOptions{MaxBatchRows: 2, GroupCommitBatches: 4, Clock: clock})
+		var acks []*Ack
+		for i := 0; i < 12; i++ {
+			a, err := w.Append(ctx, msgBatch(fmt.Sprintf("s%d-%d", seed, i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acks = append(acks, a)
+		}
+		if err := w.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		var ackedRows int64
+		for i, a := range acks {
+			select {
+			case <-a.Done():
+			default:
+				t.Fatalf("seed %d: ack %d unresolved after Close", seed, i)
+			}
+			if a.Err() == nil {
+				ackedRows++
+			}
+		}
+		// Every successfully acked row is visible exactly once; failed
+		// acks' rows must not appear (exactly-once, no duplicates).
+		if got := rowsAt(t, tbl) - liveBefore; got != ackedRows {
+			t.Fatalf("seed %d: %d rows visible, %d acked", seed, got, ackedRows)
+		}
+		if _, err := w.Append(ctx, msgBatch("late")); err != ErrClosed {
+			t.Fatalf("append after close: %v", err)
+		}
+	}
+}
+
+// TestWriterBackpressure verifies Append blocks at the pending-row
+// budget and unblocks as commits drain, and that a paused writer
+// blocks producers until resumed.
+func TestWriterBackpressure(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl := newTestTable(t, store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchRows: 2, MaxPendingRows: 4, Clock: clock, Manual: true})
+
+	for i := 0; i < 2; i++ {
+		if _, err := w.Append(ctx, msgBatch("a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget is full (4 pending): the next Append must block until a
+	// flush drains, or fail via ctx.
+	short, cancel := context.WithCancel(ctx)
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := w.Append(short, msgBatch("c"))
+		blocked <- err
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("append did not block at budget: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-blocked; err != context.Canceled {
+		t.Fatalf("blocked append: %v, want context.Canceled", err)
+	}
+	if got := w.Registry().Snapshot().Counter("ingest.backpressure_waits"); got == 0 {
+		t.Fatal("no backpressure wait recorded")
+	}
+	if err := w.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(ctx, msgBatch("c")); err != nil {
+		t.Fatalf("append after drain: %v", err)
+	}
+
+	// Pause blocks producers; Resume releases them.
+	w.Pause()
+	unpaused := make(chan error, 1)
+	go func() {
+		_, err := w.Append(ctx, msgBatch("d"))
+		unpaused <- err
+	}()
+	select {
+	case err := <-unpaused:
+		t.Fatalf("append did not block while paused: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	w.Resume()
+	if err := <-unpaused; err != nil {
+		t.Fatalf("append after resume: %v", err)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterConcurrentProducers exercises the auto-mode committer
+// with many concurrent producers (the -race gate for the writer): all
+// acks resolve successfully and every row is visible exactly once.
+func TestWriterConcurrentProducers(t *testing.T) {
+	ctx := context.Background()
+	clock := simtime.NewVirtualClock()
+	store := objectstore.NewMemStore(clock)
+	tbl := newTestTable(t, store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchRows: 8, GroupCommitBatches: 4, Clock: clock})
+
+	const producers, appends = 8, 20
+	var wg sync.WaitGroup
+	errs := make([]error, producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < appends; i++ {
+				a, err := w.Append(ctx, msgBatch(fmt.Sprintf("p%d-%d", p, i)))
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				if _, err := a.Wait(ctx); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("producer %d: %v", p, err)
+		}
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowsAt(t, tbl); got != producers*appends {
+		t.Fatalf("rows = %d, want %d", got, producers*appends)
+	}
+	reg := w.Registry().Snapshot()
+	commits := reg.Counter("ingest.group_commits")
+	batches := reg.Counter("ingest.batches_committed")
+	if commits == 0 || batches < commits {
+		t.Fatalf("group_commits=%d batches=%d", commits, batches)
+	}
+}

@@ -19,7 +19,7 @@ func benchStore() (*simtime.VirtualClock, *objectstore.MemStore) {
 func BenchmarkAppendCommit(b *testing.B) {
 	ctx := context.Background()
 	clock, store := benchStore()
-	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	tbl, err := CreateWith(ctx, store, "tbl", tblSchema, OpenOptions{Clock: clock})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func BenchmarkAppendCommit(b *testing.B) {
 func BenchmarkSnapshotReplay(b *testing.B) {
 	ctx := context.Background()
 	clock, store := benchStore()
-	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	tbl, err := CreateWith(ctx, store, "tbl", tblSchema, OpenOptions{Clock: clock})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -15,7 +15,7 @@ func TestCheckpointsBoundReplay(t *testing.T) {
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
 	store, metrics := objectstore.Instrument(mem, objectstore.DefaultS3Model())
-	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	tbl, err := CreateWith(ctx, store, "tbl", tblSchema, OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestCheckpointCorruptionFallsBack(t *testing.T) {
 	ctx := context.Background()
 	clock := simtime.NewVirtualClock()
 	store := objectstore.NewMemStore(clock)
-	tbl, err := Create(ctx, store, clock, "tbl", tblSchema)
+	tbl, err := CreateWith(ctx, store, "tbl", tblSchema, OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

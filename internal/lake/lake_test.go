@@ -36,7 +36,7 @@ func newTestTable(t *testing.T) (*Table, *objectstore.MemStore, *simtime.Virtual
 	t.Helper()
 	clock := simtime.NewVirtualClock()
 	store := objectstore.NewMemStore(clock)
-	tbl, err := Create(context.Background(), store, clock, "tbl", tblSchema)
+	tbl, err := CreateWith(context.Background(), store, "tbl", tblSchema, OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,17 +47,17 @@ func TestCreateOpenAppendSnapshot(t *testing.T) {
 	ctx := context.Background()
 	tbl, store, clock := newTestTable(t)
 
-	if _, err := Create(ctx, store, clock, "tbl", tblSchema); err == nil {
+	if _, err := CreateWith(ctx, store, "tbl", tblSchema, OpenOptions{Clock: clock}); err == nil {
 		t.Fatal("double create accepted")
 	}
-	reopened, err := Open(ctx, store, clock, "tbl")
+	reopened, err := OpenWith(ctx, store, "tbl", OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reopened.Root() != "tbl/" {
 		t.Fatalf("root = %q", reopened.Root())
 	}
-	if _, err := Open(ctx, store, clock, "nope"); !errors.Is(err, ErrNoTable) {
+	if _, err := OpenWith(ctx, store, "nope", OpenOptions{Clock: clock}); !errors.Is(err, ErrNoTable) {
 		t.Fatalf("open missing: %v", err)
 	}
 

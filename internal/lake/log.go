@@ -32,6 +32,12 @@ var (
 	// ErrNoSnapshot reports a request for a version that does not
 	// exist (or was never committed).
 	ErrNoSnapshot = errors.New("lake: snapshot not found")
+	// ErrCommitAmbiguous reports that a commit's conditional PUT
+	// failed in a way that could not be resolved by reading the log
+	// entry back: the commit may or may not have landed. Callers that
+	// must be exactly-once (the ingest writer) resolve it by checking
+	// a later snapshot for the commit's unique file paths.
+	ErrCommitAmbiguous = errors.New("lake: commit outcome ambiguous")
 )
 
 // ColumnStats are file-level min/max statistics for one column,

@@ -176,13 +176,6 @@ func CreateWith(ctx context.Context, store objectstore.Store, root string, schem
 	return t, nil
 }
 
-// Create is CreateWith taking the clock positionally.
-//
-// Deprecated: use CreateWith with OpenOptions.Clock.
-func Create(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string, schema *parquet.Schema) (*Table, error) {
-	return CreateWith(ctx, store, root, schema, OpenOptions{Clock: clock})
-}
-
 // OpenWith returns a handle to an existing table at root.
 func OpenWith(ctx context.Context, store objectstore.Store, root string, opts OpenOptions) (*Table, error) {
 	clock := opts.Clock
@@ -197,13 +190,6 @@ func OpenWith(ctx context.Context, store objectstore.Store, root string, opts Op
 		return nil, err
 	}
 	return t, nil
-}
-
-// Open is OpenWith taking the clock positionally.
-//
-// Deprecated: use OpenWith with OpenOptions.Clock.
-func Open(ctx context.Context, store objectstore.Store, clock simtime.Clock, root string) (*Table, error) {
-	return OpenWith(ctx, store, root, OpenOptions{Clock: clock})
 }
 
 func normalizeRoot(root string) string {
@@ -326,12 +312,41 @@ func (t *Table) commit(ctx context.Context, op string, actions []Action, validat
 			t.fireCommit(version + 1)
 			return version + 1, nil
 		}
-		if !errors.Is(err, objectstore.ErrExists) {
-			return 0, err
+		if errors.Is(err, objectstore.ErrExists) {
+			// Lost the race: re-read and retry.
+			continue
 		}
-		// Lost the race: re-read and retry.
+		// The conditional PUT failed with neither success nor a clean
+		// loss. On stores without a retry layer an ambiguous put (the
+		// write landed, the response was lost) surfaces here; resolve
+		// it by reading the log entry back and comparing payloads, so
+		// OnCommit fires exactly once per version that we committed.
+		switch landed, rerr := t.readBackCommit(ctx, version+1, data); {
+		case rerr == nil && landed:
+			t.maybeCheckpoint(ctx, version+1)
+			t.fireCommit(version + 1)
+			return version + 1, nil
+		case rerr == nil && !landed:
+			// Someone else's entry occupies the slot: lost the race.
+			continue
+		case errors.Is(rerr, objectstore.ErrNotFound):
+			// Nothing landed at all: the original error is accurate.
+			return 0, err
+		default:
+			return 0, fmt.Errorf("%w: put %v, read-back %v", ErrCommitAmbiguous, err, rerr)
+		}
 	}
 	return 0, fmt.Errorf("lake: commit retries exhausted: %w", ErrConflict)
+}
+
+// readBackCommit fetches the log entry at version and reports whether
+// it byte-matches the payload this handle just tried to write.
+func (t *Table) readBackCommit(ctx context.Context, version int64, payload []byte) (bool, error) {
+	got, err := t.store.Get(ctx, logKey(t.root, version))
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(got, payload), nil
 }
 
 // newFileName returns a fresh random data-file name, mirroring the
@@ -344,27 +359,67 @@ func newFileName(ext string) string {
 	return hex.EncodeToString(b[:]) + ext
 }
 
-// Append writes the batch as a new data file and commits it, with
-// per-column min/max stats recorded in the log entry.
-func (t *Table) Append(ctx context.Context, b *parquet.Batch, opts parquet.WriterOptions) (string, error) {
+// PendingFile describes a data file staged by WriteFile but not yet
+// committed: invisible to every snapshot until CommitFiles lands it.
+// Paths are random, so a pending file's presence in a later snapshot
+// uniquely identifies its commit — the ingest writer's exactly-once
+// check relies on this.
+type PendingFile struct {
+	// Path is the file key relative to the table root.
+	Path string
+	// Rows and Size mirror the AddFile action to come.
+	Rows int64
+	Size int64
+	// Stats holds per-column min/max recorded at write time.
+	Stats map[string]ColumnStats
+}
+
+// WriteFile stages the batch as a new data file without committing
+// it. The upload is idempotent (unique random path, plain PUT), so a
+// caller may safely retry it, and an uncommitted staged file is
+// garbage that Vacuum eventually collects.
+func (t *Table) WriteFile(ctx context.Context, b *parquet.Batch, opts parquet.WriterOptions) (PendingFile, error) {
 	path := "data/" + newFileName(".rpq")
 	w := parquet.NewFileWriter(b.Schema, opts)
 	if err := w.Append(b); err != nil {
-		return "", err
+		return PendingFile{}, err
 	}
 	data, meta, err := w.Close()
 	if err != nil {
-		return "", err
+		return PendingFile{}, err
 	}
 	if err := t.store.Put(ctx, t.root+path, data); err != nil {
-		return "", err
+		return PendingFile{}, err
 	}
-	add := &AddFile{Path: path, Rows: meta.NumRows, Size: int64(len(data)), Stats: statsFromMeta(meta)}
-	_, err = t.commit(ctx, "APPEND", []Action{{Add: add}}, nil)
+	return PendingFile{Path: path, Rows: meta.NumRows, Size: int64(len(data)), Stats: statsFromMeta(meta)}, nil
+}
+
+// CommitFiles commits staged files in one log round: N batches become
+// N Add actions in a single entry, so a group of micro-batches costs
+// one conditional PUT instead of one per batch. It returns the
+// committed version.
+func (t *Table) CommitFiles(ctx context.Context, files ...PendingFile) (int64, error) {
+	if len(files) == 0 {
+		return 0, fmt.Errorf("lake: commit of zero files")
+	}
+	actions := make([]Action, len(files))
+	for i, f := range files {
+		actions[i] = Action{Add: &AddFile{Path: f.Path, Rows: f.Rows, Size: f.Size, Stats: f.Stats}}
+	}
+	return t.commit(ctx, "APPEND", actions, nil)
+}
+
+// Append writes the batch as a new data file and commits it, with
+// per-column min/max stats recorded in the log entry.
+func (t *Table) Append(ctx context.Context, b *parquet.Batch, opts parquet.WriterOptions) (string, error) {
+	pf, err := t.WriteFile(ctx, b, opts)
 	if err != nil {
 		return "", err
 	}
-	return path, nil
+	if _, err := t.CommitFiles(ctx, pf); err != nil {
+		return "", err
+	}
+	return pf.Path, nil
 }
 
 // statsFromMeta folds a file's chunk-level min/max statistics into

@@ -89,7 +89,7 @@ func TestHedgeDeterminism(t *testing.T) {
 	ctx := context.Background()
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
-	table, err := lake.Create(ctx, mem, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(ctx, mem, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,7 +9,8 @@ import (
 // duplicates, truncate to k (0 = unbounded). Shard ranges are
 // disjoint so duplicates only arise from replica overlap or callers
 // merging overlapping sets; dedup makes the merge idempotent either
-// way.
+// way, keeping the best (lowest) score when overlapping sets disagree
+// so the output never depends on shard order.
 func MergeExact(lists [][]insitu.Match, k int) []insitu.Match {
 	var all []insitu.Match
 	for _, l := range lists {
@@ -19,6 +20,9 @@ func MergeExact(lists [][]insitu.Match, k int) []insitu.Match {
 	var out []insitu.Match
 	for _, m := range all {
 		if n := len(out); n > 0 && out[n-1].Path == m.Path && out[n-1].Row == m.Row {
+			if m.Score < out[n-1].Score {
+				out[n-1] = m
+			}
 			continue
 		}
 		out = append(out, m)

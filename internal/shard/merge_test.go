@@ -47,13 +47,16 @@ func refExact(lists [][]insitu.Match, k int) []insitu.Match {
 	}
 	insitu.SortMatches(all)
 	var out []insitu.Match
-	seen := map[[2]interface{}]bool{}
+	seen := map[[2]interface{}]int{}
 	for _, m := range all {
 		key := [2]interface{}{m.Path, m.Row}
-		if seen[key] {
+		if i, ok := seen[key]; ok {
+			if m.Score < out[i].Score {
+				out[i] = m
+			}
 			continue
 		}
-		seen[key] = true
+		seen[key] = len(out)
 		out = append(out, m)
 	}
 	if k > 0 && len(out) > k {

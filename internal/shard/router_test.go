@@ -42,7 +42,7 @@ func newTestWorld(t testing.TB, batches, rowsPerBatch int) *testWorld {
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
 	store, _ := objectstore.Instrument(mem, objectstore.DefaultS3Model())
-	table, err := lake.Create(ctx, store, clock, "lake", uuidSchema)
+	table, err := lake.CreateWith(ctx, store, "lake", uuidSchema, lake.OpenOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestRouterEmptySnapshot(t *testing.T) {
 	clock := simtime.NewVirtualClock()
 	mem := objectstore.NewMemStore(clock)
 	store, _ := objectstore.Instrument(mem, objectstore.DefaultS3Model())
-	if _, err := lake.Create(ctx, store, clock, "lake", uuidSchema); err != nil {
+	if _, err := lake.CreateWith(ctx, store, "lake", uuidSchema, lake.OpenOptions{Clock: clock}); err != nil {
 		t.Fatal(err)
 	}
 	rt, err := New(ctx, store, "lake", Options{Shards: 3, IndexDir: "rottnest", Clock: clock})

@@ -53,6 +53,7 @@ import (
 
 	"rottnest/internal/component"
 	"rottnest/internal/core"
+	"rottnest/internal/ingest"
 	"rottnest/internal/insitu"
 	"rottnest/internal/lake"
 	"rottnest/internal/meta"
@@ -223,9 +224,9 @@ type (
 	Batch = parquet.Batch
 	// ColumnValues holds one column of a batch.
 	ColumnValues = parquet.ColumnValues
-	// WriterOptions tune data file layout (row groups, pages,
+	// FileWriterOptions tune data file layout (row groups, pages,
 	// compression).
-	WriterOptions = parquet.WriterOptions
+	FileWriterOptions = parquet.WriterOptions
 )
 
 // Physical column types.
@@ -316,6 +317,14 @@ func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
 // RenderTrace writes an indented, human-readable rendering of a span
 // tree — the text form of "EXPLAIN ANALYZE".
 func RenderTrace(w io.Writer, n *TraceNode) error { return obs.RenderText(w, n) }
+
+// CacheStatsFrom derives the legacy CacheStats view from a metrics
+// snapshot (the cache.* counters of Client.Metrics).
+func CacheStatsFrom(snap MetricsSnapshot) CacheStats { return objectstore.CacheStatsFrom(snap) }
+
+// RetryStatsFrom derives the legacy RetryStats view from a metrics
+// snapshot (the retry.* counters of Client.Metrics).
+func RetryStatsFrom(snap MetricsSnapshot) RetryStats { return objectstore.RetryStatsFrom(snap) }
 
 // Clock abstracts time for simulation; see NewVirtualClock.
 type Clock = simtime.Clock
@@ -442,14 +451,6 @@ func CreateTableWith(ctx context.Context, store Store, root string, schema *Sche
 	return lake.CreateWith(ctx, store, root, schema, opts)
 }
 
-// CreateTableWithClock is CreateTable stamping commits from the given
-// clock.
-//
-// Deprecated: use CreateTableWith with TableOptions.Clock.
-func CreateTableWithClock(ctx context.Context, store Store, clock Clock, root string, schema *Schema) (*Table, error) {
-	return CreateTableWith(ctx, store, root, schema, TableOptions{Clock: clock})
-}
-
 // OpenTable opens an existing lake table at root.
 func OpenTable(ctx context.Context, store Store, root string) (*Table, error) {
 	return lake.OpenWith(ctx, store, root, lake.OpenOptions{})
@@ -460,13 +461,6 @@ func OpenTableWith(ctx context.Context, store Store, root string, opts TableOpti
 	return lake.OpenWith(ctx, store, root, opts)
 }
 
-// OpenTableWithClock is OpenTable with an explicit clock.
-//
-// Deprecated: use OpenTableWith with TableOptions.Clock.
-func OpenTableWithClock(ctx context.Context, store Store, clock Clock, root string) (*Table, error) {
-	return OpenTableWith(ctx, store, root, TableOptions{Clock: clock})
-}
-
 // NewClient returns a Rottnest client over the table. The clock
 // driving timeouts and vacuum decisions comes from cfg.Clock; leave it
 // nil for the real wall clock, or set a VirtualClock for simulations.
@@ -474,10 +468,41 @@ func NewClient(table *Table, cfg Config) *Client {
 	return core.NewClient(table, cfg)
 }
 
-// NewClientWithClock is NewClient with an explicit clock argument.
-//
-// Deprecated: set Config.Clock instead.
-func NewClientWithClock(table *Table, clock Clock, cfg Config) *Client {
-	cfg.Clock = clock
-	return NewClient(table, cfg)
+// Continuous ingestion types: a micro-batching group-commit writer and
+// a budgeted background maintenance scheduler (see internal/ingest and
+// DESIGN.md §16).
+type (
+	// Writer is the micro-batching, group-committing ingestion writer.
+	Writer = ingest.Writer
+	// WriterOptions tune a Writer (batch bounds, group size,
+	// backpressure budget). For data-file layout options see
+	// FileWriterOptions.
+	WriterOptions = ingest.WriterOptions
+	// Ack resolves when an appended batch is durably committed.
+	Ack = ingest.Ack
+	// CommittedFile describes one micro-batch landed by a group commit.
+	CommittedFile = ingest.CommittedFile
+	// Scheduler is the budgeted background maintenance daemon.
+	Scheduler = ingest.Scheduler
+	// SchedulerOptions tune a Scheduler (request budget, watermarks,
+	// maintained index specs).
+	SchedulerOptions = ingest.SchedulerOptions
+)
+
+// NewWriter returns a micro-batching writer over the table: concurrent
+// Appends coalesce into size/age-bounded micro-batches, sealed batches
+// group-commit through one conditional PUT per group, and every Append
+// returns an Ack resolving at durability. Close drains all pending
+// acks.
+func NewWriter(table *Table, opts WriterOptions) *Writer {
+	return ingest.NewWriter(table, opts)
+}
+
+// NewScheduler returns a background maintenance scheduler for the
+// table: it watches commits (and opts.Writer, when set), then runs
+// index, compact, and vacuum jobs by priority under a request-per-
+// second budget, pausing the writer when unindexed rows outrun
+// indexing. Drive it with Run (daemon) or Step/Quiesce (manual).
+func NewScheduler(table *Table, opts SchedulerOptions) *Scheduler {
+	return ingest.NewScheduler(table, opts)
 }

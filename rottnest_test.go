@@ -21,7 +21,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		rottnest.Column{Name: "body", Type: rottnest.TypeByteArray},
 		rottnest.Column{Name: "emb", Type: rottnest.TypeFixedLenByteArray, TypeLen: 4 * 8},
 	)
-	table, err := rottnest.CreateTableWithClock(ctx, store, clock, "lake", schema)
+	table, err := rottnest.CreateTableWith(ctx, store, "lake", schema, rottnest.TableOptions{Clock: clock})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,12 +53,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		b.Cols[0] = rottnest.ColumnValues{Bytes: ids}
 		b.Cols[1] = rottnest.ColumnValues{Bytes: bodies}
 		b.Cols[2] = rottnest.ColumnValues{Bytes: embs}
-		if _, err := table.Append(ctx, b, rottnest.WriterOptions{RowGroupRows: 128, PageBytes: 2048}); err != nil {
+		if _, err := table.Append(ctx, b, rottnest.FileWriterOptions{RowGroupRows: 128, PageBytes: 2048}); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	client := rottnest.NewClientWithClock(table, clock, rottnest.Config{IndexDir: "index"})
+	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "index", Clock: clock})
 	for _, spec := range []struct {
 		column string
 		kind   rottnest.IndexKind
@@ -132,7 +132,7 @@ func ExampleNewClient() {
 	key := workload.NewUUIDGen(7).Next()
 	b := rottnest.NewBatch(schema)
 	b.Cols[0] = rottnest.ColumnValues{Bytes: [][]byte{key[:]}}
-	table.Append(ctx, b, rottnest.WriterOptions{})
+	table.Append(ctx, b, rottnest.FileWriterOptions{})
 
 	client := rottnest.NewClient(table, rottnest.Config{IndexDir: "index"})
 	client.Index(ctx, "id", rottnest.KindTrie)
