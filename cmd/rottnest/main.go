@@ -18,6 +18,7 @@ package main
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -77,6 +78,7 @@ commands:
   create        create a lake table (-schema "id:uuid,msg:text,emb:vec:64")
   gen           append synthetic rows matching the table schema
   ingest        stream synthetic micro-batches through the group-commit writer
+                [-maintain col:kind] run the scheduler daemon alongside
   index         bring one (column, kind) index up to date
   search        query (-uuid HEX | -substring S | -vector "0.1,..." | -where 'a~x AND b=HEX')
                 [-shards N] [-replicas M] route through the scatter-gather serving tier
@@ -315,6 +317,7 @@ func cmdIngest(args []string) error {
 	batches := c.fs.Int("batches", 32, "number of micro-batches")
 	group := c.fs.Int("group", 8, "micro-batches per group commit")
 	seed := c.fs.Int64("seed", time.Now().UnixNano(), "generator seed")
+	maintain := c.fs.String("maintain", "", "run the maintenance scheduler daemon alongside ingest, keeping column:kind fresh")
 	if err := c.parse(args); err != nil {
 		return err
 	}
@@ -332,6 +335,26 @@ func cmdIngest(args []string) error {
 		GroupCommitBatches: *group,
 		Manual:             true, // commit on Flush/Close: deterministic CLI runs
 	})
+	var sched *rottnest.Scheduler
+	runDone := make(chan error, 1)
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	if *maintain != "" {
+		fields := strings.SplitN(*maintain, ":", 2)
+		if len(fields) != 2 {
+			return fmt.Errorf("-maintain wants column:kind, got %q", *maintain)
+		}
+		kind, err := parseKind(fields[1])
+		if err != nil {
+			return err
+		}
+		sched = rottnest.NewScheduler(table, rottnest.SchedulerOptions{
+			Writer: w,
+			Specs:  []rottnest.IndexSpec{{Column: fields[0], Kind: kind}},
+			Config: rottnest.Config{IndexDir: *c.indexDir},
+		})
+		go func() { runDone <- sched.Run(runCtx) }()
+	}
 	gen := newSynthGen(*seed)
 	acks := make([]*rottnest.Ack, 0, *batches)
 	for b := 0; b < *batches; b++ {
@@ -356,6 +379,21 @@ func cmdIngest(args []string) error {
 		ms.Counter("ingest.group_commits"))
 	if amb := ms.Counter("ingest.ambiguous_resolved"); amb > 0 {
 		fmt.Printf("ambiguous commits resolved by read-back: %d\n", amb)
+	}
+	if sched != nil {
+		// Stop the daemon, then converge maintenance so every ingested
+		// row is index-covered before the command exits.
+		stopRun()
+		if err := <-runDone; err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if err := sched.Quiesce(ctx); err != nil {
+			return err
+		}
+		ss := sched.Registry().Snapshot()
+		fmt.Printf("maintenance: %d index, %d compact, %d vacuum jobs; %d rows unindexed\n",
+			ss.Counter("ingest.jobs_index"), ss.Counter("ingest.jobs_compact"),
+			ss.Counter("ingest.jobs_vacuum"), ss.Gauge("ingest.rows_unindexed"))
 	}
 	version, err := table.Version(ctx)
 	if err != nil {

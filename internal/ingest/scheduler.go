@@ -46,9 +46,17 @@ type SchedulerOptions struct {
 	// Clock drives the budget refill and lag measurement. Nil means
 	// the real wall clock.
 	Clock simtime.Clock
+	// TickEvery paces Run's periodic wakeups: a real-time ticker that
+	// refills the budget, applies the writer's age bound, and drains
+	// whatever backlog is left once commits go quiet or the budget
+	// ran dry. Default 100ms. Virtual-clock drivers bypass Run and
+	// call Step/Tick directly.
+	TickEvery time.Duration
 	// OnCovered, if set, runs when a committed file becomes covered
 	// by every spec, with its exact searchable lag. Benchmarks use it
 	// to collect precise percentiles beside the bucketed histogram.
+	// It is called without the scheduler's lock held, so it may call
+	// back into the scheduler (or writer) freely.
 	OnCovered func(path string, rows int64, lag time.Duration)
 }
 
@@ -61,6 +69,9 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	}
 	if o.ResumeBelowRows <= 0 {
 		o.ResumeBelowRows = o.PauseAboveRows / 2
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 100 * time.Millisecond
 	}
 	if o.Clock == nil {
 		o.Clock = simtime.RealClock{}
@@ -238,6 +249,12 @@ func (s *Scheduler) observe(ctx context.Context) (*coverage, error) {
 	}
 
 	now := s.clock.Now()
+	type coveredFile struct {
+		path string
+		rows int64
+		lag  time.Duration
+	}
+	var newlyCovered []coveredFile
 	s.mu.Lock()
 	for p, e := range s.ledger {
 		if !cov.snapPaths[p] {
@@ -249,14 +266,20 @@ func (s *Scheduler) observe(ctx context.Context) (*coverage, error) {
 		if s.coveredByAll(cov, p) {
 			lag := now.Sub(e.ackedAt)
 			s.lagHist.Observe(int64(lag))
-			if s.opts.OnCovered != nil {
-				s.opts.OnCovered(p, e.rows, lag)
-			}
+			newlyCovered = append(newlyCovered, coveredFile{path: p, rows: e.rows, lag: lag})
 			delete(s.ledger, p)
 		}
 	}
 	unindexed := s.unindexedRowsLocked()
 	s.mu.Unlock()
+	// Fire OnCovered outside s.mu: a callback that re-enters the
+	// scheduler (NoteCommitted, say) must not self-deadlock, and the
+	// writer's group-commit hook must not stall behind it.
+	if s.opts.OnCovered != nil {
+		for _, cf := range newlyCovered {
+			s.opts.OnCovered(cf.path, cf.rows, cf.lag)
+		}
+	}
 	s.rowsUnindexed.Set(unindexed)
 
 	// Backpressure state machine.
@@ -459,16 +482,25 @@ func (s *Scheduler) Quiesce(ctx context.Context) error {
 	}
 }
 
-// Run loops the scheduler until ctx is done: each table commit (or
-// pause in traffic) wakes it, it ticks the writer's age bound, and
-// steps while there is work and budget. It is the daemon entry point
-// for real-clock deployments.
+// Run loops the scheduler until ctx is done: each table commit wakes
+// it, and a real-time ticker (TickEvery) wakes it regardless, so a
+// pause in traffic still ticks the writer's age bound, refills the
+// budget, and drains the tail of committed-but-unindexed files. The
+// ticker is what makes backpressure safe: with it, a writer paused at
+// the high watermark while the budget is in debt is always revisited —
+// tokens refill, the backlog indexes, and the writer resumes — even
+// when no further commits (and hence no commit wakeups) can occur. It
+// is the daemon entry point for real-clock deployments; virtual-clock
+// drivers call Step/Tick/Quiesce directly.
 func (s *Scheduler) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.opts.TickEvery)
+	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-s.commits:
+		case <-ticker.C:
 		}
 		if w := s.opts.Writer; w != nil {
 			if err := w.Tick(ctx); err != nil && !errors.Is(err, ErrClosed) {

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -190,6 +191,66 @@ func TestSchedulerBudgetPacing(t *testing.T) {
 		}
 	}
 	t.Fatal("bucket never refilled despite 2000s of virtual time")
+}
+
+// TestSchedulerRunRecoversFromBudgetStall exercises the Run daemon's
+// worst case: the backlog passes the pause watermark, the budget is
+// deep in debt, and — because the writer is paused — no further
+// commits (and so no commit wakeups) can ever arrive. Run's ticker
+// must still refill the budget, index the tail, and resume the
+// writer; without it the system deadlocks permanently.
+func TestSchedulerRunRecoversFromBudgetStall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clock := simtime.RealClock{}
+	stack := objectstore.NewStack(objectstore.NewMemStore(clock), objectstore.StackOptions{
+		Latency:    &objectstore.LatencyModel{},
+		CacheBytes: -1,
+	})
+	tbl := newTestTable(t, stack.Store, clock)
+	w := NewWriter(tbl, WriterOptions{MaxBatchRows: 2, Clock: clock, Manual: true})
+	s := NewScheduler(tbl, SchedulerOptions{
+		Writer:          w,
+		Clock:           clock,
+		Config:          core.Config{IndexDir: "idx", Clock: clock},
+		Specs:           []core.IndexSpec{{Column: "msg", Kind: component.KindFM}},
+		RequestsPerSec:  500,
+		PauseAboveRows:  2,
+		ResumeBelowRows: 1,
+		TickEvery:       5 * time.Millisecond,
+	})
+
+	// Commit a backlog past the pause watermark, then overdraw the
+	// bucket so the pending commit wakeup finds no budget: the first
+	// Run iteration pauses the writer and schedules nothing.
+	ingestRows(t, ctx, w, "stall", 6)
+	s.mu.Lock()
+	s.tokens = -100
+	s.mu.Unlock()
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx) }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := s.Registry().Snapshot()
+		if snap.Gauge("ingest.rows_unindexed") == 0 &&
+			snap.Counter("ingest.jobs_index") > 0 && !w.Paused() {
+			if snap.Counter("ingest.sched_pauses") == 0 {
+				t.Fatal("writer never paused; the stall precondition was not exercised")
+			}
+			cancel()
+			if err := <-runErr; !errors.Is(err, context.Canceled) {
+				t.Fatalf("Run returned %v, want context.Canceled", err)
+			}
+			if err := w.Close(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("Run never recovered: budget stall with a paused writer persists")
 }
 
 // TestSchedulerJobPriorities verifies index > compact > vacuum: churn

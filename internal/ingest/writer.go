@@ -163,7 +163,8 @@ type Writer struct {
 	cond      *sync.Cond
 	staging   *microBatch
 	sealed    []*microBatch
-	pending   int // rows staged or awaiting commit
+	inflight  map[*microBatch]struct{} // handed to a commit pass, acks unresolved
+	pending   int                      // rows staged or awaiting commit
 	paused    bool
 	closed    bool
 	commitEMA time.Duration
@@ -190,11 +191,12 @@ func NewWriter(table *lake.Table, opts WriterOptions) *Writer {
 	opts = opts.withDefaults()
 	reg := obs.NewRegistry()
 	w := &Writer{
-		table: table,
-		opts:  opts,
-		clock: opts.Clock,
-		reg:   reg,
-		done:  make(chan struct{}),
+		table:    table,
+		opts:     opts,
+		clock:    opts.Clock,
+		reg:      reg,
+		inflight: make(map[*microBatch]struct{}),
+		done:     make(chan struct{}),
 
 		rowsAcked:     reg.Counter("ingest.rows_acked"),
 		batchesDone:   reg.Counter("ingest.batches_committed"),
@@ -295,9 +297,12 @@ func (w *Writer) Append(ctx context.Context, b *parquet.Batch) (*Ack, error) {
 		w.staging = &microBatch{batch: parquet.NewBatch(b.Schema), born: w.clock.Now()}
 	}
 	st := w.staging
-	if len(st.batch.Cols) != len(b.Cols) {
+	if !b.Schema.Equal(st.batch.Schema) {
+		// Same arity is not enough: merging differently named or typed
+		// columns under the staging schema would corrupt the staged
+		// file, so producers must agree on the exact schema.
 		w.mu.Unlock()
-		return nil, fmt.Errorf("ingest: batch schema mismatch: %d columns, staging has %d", len(b.Cols), len(st.batch.Cols))
+		return nil, fmt.Errorf("ingest: batch schema mismatch: columns differ from the staging batch's schema")
 	}
 	for i := range st.batch.Cols {
 		st.batch.Cols[i] = st.batch.Cols[i].Append(b.Cols[i])
@@ -395,7 +400,10 @@ func (w *Writer) Paused() bool {
 }
 
 // Flush seals the staging batch and blocks until every row staged
-// before the call is committed (or failed, resolving its ack).
+// before the call is committed (or failed, resolving its ack). Rows
+// appended by other producers after the call do not extend the wait:
+// Flush snapshots the acks outstanding at call time and waits only on
+// those, so sustained concurrent traffic cannot starve it.
 func (w *Writer) Flush(ctx context.Context) error {
 	w.mu.Lock()
 	if w.closed {
@@ -403,9 +411,61 @@ func (w *Writer) Flush(ctx context.Context) error {
 		return ErrClosed
 	}
 	w.sealLocked()
+	acks := w.outstandingAcksLocked()
 	w.cond.Broadcast()
 	w.mu.Unlock()
-	return w.drain(ctx)
+	if w.opts.Manual {
+		// No background committer: run commit passes inline until the
+		// snapshot resolves (later-staged batches ahead in the queue
+		// just commit along the way).
+		for !acksResolved(acks) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !w.commitPass(ctx, false) {
+				break
+			}
+		}
+	}
+	return waitAcks(ctx, acks)
+}
+
+// outstandingAcksLocked snapshots the acks of every batch staged but
+// not yet resolved: sealed batches plus groups a commit pass holds.
+// (The staging batch is empty at the call sites — Flush seals first.)
+func (w *Writer) outstandingAcksLocked() []*Ack {
+	var acks []*Ack
+	for _, mb := range w.sealed {
+		acks = append(acks, mb.acks...)
+	}
+	for mb := range w.inflight {
+		acks = append(acks, mb.acks...)
+	}
+	return acks
+}
+
+// acksResolved reports whether every ack has resolved.
+func acksResolved(acks []*Ack) bool {
+	for _, a := range acks {
+		select {
+		case <-a.done:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// waitAcks blocks until every ack resolves or ctx is done.
+func waitAcks(ctx context.Context, acks []*Ack) error {
+	for _, a := range acks {
+		select {
+		case <-a.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // Close seals and drains everything — every pending ack resolves,
@@ -432,31 +492,18 @@ func (w *Writer) Close(ctx context.Context) error {
 	}
 }
 
-// drain commits until no work remains. In manual mode it runs the
-// passes inline; otherwise it waits for the background committer.
+// drain runs manual-mode commit passes inline until no work remains.
+// Close uses it: a closed writer admits no new rows, so the loop is
+// exact.
 func (w *Writer) drain(ctx context.Context) error {
-	if w.opts.Manual {
-		for {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if !w.commitPass(ctx, true) {
-				return nil
-			}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !w.commitPass(ctx, true) {
+			return nil
 		}
 	}
-	stop := context.AfterFunc(ctx, func() {
-		w.mu.Lock()
-		w.cond.Broadcast()
-		w.mu.Unlock()
-	})
-	defer stop()
-	w.mu.Lock()
-	for w.pending > 0 && ctx.Err() == nil {
-		w.cond.Wait()
-	}
-	w.mu.Unlock()
-	return ctx.Err()
 }
 
 // run is the background committer: it drains sealed batches in
@@ -502,6 +549,9 @@ func (w *Writer) commitPass(ctx context.Context, idleFlush bool) bool {
 	group := make([]*microBatch, n)
 	copy(group, w.sealed[:n])
 	w.sealed = w.sealed[n:]
+	for _, mb := range group {
+		w.inflight[mb] = struct{}{}
+	}
 	w.mu.Unlock()
 	w.commitGroup(ctx, group)
 	return true
@@ -613,6 +663,7 @@ func (w *Writer) landed(ctx context.Context, path string) (bool, int64, error) {
 // finish resolves a batch's acks and releases its pending rows.
 func (w *Writer) finish(mb *microBatch, version int64, path string, err error) {
 	w.mu.Lock()
+	delete(w.inflight, mb)
 	w.pending -= mb.rows
 	w.pendingGauge.Set(int64(w.pending))
 	w.cond.Broadcast()

@@ -133,6 +133,23 @@ func MustSchema(cols ...Column) *Schema {
 	return s
 }
 
+// Equal reports whether the two schemas have the same columns — same
+// names, types, and fixed-length widths, in the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i, c := range s.Columns {
+		if c != o.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // ColumnIndex returns the index of the named column, or -1.
 func (s *Schema) ColumnIndex(name string) int {
 	for i, c := range s.Columns {

@@ -74,7 +74,7 @@ func (w *FileWriter) Append(b *Batch) error {
 	if w.closed {
 		return fmt.Errorf("parquet: append after close")
 	}
-	if b.Schema != w.schema && len(b.Schema.Columns) != len(w.schema.Columns) {
+	if !b.Schema.Equal(w.schema) {
 		return fmt.Errorf("parquet: batch schema mismatch")
 	}
 	if err := b.Validate(); err != nil {

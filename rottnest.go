@@ -475,9 +475,18 @@ type (
 	// Writer is the micro-batching, group-committing ingestion writer.
 	Writer = ingest.Writer
 	// WriterOptions tune a Writer (batch bounds, group size,
-	// backpressure budget). For data-file layout options see
-	// FileWriterOptions.
+	// backpressure budget).
+	//
+	// Renamed meaning: before the ingest subsystem, WriterOptions
+	// named the data-file layout options (row groups, pages,
+	// compression); that type is now FileWriterOptions, and a
+	// WriterOptions value carries it in its Parquet field. Code that
+	// configured file layout through rottnest.WriterOptions should
+	// migrate to FileWriterOptions — see README "API stability".
 	WriterOptions = ingest.WriterOptions
+	// IngestWriterOptions is an explicit alias for WriterOptions, for
+	// call sites that want the unambiguous name across the rename.
+	IngestWriterOptions = ingest.WriterOptions
 	// Ack resolves when an appended batch is durably committed.
 	Ack = ingest.Ack
 	// CommittedFile describes one micro-batch landed by a group commit.
