@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded bench-planner bench-ingest benchgate vulncheck
+.PHONY: build test check fuzz-smoke trace-smoke bench-cache bench-build bench-serve bench-multi bench-sharded bench-planner bench-ingest bench-adaptive benchgate vulncheck
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ check:
 	$(MAKE) bench-sharded
 	$(MAKE) bench-planner
 	$(MAKE) bench-ingest
+	$(MAKE) bench-adaptive
 	$(MAKE) benchgate
 	$(MAKE) vulncheck
 
@@ -44,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzPredicateParser -run '^FuzzPredicateParser$$' -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzShardMerge -run '^FuzzShardMerge$$' -fuzztime=10s ./internal/shard/
 	$(GO) test -fuzz=FuzzFMSuperwalk -run '^FuzzFMSuperwalk$$' -fuzztime=10s ./internal/fmindex/
+	$(GO) test -fuzz=FuzzHeatLedger -run '^FuzzHeatLedger$$' -fuzztime=10s ./internal/adaptive/
 
 # trace-smoke proves the observability path end to end: quickstart
 # runs every lookup through Client.Trace, writes the span trees as
@@ -95,6 +97,13 @@ bench-planner:
 # appends and searchable-lag percentiles under the budgeted scheduler.
 bench-ingest:
 	$(GO) run ./cmd/rottnest-bench -quick -seed 13 -json BENCH_ingest.json ingest
+
+# bench-adaptive records the workload-adaptive maintenance
+# experiment: heat-driven scheduling vs index-everything vs scan-only
+# on the Zipf mix — maintenance store-request reduction, hot-partition
+# searchable lag, and steady-state query latency per regime.
+bench-adaptive:
+	$(GO) run ./cmd/rottnest-bench -quick -seed 21 -json BENCH_adaptive.json adaptive
 
 # benchgate fails check when a regenerated benchmark record regresses
 # a virtual-time QPS field by more than 20% against the committed

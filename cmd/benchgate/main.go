@@ -1,16 +1,26 @@
 // Command benchgate guards the committed benchmark records: for each
-// BENCH_*.json given, it compares every QPS-named numeric field
-// against the version committed at HEAD and fails if any regressed by
-// more than the threshold (default 20%). Files not tracked at HEAD
-// are skipped, so the gate never blocks a brand-new experiment.
+// BENCH_*.json given, it compares the gated numeric fields against
+// the version committed at HEAD and fails if any regressed by more
+// than the threshold (default 20%). Files not tracked at HEAD are
+// skipped, so the gate never blocks a brand-new experiment.
 //
-// Only virtual-time throughput fields (whose JSON key contains "qps")
-// are gated: they are deterministic for a fixed seed, unlike
-// wall-clock rates, which would flake on shared CI hardware.
+// Gated fields, by JSON key (case-insensitive):
+//
+//   - keys containing "qps" or "reduction" — higher is better; the
+//     gate fails when the value drops more than the threshold below
+//     the baseline. QPS pins virtual-time throughput; reduction pins
+//     the adaptive scheduler's maintenance-request saving.
+//   - keys containing "adaptive_hot_lag" — lower is better; the gate
+//     fails when the adaptive regime's hot-partition searchable lag
+//     grows more than the threshold above the baseline.
+//
+// Only virtual-time quantities are gated: they are deterministic for
+// a fixed seed, unlike wall-clock rates, which would flake on shared
+// CI hardware.
 //
 // Usage:
 //
-//	benchgate [-threshold 0.2] BENCH_multi.json BENCH_sharded.json ...
+//	benchgate [-threshold 0.2] BENCH_multi.json BENCH_adaptive.json ...
 package main
 
 import (
@@ -24,7 +34,7 @@ import (
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 0.2, "maximum allowed fractional QPS regression")
+	threshold := flag.Float64("threshold", 0.2, "maximum allowed fractional regression")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold F] BENCH_*.json")
@@ -44,53 +54,67 @@ func main() {
 			fmt.Printf("benchgate: %s: no committed baseline, skipping\n", path)
 			continue
 		}
-		curQPS, err := qpsFields(cur)
+		curF, err := gatedFields(cur)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
 			failed = true
 			continue
 		}
-		oldQPS, err := qpsFields(old)
+		oldF, err := gatedFields(old)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s (HEAD): %v\n", path, err)
 			failed = true
 			continue
 		}
-		keys := make([]string, 0, len(oldQPS))
-		for k := range oldQPS {
+		keys := make([]string, 0, len(oldF))
+		for k := range oldF {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		checked := 0
 		for _, k := range keys {
-			was := oldQPS[k]
-			now, ok := curQPS[k]
-			if !ok || was <= 0 {
+			was := oldF[k]
+			now, ok := curF[k]
+			if !ok || was.value <= 0 {
 				continue
 			}
 			checked++
-			if now < was*(1-*threshold) {
-				fmt.Fprintf(os.Stderr, "benchgate: %s: %s regressed %.1f -> %.1f (%.0f%% < -%.0f%% allowed)\n",
-					path, k, was, now, (now/was-1)*100, *threshold*100)
-				failed = true
+			if was.higherBetter {
+				if now.value < was.value*(1-*threshold) {
+					fmt.Fprintf(os.Stderr, "benchgate: %s: %s regressed %.1f -> %.1f (%.0f%% < -%.0f%% allowed)\n",
+						path, k, was.value, now.value, (now.value/was.value-1)*100, *threshold*100)
+					failed = true
+				}
+			} else {
+				if now.value > was.value*(1+*threshold) {
+					fmt.Fprintf(os.Stderr, "benchgate: %s: %s regressed %.1f -> %.1f (+%.0f%% > +%.0f%% allowed)\n",
+						path, k, was.value, now.value, (now.value/was.value-1)*100, *threshold*100)
+					failed = true
+				}
 			}
 		}
-		fmt.Printf("benchgate: %s: %d qps fields checked\n", path, checked)
+		fmt.Printf("benchgate: %s: %d gated fields checked\n", path, checked)
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// qpsFields flattens a JSON document to path -> value for every
-// numeric field whose key contains "qps" (case-insensitive). Paths
-// look like "scaling[2].qps".
-func qpsFields(data []byte) (map[string]float64, error) {
+// gated is one gated numeric field and its direction.
+type gated struct {
+	value        float64
+	higherBetter bool
+}
+
+// gatedFields flattens a JSON document to path -> gated value for
+// every numeric field whose key matches a gated pattern. Paths look
+// like "scaling[2].qps".
+func gatedFields(data []byte) (map[string]gated, error) {
 	var doc any
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64)
+	out := make(map[string]gated)
 	var walk func(prefix string, v any)
 	walk = func(prefix string, v any) {
 		switch t := v.(type) {
@@ -100,8 +124,14 @@ func qpsFields(data []byte) (map[string]float64, error) {
 				if prefix != "" {
 					p = prefix + "." + k
 				}
-				if f, ok := child.(float64); ok && strings.Contains(strings.ToLower(k), "qps") {
-					out[p] = f
+				if f, ok := child.(float64); ok {
+					lk := strings.ToLower(k)
+					switch {
+					case strings.Contains(lk, "qps") || strings.Contains(lk, "reduction"):
+						out[p] = gated{value: f, higherBetter: true}
+					case strings.Contains(lk, "adaptive_hot_lag"):
+						out[p] = gated{value: f, higherBetter: false}
+					}
 					continue
 				}
 				walk(p, child)

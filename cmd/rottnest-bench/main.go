@@ -11,7 +11,7 @@
 //
 // Experiments: fig7 fig8 fig9 fig10 fig11 fig12 fig13 latency lance
 // throughput ablation distribution cache serve multi chaos sharded
-// build planner ingest
+// build planner ingest adaptive
 //
 // With -trace, experiments collect one exemplar span tree per search
 // site ("EXPLAIN ANALYZE" for the measured queries) and the map
@@ -94,6 +94,9 @@ var experiments = []struct {
 	}},
 	{"ingest", "continuous ingestion: group-commit conditional-PUT amortization, searchable-lag p50/p99 under a budgeted scheduler", func(o bench.Options) (any, error) {
 		return bench.Ingest(o)
+	}},
+	{"adaptive", "workload-adaptive maintenance: heat-driven scheduling vs index-everything vs scan-only on a Zipf mix", func(o bench.Options) (any, error) {
+		return bench.Adaptive(o)
 	}},
 }
 

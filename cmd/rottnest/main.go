@@ -78,7 +78,8 @@ commands:
   create        create a lake table (-schema "id:uuid,msg:text,emb:vec:64")
   gen           append synthetic rows matching the table schema
   ingest        stream synthetic micro-batches through the group-commit writer
-                [-maintain col:kind] run the scheduler daemon alongside
+                [-maintain col:kind,col:kind,...] run the scheduler daemon alongside
+                [-adaptive] heat-driven maintenance (hot first, cold demoted)
   index         bring one (column, kind) index up to date
   search        query (-uuid HEX | -substring S | -vector "0.1,..." | -where 'a~x AND b=HEX')
                 [-shards N] [-replicas M] route through the scatter-gather serving tier
@@ -317,12 +318,13 @@ func cmdIngest(args []string) error {
 	batches := c.fs.Int("batches", 32, "number of micro-batches")
 	group := c.fs.Int("group", 8, "micro-batches per group commit")
 	seed := c.fs.Int64("seed", time.Now().UnixNano(), "generator seed")
-	maintain := c.fs.String("maintain", "", "run the maintenance scheduler daemon alongside ingest, keeping column:kind fresh")
+	maintain := c.fs.String("maintain", "", "run the maintenance scheduler daemon alongside ingest, keeping a comma-separated column:kind list fresh (e.g. id:trie,msg:fm)")
+	adaptiveFlag := c.fs.Bool("adaptive", false, "with -maintain: heat-driven maintenance — hot columns index first, never-queried columns demote to the scan path (DESIGN.md §17)")
 	if err := c.parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
-	_, table, _, err := c.open(ctx)
+	_, table, client, err := c.open(ctx)
 	if err != nil {
 		return err
 	}
@@ -340,20 +342,38 @@ func cmdIngest(args []string) error {
 	runCtx, stopRun := context.WithCancel(ctx)
 	defer stopRun()
 	if *maintain != "" {
-		fields := strings.SplitN(*maintain, ":", 2)
-		if len(fields) != 2 {
-			return fmt.Errorf("-maintain wants column:kind, got %q", *maintain)
+		var specs []rottnest.IndexSpec
+		for _, item := range strings.Split(*maintain, ",") {
+			fields := strings.SplitN(strings.TrimSpace(item), ":", 2)
+			if len(fields) != 2 || fields[0] == "" {
+				return fmt.Errorf("-maintain wants a comma-separated column:kind list, got %q in %q", item, *maintain)
+			}
+			kind, err := parseKind(fields[1])
+			if err != nil {
+				return err
+			}
+			specs = append(specs, rottnest.IndexSpec{Column: fields[0], Kind: kind})
 		}
-		kind, err := parseKind(fields[1])
-		if err != nil {
-			return err
-		}
-		sched = rottnest.NewScheduler(table, rottnest.SchedulerOptions{
+		opts := rottnest.SchedulerOptions{
 			Writer: w,
-			Specs:  []rottnest.IndexSpec{{Column: fields[0], Kind: kind}},
+			Specs:  specs,
 			Config: rottnest.Config{IndexDir: *c.indexDir},
-		})
+		}
+		if *adaptiveFlag {
+			ledger := rottnest.NewHeatLedger(rottnest.HeatLedgerOptions{})
+			client.SetHeatObserver(ledger)
+			pilot := rottnest.NewAutopilot(client, ledger, specs, rottnest.AutopilotOptions{})
+			opts.Client = client
+			opts.Adaptive = rottnest.NewAdaptivePolicy(rottnest.AdaptivePolicyOptions{
+				Ledger: ledger,
+				Pilot:  pilot,
+				Client: client,
+			})
+		}
+		sched = rottnest.NewScheduler(table, opts)
 		go func() { runDone <- sched.Run(runCtx) }()
+	} else if *adaptiveFlag {
+		return fmt.Errorf("-adaptive needs -maintain")
 	}
 	gen := newSynthGen(*seed)
 	acks := make([]*rottnest.Ack, 0, *batches)
@@ -394,6 +414,9 @@ func cmdIngest(args []string) error {
 		fmt.Printf("maintenance: %d index, %d compact, %d vacuum jobs; %d rows unindexed\n",
 			ss.Counter("ingest.jobs_index"), ss.Counter("ingest.jobs_compact"),
 			ss.Counter("ingest.jobs_vacuum"), ss.Gauge("ingest.rows_unindexed"))
+		if demotes := ss.Counter("ingest.jobs_demote"); demotes > 0 {
+			fmt.Printf("adaptive: %d column(s) demoted to the scan path (no query traffic seen)\n", demotes)
+		}
 	}
 	version, err := table.Version(ctx)
 	if err != nil {

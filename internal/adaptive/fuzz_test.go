@@ -1,0 +1,93 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzHeatLedger drives the ledger with a byte-scripted op sequence
+// (record heat into a tiny key space with varied weights, advance the
+// virtual clock by fractions of the half-life) and checks the decay /
+// record / evict invariants after every op: the live cell count never
+// exceeds MaxKeys, total heat never exceeds the weight recorded (decay
+// only loses heat, never invents it), and every eviction pass keeps
+// cells at least as hot as any it drops. An uncapped shadow ledger
+// replays each decay period's records in reverse to pin that
+// same-period observations commute — the snapshots must match bit for
+// bit. (The capped ledger is excluded from that check on purpose:
+// eviction forgets history, so replay order matters once a key is
+// dropped and re-created.)
+func FuzzHeatLedger(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0xc3, 0x04, 0xff})
+	f.Add([]byte{0xb0, 0x00, 0xb1, 0x01, 0xb2, 0x02, 0xb3, 0x03})
+	f.Add([]byte{0x11, 0x11, 0x11, 0xe4, 0x11, 0x22, 0x33, 0xe8, 0x44})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const maxKeys = 8
+		capped, clock := testLedger(LedgerOptions{HalfLife: time.Minute, MaxKeys: maxKeys})
+		free, freeClock := testLedger(LedgerOptions{HalfLife: time.Minute})
+		shadow, shadowClock := testLedger(LedgerOptions{HalfLife: time.Minute})
+		var violations int
+		capped.evictCheck = func(minKept, maxDropped uint64) {
+			if maxDropped > minKept {
+				violations++
+			}
+		}
+
+		type rec struct {
+			col, path string
+			w         uint64
+		}
+		var pending []rec // current decay period's records, not yet replayed
+		flush := func() {
+			for i := len(pending) - 1; i >= 0; i-- {
+				shadow.Record(pending[i].col, pending[i].path, pending[i].w)
+			}
+			pending = pending[:0]
+		}
+
+		var recorded uint64 // total whole observations ever recorded
+		for _, op := range script {
+			if op>>5 == 0x7 { // top three bits set: advance time
+				d := time.Duration(op&0x1f) * (time.Minute / 8)
+				flush() // period may roll over; commute only within one
+				clock.Advance(d)
+				freeClock.Advance(d)
+				shadowClock.Advance(d)
+			} else {
+				r := rec{
+					col:  string(rune('a' + (op>>5)&0x3)),
+					path: string(rune('p' + (op>>2)&0x7)),
+					w:    uint64(op&0x3) + 1,
+				}
+				capped.Record(r.col, r.path, r.w)
+				free.Record(r.col, r.path, r.w)
+				pending = append(pending, r)
+				recorded += r.w
+			}
+			if got := capped.Len(); got > maxKeys {
+				t.Fatalf("ledger holds %d cells, cap %d", got, maxKeys)
+			}
+			for _, l := range []*Ledger{capped, free} {
+				if got := l.Total(); got > recorded {
+					t.Fatalf("total heat %d exceeds %d recorded (negative decay?)", got, recorded)
+				}
+			}
+			if violations > 0 {
+				t.Fatal("eviction dropped a cell hotter than one it kept")
+			}
+		}
+		flush()
+
+		// Same-period permutation determinism: the reverse-replayed
+		// shadow must be bit-identical to the uncapped original.
+		want, got := free.Snapshot(), shadow.Snapshot()
+		if len(want) != len(got) {
+			t.Fatalf("shadow ledger has %d cells, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("cell %d diverged under permuted order: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

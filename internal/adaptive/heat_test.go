@@ -1,0 +1,176 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rottnest/internal/component"
+	"rottnest/internal/core"
+	"rottnest/internal/simtime"
+)
+
+func testLedger(opts LedgerOptions) (*Ledger, *simtime.VirtualClock) {
+	clock := simtime.NewVirtualClock()
+	opts.Clock = clock
+	return NewLedger(opts), clock
+}
+
+func TestLedgerRecordAndDecay(t *testing.T) {
+	l, clock := testLedger(LedgerOptions{HalfLife: time.Minute})
+	l.Record("col", "a", 4)
+	if got := l.Heat("col", "a"); got != 4*heatScale {
+		t.Fatalf("heat = %d, want %d", got, 4*heatScale)
+	}
+	if got := l.Total(); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+	// One half-life halves, two quarter.
+	clock.Advance(time.Minute)
+	if got := l.Heat("col", "a"); got != 2*heatScale {
+		t.Fatalf("after one half-life heat = %d, want %d", got, 2*heatScale)
+	}
+	clock.Advance(time.Minute)
+	if got := l.Total(); got != 1 {
+		t.Fatalf("after two half-lives total = %d, want 1", got)
+	}
+	// Unknown cells are cold.
+	if got := l.Heat("col", "zzz"); got != 0 {
+		t.Fatalf("unknown cell heat = %d", got)
+	}
+}
+
+// TestLedgerPermutationDeterminism pins the fuzz target's core claim:
+// observations within one decay period commute exactly.
+func TestLedgerPermutationDeterminism(t *testing.T) {
+	type rec struct {
+		col, path string
+		w         uint64
+	}
+	var recs []rec
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		recs = append(recs, rec{
+			col:  string(rune('a' + rng.Intn(3))),
+			path: string(rune('p' + rng.Intn(5))),
+			w:    uint64(rng.Intn(4) + 1),
+		})
+	}
+	run := func(perm []int) []HeatEntry {
+		l, _ := testLedger(LedgerOptions{HalfLife: time.Minute})
+		for _, i := range perm {
+			l.Record(recs[i].col, recs[i].path, recs[i].w)
+		}
+		return l.Snapshot()
+	}
+	base := make([]int, len(recs))
+	for i := range base {
+		base[i] = i
+	}
+	want := run(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(recs))
+		got := run(perm)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d cells, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: cell %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLedgerEvictionKeepsHottest(t *testing.T) {
+	l, _ := testLedger(LedgerOptions{HalfLife: time.Minute, MaxKeys: 4})
+	var violations int
+	l.evictCheck = func(minKept, maxDropped uint64) {
+		if maxDropped > minKept {
+			violations++
+		}
+	}
+	for i := 0; i < 16; i++ {
+		// File i arrives with i+1 observations: later files are hotter.
+		l.Record("col", string(rune('a'+i)), uint64(i+1))
+	}
+	if violations > 0 {
+		t.Fatalf("%d evictions dropped hotter cells than they kept", violations)
+	}
+	if got := l.Len(); got > 4 {
+		t.Fatalf("len = %d after eviction, want <= 4", got)
+	}
+	snap := l.Snapshot()
+	// The hottest file (the last) must have survived.
+	if len(snap) == 0 || snap[0].Key.Path != string(rune('a'+15)) {
+		t.Fatalf("hottest cell evicted; snapshot head = %+v", snap)
+	}
+}
+
+func TestLedgerObserveSearch(t *testing.T) {
+	l, clock := testLedger(LedgerOptions{HalfLife: time.Minute})
+	var obs core.HeatObserver = l // the ledger is a heat observer
+	obs.ObserveSearch(core.SearchHeat{
+		Units: []core.QueryHeat{{
+			Column: "msg",
+			Kind:   component.KindFM,
+			Files: []core.HeatFile{
+				{Path: "f1", Rows: 10, Covered: true},
+				{Path: "f2", Rows: 20, Covered: false},
+			},
+		}},
+		Latency: 250 * time.Millisecond,
+	})
+	if !l.EverQueried("msg") {
+		t.Fatal("msg not marked queried")
+	}
+	if l.EverQueried("other") {
+		t.Fatal("other marked queried")
+	}
+	if got := l.Heat("msg", "f1"); got != heatScale {
+		t.Fatalf("f1 heat = %d, want %d", got, heatScale)
+	}
+	if got := l.MeanLatency("msg"); got != 250*time.Millisecond {
+		t.Fatalf("mean latency = %v", got)
+	}
+	// Rate: one query in the ledger, half-life 60s → ~ln2/60 qps.
+	rate := l.QueryRate("msg")
+	if rate < 0.01 || rate > 0.02 {
+		t.Fatalf("query rate = %f, want ~0.0116", rate)
+	}
+	// Decay erases heat but never the ever-queried flag.
+	clock.Advance(65 * time.Minute)
+	if l.Heat("msg", "f1") != 0 {
+		t.Fatal("heat survived 65 half-lives")
+	}
+	if !l.EverQueried("msg") {
+		t.Fatal("ever-queried flag decayed")
+	}
+}
+
+func TestLedgerProbeRing(t *testing.T) {
+	l, _ := testLedger(LedgerOptions{MaxVectors: 3})
+	for i := 0; i < 5; i++ {
+		l.ObserveVectorQuery("vec", []float32{float32(i)}, 8)
+	}
+	vecs, nprobe, seen := l.Probes("vec")
+	if seen != 5 || nprobe != 8 {
+		t.Fatalf("seen=%d nprobe=%d", seen, nprobe)
+	}
+	if len(vecs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(vecs))
+	}
+	held := make(map[float32]bool)
+	for _, v := range vecs {
+		held[v[0]] = true
+	}
+	// The ring keeps the 3 most recent embeddings (2, 3, 4).
+	for _, want := range []float32{2, 3, 4} {
+		if !held[want] {
+			t.Fatalf("ring %v missing %v", vecs, want)
+		}
+	}
+	if v, _, s := l.Probes("none"); v != nil || s != 0 {
+		t.Fatal("unknown column has probes")
+	}
+}

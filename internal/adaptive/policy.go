@@ -1,0 +1,255 @@
+package adaptive
+
+import (
+	"context"
+	"sort"
+
+	"rottnest/internal/component"
+	"rottnest/internal/core"
+	"rottnest/internal/ivfpq"
+)
+
+// BacklogFile is one unindexed file of an index backlog candidate.
+type BacklogFile struct {
+	Path string
+	Rows int64
+}
+
+// IndexCandidate is one (column, kind) spec with uncovered files, as
+// the scheduler sees its backlog.
+type IndexCandidate struct {
+	// Spec is the candidate's position in the scheduler's spec list.
+	Spec int
+	// IndexSpec identifies the index.
+	IndexSpec core.IndexSpec
+	// Uncovered lists the spec's unindexed snapshot files.
+	Uncovered []BacklogFile
+}
+
+// IndexDecision is a policy's choice of the next index job.
+type IndexDecision struct {
+	// Spec is the chosen candidate's Spec value.
+	Spec int
+	// Paths, when non-nil, restricts the job to these files (the hot
+	// subset); nil indexes the whole backlog.
+	Paths []string
+	// IVF, when non-nil, overrides the build options for vector
+	// indexes (the coarse first pass).
+	IVF *ivfpq.BuildOptions
+}
+
+// RefinePlan is a policy's choice of a progressive-refinement job.
+type RefinePlan struct {
+	Column   string
+	IndexKey string
+	Probes   [][]float32
+	NProbe   int
+	Opts     ivfpq.RefineOptions
+}
+
+// SchedulerPolicy is the hook the ingest scheduler consults before
+// choosing work. All methods must be safe for concurrent use.
+type SchedulerPolicy interface {
+	// Tick runs periodic policy work (autopilot refresh), metered by
+	// the scheduler as maintenance cost.
+	Tick(ctx context.Context) error
+	// DemotedToScan reports whether the spec's column should not be
+	// indexed at all (queries scan instead).
+	DemotedToScan(spec core.IndexSpec) bool
+	// PlanIndex picks the next index job from the backlog, or ok =
+	// false to decline (the scheduler then falls back to its static
+	// largest-gap choice).
+	PlanIndex(cands []IndexCandidate) (IndexDecision, bool)
+	// PlanRefine proposes a progressive IVF-PQ refinement job, or ok
+	// = false when probe traffic does not warrant one.
+	PlanRefine(ctx context.Context, specs []core.IndexSpec) (RefinePlan, bool)
+	// PlanDemote proposes dropping an existing index whose column the
+	// autopilot demoted, or ok = false.
+	PlanDemote(statuses []core.IndexStatus) (core.IndexSpec, bool)
+}
+
+// PolicyOptions configure a Policy.
+type PolicyOptions struct {
+	// Ledger is the heat ledger fed by the serving client. Required.
+	Ledger *Ledger
+	// Pilot, when set, supplies per-column scan/index/deep decisions;
+	// nil never demotes.
+	Pilot *Autopilot
+	// Client executes metadata listings for refinement planning.
+	// Required for PlanRefine.
+	Client *core.Client
+	// HotBatch caps how many hot files one index job covers. Defaults
+	// to 64.
+	HotBatch int
+	// Coarse is the cheap first-pass build for vector indexes.
+	// Defaults to a low-nlist, few-iteration configuration; set to an
+	// explicit zero value to disable coarse-first builds.
+	Coarse *ivfpq.BuildOptions
+	// RefineAfterProbes is how many new vector queries a column must
+	// see between refine passes. Defaults to 8.
+	RefineAfterProbes uint64
+	// Refine tunes the refinement pass itself.
+	Refine ivfpq.RefineOptions
+}
+
+// Policy is the heat-driven scheduler policy: hot partitions index
+// first (heat × rows), vector indexes build coarse then refine from
+// probe traffic, and autopilot-demoted columns skip indexing.
+type Policy struct {
+	opts       PolicyOptions
+	lastRefine map[string]uint64 // probesSeen at last proposed refine
+}
+
+// NewPolicy returns a policy over the ledger (and optional pilot).
+func NewPolicy(opts PolicyOptions) *Policy {
+	if opts.HotBatch <= 0 {
+		opts.HotBatch = 64
+	}
+	if opts.Coarse == nil {
+		opts.Coarse = &ivfpq.BuildOptions{NList: 32, KMeansIters: 4, TrainSample: 4096}
+	}
+	if opts.RefineAfterProbes == 0 {
+		opts.RefineAfterProbes = 8
+	}
+	return &Policy{opts: opts, lastRefine: make(map[string]uint64)}
+}
+
+// Tick implements SchedulerPolicy.
+func (p *Policy) Tick(ctx context.Context) error {
+	if p.opts.Pilot == nil {
+		return nil
+	}
+	return p.opts.Pilot.Refresh(ctx)
+}
+
+// DemotedToScan implements SchedulerPolicy.
+func (p *Policy) DemotedToScan(spec core.IndexSpec) bool {
+	if p.opts.Pilot == nil {
+		return false
+	}
+	return p.opts.Pilot.Decision(spec.Column) == DecideScan
+}
+
+// PlanIndex implements SchedulerPolicy: candidates score by
+// Σ (heat+1) × rows over their backlog, so heat dominates (one
+// observation outweighs a million cold rows) but cold backlogs still
+// drain when nothing is hot. The winning candidate indexes its hot
+// files first when it has any.
+func (p *Policy) PlanIndex(cands []IndexCandidate) (IndexDecision, bool) {
+	best := -1
+	var bestScore uint64
+	for i, cand := range cands {
+		var score uint64
+		for _, f := range cand.Uncovered {
+			rows := uint64(f.Rows)
+			if rows == 0 {
+				rows = 1
+			}
+			score += (p.opts.Ledger.Heat(cand.IndexSpec.Column, f.Path) + 1) * rows
+		}
+		if best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return IndexDecision{}, false
+	}
+	cand := cands[best]
+	dec := IndexDecision{Spec: cand.Spec}
+	if cand.IndexSpec.Kind == component.KindIVFPQ {
+		dec.IVF = p.opts.Coarse
+	}
+	// Hot subset: when some backlog files are hot, index the hottest
+	// HotBatch of them now and leave the cold tail for later jobs —
+	// time-to-searchable for hot data beats backlog completeness.
+	type hot struct {
+		path string
+		heat uint64
+	}
+	var hots []hot
+	for _, f := range cand.Uncovered {
+		if h := p.opts.Ledger.Heat(cand.IndexSpec.Column, f.Path); h > 0 {
+			hots = append(hots, hot{path: f.Path, heat: h})
+		}
+	}
+	if len(hots) > 0 && len(hots) < len(cand.Uncovered) {
+		sort.Slice(hots, func(a, b int) bool {
+			if hots[a].heat != hots[b].heat {
+				return hots[a].heat > hots[b].heat
+			}
+			return hots[a].path < hots[b].path
+		})
+		if len(hots) > p.opts.HotBatch {
+			hots = hots[:p.opts.HotBatch]
+		}
+		dec.Paths = make([]string, len(hots))
+		for i, h := range hots {
+			dec.Paths[i] = h.path
+		}
+	}
+	return dec, true
+}
+
+// PlanRefine implements SchedulerPolicy: once a vector column has
+// accumulated RefineAfterProbes new queries since its last refine,
+// propose re-clustering the hottest cells of its largest index file.
+func (p *Policy) PlanRefine(ctx context.Context, specs []core.IndexSpec) (RefinePlan, bool) {
+	if p.opts.Client == nil {
+		return RefinePlan{}, false
+	}
+	for _, spec := range specs {
+		if spec.Kind != component.KindIVFPQ || p.DemotedToScan(spec) {
+			continue
+		}
+		probes, nprobe, seen := p.opts.Ledger.Probes(spec.Column)
+		if len(probes) == 0 || seen-p.lastRefine[spec.Column] < p.opts.RefineAfterProbes {
+			continue
+		}
+		entries, err := p.opts.Client.ListIndexes(ctx, spec.Column, spec.Kind)
+		if err != nil || len(entries) == 0 {
+			continue
+		}
+		// Refine the entry covering the most rows: it serves the bulk
+		// of probe traffic. Deterministic tie-break by key.
+		best := 0
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Rows > entries[best].Rows ||
+				(entries[i].Rows == entries[best].Rows && entries[i].IndexKey < entries[best].IndexKey) {
+				best = i
+			}
+		}
+		// Mark on propose, not on completion: a failed refine retries
+		// only after fresh probe traffic, so a persistent failure
+		// cannot starve index jobs.
+		p.lastRefine[spec.Column] = seen
+		return RefinePlan{
+			Column:   spec.Column,
+			IndexKey: entries[best].IndexKey,
+			Probes:   probes,
+			NProbe:   nprobe,
+			Opts:     p.opts.Refine,
+		}, true
+	}
+	return RefinePlan{}, false
+}
+
+// PlanDemote implements SchedulerPolicy: a demoted column that still
+// owns index entries gets them dropped (and flagged for vacuum).
+// Entries are only dropped for never-queried columns — a column whose
+// operating point drifted back into the scan region merely stops
+// getting new index jobs, so a rate oscillating around the phase
+// boundary cannot thrash drop/rebuild cycles.
+func (p *Policy) PlanDemote(statuses []core.IndexStatus) (core.IndexSpec, bool) {
+	if p.opts.Pilot == nil {
+		return core.IndexSpec{}, false
+	}
+	for _, st := range statuses {
+		spec := core.IndexSpec{Column: st.Column, Kind: st.Kind}
+		if st.Entries > 0 && p.DemotedToScan(spec) && !p.opts.Ledger.EverQueried(st.Column) {
+			return spec, true
+		}
+	}
+	return core.IndexSpec{}, false
+}
+
+var _ SchedulerPolicy = (*Policy)(nil)

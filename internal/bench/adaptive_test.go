@@ -1,0 +1,50 @@
+package bench
+
+import "testing"
+
+// TestAdaptiveShapes pins the workload-adaptive maintenance claims on
+// the Zipf workload: the heat-driven scheduler spends at least 2x
+// fewer maintenance store-requests than index-everything, without
+// giving up hot-partition freshness or query latency — and the
+// never-queried column's index is never built at all.
+func TestAdaptiveShapes(t *testing.T) {
+	res, err := Adaptive(Options{Seed: 21, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveMaintRequests <= 0 || res.IndexAllMaintRequests <= 0 {
+		t.Fatalf("maintenance did not run: adaptive=%d index_all=%d",
+			res.AdaptiveMaintRequests, res.IndexAllMaintRequests)
+	}
+	// The headline: >= 2x fewer maintenance requests.
+	if res.MaintRequestReduction < 2 {
+		t.Errorf("maintenance-request reduction = %.2fx, want >= 2x (adaptive=%d index_all=%d)",
+			res.MaintRequestReduction, res.AdaptiveMaintRequests, res.IndexAllMaintRequests)
+	}
+	// The saving is not freshness in disguise: the hot partition's
+	// searchable lag must be no worse than index-everything's.
+	if res.AdaptiveHotLagP50 > res.IndexAllHotLagP50 {
+		t.Errorf("adaptive hot-lag p50 %v worse than index-all %v",
+			res.AdaptiveHotLagP50, res.IndexAllHotLagP50)
+	}
+	// Nor query speed: the Zipf mix must run as fast as with every
+	// index eagerly fresh (10% slack absorbs probe-order noise).
+	if float64(res.AdaptiveQueryP50) > float64(res.IndexAllQueryP50)*1.10 {
+		t.Errorf("adaptive query p50 %v worse than index-all %v",
+			res.AdaptiveQueryP50, res.IndexAllQueryP50)
+	}
+	if float64(res.AdaptiveQueryP99) > float64(res.IndexAllQueryP99)*1.10 {
+		t.Errorf("adaptive query p99 %v worse than index-all %v",
+			res.AdaptiveQueryP99, res.IndexAllQueryP99)
+	}
+	// The cold column is where the saving comes from: the autopilot
+	// demotes it, so adaptive builds zero entries while index-all
+	// builds them all.
+	if res.AdaptiveColdEntries != 0 {
+		t.Errorf("adaptive built %d index entries for the never-queried column, want 0",
+			res.AdaptiveColdEntries)
+	}
+	if res.IndexAllColdEntries == 0 {
+		t.Errorf("index-all built no cold-column entries; the comparison is vacuous")
+	}
+}

@@ -188,6 +188,11 @@ type Client struct {
 	extraMu   sync.Mutex
 	extraRegs []*obs.Registry
 
+	// heat, when set, taps the search path for an adaptive
+	// maintenance policy; see SetHeatObserver.
+	heatMu sync.RWMutex
+	heat   HeatObserver
+
 	reg            *obs.Registry
 	searches       *obs.Counter
 	pagesProbed    *obs.Counter

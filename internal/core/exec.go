@@ -231,6 +231,9 @@ func (c *Client) searchTree(ctx context.Context, cq CompoundQuery, shape *planSh
 	c.pagesCandidate.Add(int64(result.Stats.PagesCandidate))
 	c.pagesPruned.Add(int64(result.Stats.PagesPruned))
 	c.latencyHist.Observe(int64(result.Stats.Latency))
+	if h := c.heatObserver(); h != nil && result.heat != nil {
+		h.ObserveSearch(SearchHeat{Units: result.heat, Latency: result.Stats.Latency})
+	}
 	return result, nil
 }
 
@@ -493,10 +496,59 @@ func (c *Client) attempt(ctx context.Context, cq CompoundQuery, shape *planShape
 	planSpan.SetAttr("leaves", len(shape.leaves))
 	planSpan.End() // idempotent: the defer covers the early error returns
 
-	if shape.vector != nil {
-		return c.execVector(ctx, env)
+	// Heat tap: record how this plan resolved files per probe unit, and
+	// surface vector probe traffic, before execution so the observer
+	// sees the plan even if execution fails downstream.
+	var heat []QueryHeat
+	if h := c.heatObserver(); h != nil {
+		heat = heatUnits(env, units)
+		if shape.vector != nil {
+			nprobe := shape.vector.NProbe
+			if nprobe <= 0 {
+				nprobe = 8
+			}
+			h.ObserveVectorQuery(shape.vector.Column, shape.vector.Vector, nprobe)
+		}
 	}
-	return c.execExact(ctx, env)
+
+	var result *Result
+	var err error
+	if shape.vector != nil {
+		result, err = c.execVector(ctx, env)
+	} else {
+		result, err = c.execExact(ctx, env)
+	}
+	if result != nil {
+		result.heat = heat
+	}
+	return result, err
+}
+
+// heatUnits flattens the attempt's per-leaf covers into QueryHeat
+// records, deduplicating leaves that share a (column, kind) pair.
+func heatUnits(env *execEnv, units []probeUnit) []QueryHeat {
+	seen := make(map[probeUnit]bool, len(units))
+	out := make([]QueryHeat, 0, len(units))
+	emit := func(u probeUnit, covered map[string]bool) {
+		if seen[u] {
+			return
+		}
+		seen[u] = true
+		files := make([]HeatFile, 0, len(env.searched))
+		for _, f := range env.searched {
+			files = append(files, HeatFile{Path: f.Path, Rows: f.Rows, Covered: covered[f.Path]})
+		}
+		out = append(out, QueryHeat{Column: u.column, Kind: u.kind, Files: files})
+	}
+	for i, le := range env.leaves {
+		if le.plan.indexable {
+			emit(units[i], le.covered)
+		}
+	}
+	if env.shape.vector != nil {
+		emit(units[len(units)-1], env.vecCovered)
+	}
+	return out
 }
 
 // fileCovered reports whether every leaf (and the vector cover, when

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"time"
+
+	"rottnest/internal/component"
+)
+
+// HeatFile is one searched file as a query's plan resolved it.
+type HeatFile struct {
+	// Path is the lake-relative data file path.
+	Path string
+	// Rows is the file's row count in the searched snapshot.
+	Rows int64
+	// Covered reports whether the (column, kind) index cover served
+	// the file; uncovered files fell to the scan path.
+	Covered bool
+}
+
+// QueryHeat is the plan resolution of one (column, kind) probe unit:
+// the files the query's plan touched for that unit, covered or not.
+type QueryHeat struct {
+	Column string
+	Kind   component.Kind
+	Files  []HeatFile
+}
+
+// SearchHeat is the full heat record of one executed search: every
+// probe unit's resolved file set plus the search's virtual latency.
+type SearchHeat struct {
+	Units   []QueryHeat
+	Latency time.Duration
+}
+
+// HeatObserver taps the query stream where plans resolve files. An
+// adaptive maintenance policy uses the taps to learn which columns and
+// file ranges are hot; the client calls them synchronously from the
+// search path, so implementations must be cheap and must not call back
+// into the client.
+type HeatObserver interface {
+	// ObserveSearch fires once per completed search with the resolved
+	// plan of its final (post-replan) attempt. The Files slices are
+	// owned by the observer.
+	ObserveSearch(SearchHeat)
+	// ObserveVectorQuery fires at plan time for ranked queries with
+	// the query embedding and the effective nprobe, so refinement can
+	// be driven by the actual probe traffic. The vec slice is shared;
+	// observers must copy it if they retain it.
+	ObserveVectorQuery(column string, vec []float32, nprobe int)
+}
+
+// SetHeatObserver installs (or, with nil, removes) the client's heat
+// observer. Safe to call concurrently with searches.
+func (c *Client) SetHeatObserver(h HeatObserver) {
+	c.heatMu.Lock()
+	c.heat = h
+	c.heatMu.Unlock()
+}
+
+func (c *Client) heatObserver() HeatObserver {
+	c.heatMu.RLock()
+	h := c.heat
+	c.heatMu.RUnlock()
+	return h
+}

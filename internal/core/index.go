@@ -51,7 +51,34 @@ func (c *Client) Index(ctx context.Context, column string, kind component.Kind) 
 // lakes support time travel; the paper's index API takes a snapshot).
 // Version < 0 means latest.
 func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind, version int64) (*meta.IndexEntry, error) {
+	return c.IndexWithOptions(ctx, column, kind, IndexOptions{Version: version})
+}
+
+// IndexOptions parameterizes one index job beyond the (column, kind)
+// pair, so a maintenance policy can shape what gets indexed and how
+// deep.
+type IndexOptions struct {
+	// Version is the lake snapshot version to index against; <= 0
+	// means latest.
+	Version int64
+	// Only, when non-nil, restricts the job to uncovered files in the
+	// set — an adaptive policy uses it to index hot partitions first,
+	// leaving the cold tail for later jobs. Files outside the snapshot
+	// or already covered are ignored.
+	Only []string
+	// IVF, when non-nil, overrides the client's IVF-PQ build options
+	// for this job — e.g. a coarse low-nlist first pass for fast
+	// time-to-searchable, refined later from probe traffic.
+	IVF *ivfpq.BuildOptions
+}
+
+// IndexWithOptions is IndexAt with per-job options; see IndexOptions.
+func (c *Client) IndexWithOptions(ctx context.Context, column string, kind component.Kind, opts IndexOptions) (*meta.IndexEntry, error) {
 	start := c.clock.Now()
+	version := opts.Version
+	if version <= 0 {
+		version = -1
+	}
 
 	// Plan.
 	pctx, planSpan := obs.Start(ctx, "index.plan")
@@ -74,11 +101,19 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 			covered[f] = true
 		}
 	}
+	var only map[string]bool
+	if opts.Only != nil {
+		only = make(map[string]bool, len(opts.Only))
+		for _, p := range opts.Only {
+			only[p] = true
+		}
+	}
 	var newFiles []ManifestFile
 	for _, f := range snap.Files {
-		if !covered[f.Path] {
-			newFiles = append(newFiles, ManifestFile{Path: f.Path, Rows: f.Rows})
+		if covered[f.Path] || (only != nil && !only[f.Path]) {
+			continue
 		}
+		newFiles = append(newFiles, ManifestFile{Path: f.Path, Rows: f.Rows})
 	}
 	planSpan.SetAttr("column", column)
 	planSpan.SetAttr("kind", kind.String())
@@ -172,7 +207,11 @@ func (c *Client) IndexAt(ctx context.Context, column string, kind component.Kind
 			return nil, err
 		}
 	case component.KindIVFPQ:
-		if err := ivfpq.BuildInto(builder, asm.vecs, asm.rowRefs, c.cfg.IVF); err != nil {
+		ivfOpts := c.cfg.IVF
+		if opts.IVF != nil {
+			ivfOpts = *opts.IVF
+		}
+		if err := ivfpq.BuildInto(builder, asm.vecs, asm.rowRefs, ivfOpts); err != nil {
 			return nil, err
 		}
 	}

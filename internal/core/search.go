@@ -187,6 +187,10 @@ type Stats struct {
 type Result struct {
 	Matches []insitu.Match
 	Stats   Stats
+
+	// heat is the final attempt's per-unit plan resolution, reported
+	// to the client's HeatObserver (if any) by searchTree.
+	heat []QueryHeat
 }
 
 // Search executes the protocol of Section IV-B: plan against the

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"rottnest/internal/adaptive"
 	"rottnest/internal/bruteforce"
 	"rottnest/internal/component"
 	"rottnest/internal/core"
@@ -100,6 +101,12 @@ type Options struct {
 	// the faulty store directly, so injected faults surface as op
 	// errors — the configuration the meta-tests use.
 	Retry objectstore.RetryPolicy
+	// Adaptive (ModeIngest only) wires a heat ledger and adaptive
+	// policy into the scheduler: the query stream feeds the ledger and
+	// index jobs chase hot files first (possibly as partial hot-subset
+	// builds), so the differential checks prove that heat-driven
+	// scheduling never changes what a search returns.
+	Adaptive bool
 }
 
 func (o Options) withDefaults() Options {
@@ -353,6 +360,18 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 			Parquet:            parquet.WriterOptions{RowGroupRows: 64, PageBytes: 1024},
 			Clock:              w.clock,
 		})
+		var policy adaptive.SchedulerPolicy
+		if w.opts.Adaptive {
+			// Heat-driven scheduling under the same faults: searches
+			// feed the ledger, index jobs chase hot files (sometimes as
+			// partial hot-subset builds), and the differential checks
+			// prove none of it changes a search result. No autopilot:
+			// demotion has its own virtual-clock test in internal/ingest,
+			// and here every column is queried, so it could never fire.
+			ledger := adaptive.NewLedger(adaptive.LedgerOptions{Clock: w.clock})
+			w.cli.SetHeatObserver(ledger)
+			policy = adaptive.NewPolicy(adaptive.PolicyOptions{Ledger: ledger, Client: w.cli})
+		}
 		w.sched = ingest.NewScheduler(table, ingest.SchedulerOptions{
 			Client:         w.cli,
 			Writer:         w.writer,
@@ -360,6 +379,7 @@ func (w *world) run(ctx context.Context, chain objectstore.Store) error {
 			Clock:          w.clock,
 			RequestsPerSec: 1e9,
 			PauseAboveRows: 1 << 30,
+			Adaptive:       policy,
 		})
 	}
 

@@ -185,6 +185,44 @@ func TestIngestDifferentialWorkloads(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDifferentialWorkloads reruns the ingest-mode chaos
+// workloads with the heat-driven adaptive policy wired into the
+// scheduler: the query stream feeds the ledger, index jobs chase hot
+// files first (sometimes as partial hot-subset builds that leave a
+// cold tail unindexed), and every search must still be byte-identical
+// to the brute-force oracle under the same fault weather.
+func TestAdaptiveDifferentialWorkloads(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 3
+	}
+	for seed := int64(400); seed < int64(400+n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sum, err := Run(context.Background(), Options{
+				Seed:     seed,
+				Mode:     ModeIngest,
+				Adaptive: true,
+				Profile:  profileFor(seed),
+				Retry:    objectstore.RetryPolicy{Enabled: true, MaxAttempts: 8},
+			})
+			if err != nil {
+				t.Fatalf("run failed: %v\nsummary: %+v", err, sum)
+			}
+			if sum.Searches == 0 || sum.MatchesCompared == 0 {
+				t.Fatalf("no differential searches compared: %+v", sum)
+			}
+			if sum.Appends == 0 {
+				t.Fatalf("no appends ran: %+v", sum)
+			}
+			if sum.LagObservations == 0 {
+				t.Fatalf("scheduler recorded no searchable-lag observations: %+v", sum)
+			}
+		})
+	}
+}
+
 // TestHarnessFaultsActuallyFire is the meta-check that chaos runs
 // exercise the failure paths: faults are injected and the retry layer
 // does real recovery work.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rottnest/internal/adaptive"
 	"rottnest/internal/core"
 	"rottnest/internal/lake"
 	"rottnest/internal/objectstore"
@@ -43,6 +44,11 @@ type SchedulerOptions struct {
 	ResumeBelowRows int64
 	// Policy tunes compact/vacuum, as in Client.Maintain.
 	Policy core.MaintainPolicy
+	// Adaptive, if set, reorders the index backlog by query heat,
+	// schedules progressive IVF-PQ refinement, and demotes columns
+	// the TCO autopilot rules out (see internal/adaptive). Nil keeps
+	// the static largest-gap policy.
+	Adaptive adaptive.SchedulerPolicy
 	// Clock drives the budget refill and lag measurement. Nil means
 	// the real wall clock.
 	Clock simtime.Clock
@@ -122,8 +128,12 @@ type Scheduler struct {
 	jobsIndex     *obs.Counter
 	jobsCompact   *obs.Counter
 	jobsVacuum    *obs.Counter
+	jobsRefine    *obs.Counter
+	jobsDemote    *obs.Counter
 	pauses        *obs.Counter
 	budgetWaits   *obs.Counter
+	budgetTokens  *obs.Gauge
+	jobRequests   *obs.Counter
 }
 
 // NewScheduler returns a scheduler over the table. It registers a
@@ -157,9 +167,14 @@ func NewScheduler(table *lake.Table, opts SchedulerOptions) *Scheduler {
 		jobsIndex:     reg.Counter("ingest.jobs_index"),
 		jobsCompact:   reg.Counter("ingest.jobs_compact"),
 		jobsVacuum:    reg.Counter("ingest.jobs_vacuum"),
+		jobsRefine:    reg.Counter("ingest.jobs_refine"),
+		jobsDemote:    reg.Counter("ingest.jobs_demote"),
 		pauses:        reg.Counter("ingest.sched_pauses"),
 		budgetWaits:   reg.Counter("ingest.budget_waits"),
+		budgetTokens:  reg.Gauge("ingest.budget_tokens"),
+		jobRequests:   reg.Counter("ingest.job_requests"),
 	}
+	s.budgetTokens.Set(int64(s.tokens))
 	s.lastRefill = s.clock.Now()
 	table.OnCommit(func(int64) {
 		select {
@@ -211,6 +226,13 @@ type coverage struct {
 	perSpec   []map[string]bool
 	snapPaths map[string]bool
 	version   int64
+	// files is the snapshot's file list in snapshot order, so backlog
+	// candidates handed to an adaptive policy are deterministic.
+	files []lake.DataFile
+	// demoted marks specs the adaptive policy routed to the scan
+	// path; they take no index jobs and do not hold up the freshness
+	// ledger.
+	demoted []bool
 }
 
 // errNoProgress marks a scheduled job that intentionally did nothing
@@ -231,8 +253,14 @@ func (s *Scheduler) observe(ctx context.Context) (*coverage, error) {
 	if err != nil {
 		return nil, err
 	}
-	cov := &coverage{snapPaths: snap.Paths(), version: snap.Version}
+	cov := &coverage{snapPaths: snap.Paths(), version: snap.Version, files: snap.Files}
 	cov.perSpec = make([]map[string]bool, len(s.opts.Specs))
+	cov.demoted = make([]bool, len(s.opts.Specs))
+	if s.opts.Adaptive != nil {
+		for i, spec := range s.opts.Specs {
+			cov.demoted[i] = s.opts.Adaptive.DemotedToScan(spec)
+		}
+	}
 	for i, spec := range s.opts.Specs {
 		covered := make(map[string]bool)
 		for _, e := range entries {
@@ -295,14 +323,20 @@ func (s *Scheduler) observe(ctx context.Context) (*coverage, error) {
 	return cov, nil
 }
 
-// coveredByAll reports whether every spec covers the path. With no
-// specs nothing is ever "searchable by index", so the ledger drains
-// only by compaction — callers should configure at least one spec.
+// coveredByAll reports whether every non-demoted spec covers the
+// path. With no specs nothing is ever "searchable by index", so the
+// ledger drains only by compaction — callers should configure at
+// least one spec. Demoted specs don't count: their columns serve from
+// scans by decision, so a file is as searchable as it will ever get
+// once the remaining specs cover it.
 func (s *Scheduler) coveredByAll(cov *coverage, path string) bool {
 	if len(cov.perSpec) == 0 {
 		return false
 	}
-	for _, covered := range cov.perSpec {
+	for i, covered := range cov.perSpec {
+		if cov.demoted[i] {
+			continue
+		}
 		if !covered[path] {
 			return false
 		}
@@ -344,6 +378,7 @@ func (s *Scheduler) refill() {
 	s.lastRefill = now
 	s.lastSeen = total
 	s.ownCost = 0
+	s.budgetTokens.Set(int64(s.tokens))
 }
 
 // Step runs one scheduling decision: resolve coverage and freshness,
@@ -366,11 +401,29 @@ func (s *Scheduler) Step(ctx context.Context) (bool, error) {
 		return false, nil
 	}
 
+	// Adaptive policy housekeeping (autopilot refresh) is maintenance
+	// work: meter its store requests against the budget so its Status
+	// and snapshot reads don't masquerade as foreground traffic.
+	if s.opts.Adaptive != nil {
+		before := storeRequests(s.cli.Metrics())
+		tickErr := s.opts.Adaptive.Tick(ctx)
+		cost := storeRequests(s.cli.Metrics()) - before
+		s.mu.Lock()
+		s.tokens -= float64(cost)
+		s.ownCost += cost
+		s.budgetTokens.Set(int64(s.tokens))
+		s.mu.Unlock()
+		s.jobRequests.Add(cost)
+		if tickErr != nil {
+			return false, tickErr
+		}
+	}
+
 	statuses, err := s.cli.Status(ctx)
 	if err != nil {
 		return false, err
 	}
-	job, counter := s.pickJob(cov, statuses)
+	job, counter := s.pickJob(ctx, cov, statuses)
 	if job == nil {
 		return false, nil
 	}
@@ -382,7 +435,13 @@ func (s *Scheduler) Step(ctx context.Context) (bool, error) {
 	// delaying the next job (tokens go negative and must refill).
 	s.tokens -= float64(cost)
 	s.ownCost += cost
+	s.budgetTokens.Set(int64(s.tokens))
 	s.mu.Unlock()
+	// Cumulative job-issued request counter: what maintenance itself
+	// spends against the store, as opposed to the daemon's fixed-rate
+	// observation polling. Capacity planning and the adaptive bench
+	// compare regimes on this number.
+	s.jobRequests.Add(cost)
 	if errors.Is(jobErr, errNoProgress) {
 		return false, nil
 	}
@@ -399,7 +458,7 @@ func (s *Scheduler) Step(ctx context.Context) (bool, error) {
 // triggers on the index's *effective* entry count (entries the greedy
 // cover would keep), so a just-compacted index waits for vacuum to
 // sweep the superseded entries instead of re-compacting them.
-func (s *Scheduler) pickJob(cov *coverage, statuses []core.IndexStatus) (func(context.Context) error, *obs.Counter) {
+func (s *Scheduler) pickJob(ctx context.Context, cov *coverage, statuses []core.IndexStatus) (func(context.Context) error, *obs.Counter) {
 	policy := s.opts.Policy
 	if policy.CompactWhenEntries <= 0 {
 		policy.CompactWhenEntries = 8
@@ -409,39 +468,50 @@ func (s *Scheduler) pickJob(cov *coverage, statuses []core.IndexStatus) (func(co
 		byKey[core.IndexSpec{Column: st.Column, Kind: st.Kind}] = st
 	}
 
-	// Index: the spec with the most uncovered files first. A spec
+	// Index: the spec with the most uncovered files first — unless an
+	// adaptive policy is wired in, which reorders the backlog by heat
+	// so hot partitions become searchable before cold tails. A spec
 	// with no entries at all (absent from statuses) has everything
 	// uncovered. Specs that stalled below the index's minimum row
 	// count wait for the snapshot to change before being retried.
-	best, bestGap := -1, 0
-	for i := range s.opts.Specs {
-		s.mu.Lock()
-		stalledAt, stalled := s.stalled[i]
-		s.mu.Unlock()
-		if stalled && stalledAt == cov.version {
+	if s.opts.Adaptive != nil {
+		if job, counter := s.pickAdaptiveIndex(ctx, cov); job != nil {
+			return job, counter
+		}
+	} else {
+		best, bestGap := -1, 0
+		for i := range s.opts.Specs {
+			s.mu.Lock()
+			stalledAt, stalled := s.stalled[i]
+			s.mu.Unlock()
+			if stalled && stalledAt == cov.version {
+				continue
+			}
+			gap := len(cov.snapPaths) - len(cov.perSpec[i])
+			if gap > bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		if best >= 0 {
+			i, spec := best, s.opts.Specs[best]
+			return func(ctx context.Context) error {
+				_, err := s.cli.Index(ctx, spec.Column, spec.Kind)
+				if errors.Is(err, core.ErrBelowMinRows) {
+					// Not enough new rows to justify an index file yet;
+					// scans cover the tail until more data commits.
+					s.mu.Lock()
+					s.stalled[i] = cov.version
+					s.mu.Unlock()
+					return errNoProgress
+				}
+				return err
+			}, s.jobsIndex
+		}
+	}
+	for i, spec := range s.opts.Specs {
+		if cov.demoted[i] {
 			continue
 		}
-		gap := len(cov.snapPaths) - len(cov.perSpec[i])
-		if gap > bestGap {
-			best, bestGap = i, gap
-		}
-	}
-	if best >= 0 {
-		i, spec := best, s.opts.Specs[best]
-		return func(ctx context.Context) error {
-			_, err := s.cli.Index(ctx, spec.Column, spec.Kind)
-			if errors.Is(err, core.ErrBelowMinRows) {
-				// Not enough new rows to justify an index file yet;
-				// scans cover the tail until more data commits.
-				s.mu.Lock()
-				s.stalled[i] = cov.version
-				s.mu.Unlock()
-				return errNoProgress
-			}
-			return err
-		}, s.jobsIndex
-	}
-	for _, spec := range s.opts.Specs {
 		st, ok := byKey[spec]
 		if ok && st.Entries-st.RedundantEntries >= policy.CompactWhenEntries {
 			spec := spec
@@ -458,6 +528,77 @@ func (s *Scheduler) pickJob(cov *coverage, statuses []core.IndexStatus) (func(co
 				return err
 			}, s.jobsVacuum
 		}
+	}
+	if s.opts.Adaptive != nil {
+		if spec, ok := s.opts.Adaptive.PlanDemote(statuses); ok {
+			return func(ctx context.Context) error {
+				// Drop the rows, then vacuum in the same job so the
+				// orphaned index objects are collected (commit-then-
+				// delete, as everywhere).
+				if _, err := s.cli.DropIndex(ctx, spec.Column, spec.Kind); err != nil {
+					return err
+				}
+				_, err := s.cli.Vacuum(ctx, policy.Vacuum)
+				return err
+			}, s.jobsDemote
+		}
+	}
+	return nil, nil
+}
+
+// pickAdaptiveIndex consults the adaptive policy for the next index
+// or refine job over the non-demoted backlog.
+func (s *Scheduler) pickAdaptiveIndex(ctx context.Context, cov *coverage) (func(context.Context) error, *obs.Counter) {
+	var cands []adaptive.IndexCandidate
+	for i, spec := range s.opts.Specs {
+		if cov.demoted[i] {
+			continue
+		}
+		s.mu.Lock()
+		stalledAt, stalled := s.stalled[i]
+		s.mu.Unlock()
+		if stalled && stalledAt == cov.version {
+			continue
+		}
+		var uncovered []adaptive.BacklogFile
+		for _, f := range cov.files {
+			if !cov.perSpec[i][f.Path] {
+				uncovered = append(uncovered, adaptive.BacklogFile{Path: f.Path, Rows: f.Rows})
+			}
+		}
+		if len(uncovered) == 0 {
+			continue
+		}
+		cands = append(cands, adaptive.IndexCandidate{Spec: i, IndexSpec: spec, Uncovered: uncovered})
+	}
+	if len(cands) > 0 {
+		if dec, ok := s.opts.Adaptive.PlanIndex(cands); ok {
+			i := dec.Spec
+			spec := s.opts.Specs[i]
+			opts := core.IndexOptions{Version: cov.version, Only: dec.Paths, IVF: dec.IVF}
+			return func(ctx context.Context) error {
+				_, err := s.cli.IndexWithOptions(ctx, spec.Column, spec.Kind, opts)
+				if errors.Is(err, core.ErrBelowMinRows) {
+					s.mu.Lock()
+					s.stalled[i] = cov.version
+					s.mu.Unlock()
+					return errNoProgress
+				}
+				return err
+			}, s.jobsIndex
+		}
+	}
+	if plan, ok := s.opts.Adaptive.PlanRefine(ctx, s.opts.Specs); ok {
+		return func(ctx context.Context) error {
+			entry, err := s.cli.RefineVectorIndex(ctx, plan.Column, plan.IndexKey, plan.Probes, plan.NProbe, plan.Opts)
+			if err != nil {
+				return err
+			}
+			if entry == nil {
+				return errNoProgress // entry gone, or no refinable cell
+			}
+			return nil
+		}, s.jobsRefine
 	}
 	return nil, nil
 }

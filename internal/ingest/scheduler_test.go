@@ -253,6 +253,107 @@ func TestSchedulerRunRecoversFromBudgetStall(t *testing.T) {
 	t.Fatal("Run never recovered: budget stall with a paused writer persists")
 }
 
+// TestSchedulerRefillBurstCap pins the token bucket's ceiling: no
+// matter how long the scheduler idles, refill accumulates at most one
+// second of budget (RequestsPerSec tokens), so a long-quiet scheduler
+// cannot wake up and slam the store with hours of banked burst.
+func TestSchedulerRefillBurstCap(t *testing.T) {
+	ctx := context.Background()
+	w, s, clock := schedWorld(t, SchedulerOptions{RequestsPerSec: 100})
+
+	s.mu.Lock()
+	s.tokens = 0
+	s.mu.Unlock()
+	clock.Advance(time.Hour) // 360k tokens at the raw rate
+	s.refill()
+	s.mu.Lock()
+	tokens := s.tokens
+	s.mu.Unlock()
+	if tokens != 100 {
+		t.Fatalf("tokens after an idle hour = %v, want the 1s cap of 100", tokens)
+	}
+	if got := s.Registry().Snapshot().Gauge("ingest.budget_tokens"); got != 100 {
+		t.Fatalf("budget_tokens gauge = %d, want 100", got)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerRefillForegroundFloor pins the yielding floor: when
+// observed foreground traffic saturates (and exceeds) the whole
+// budget, the refill rate clamps to 10% of RequestsPerSec rather than
+// zero or negative, so maintenance always creeps forward.
+func TestSchedulerRefillForegroundFloor(t *testing.T) {
+	ctx := context.Background()
+	w, s, clock := schedWorld(t, SchedulerOptions{RequestsPerSec: 100})
+
+	s.mu.Lock()
+	s.tokens = 0
+	// Simulate a flood of foreground requests since the last refill:
+	// refill computes foreground = total - lastSeen - ownCost, so a
+	// deeply negative lastSeen reads as ~100k requests of traffic.
+	s.lastSeen -= 100_000
+	s.mu.Unlock()
+	clock.Advance(time.Second)
+	s.refill()
+	s.mu.Lock()
+	tokens := s.tokens
+	s.mu.Unlock()
+	if tokens != 10 { // RequestsPerSec/10 × 1s
+		t.Fatalf("tokens under saturation = %v, want the 10%% floor of 10", tokens)
+	}
+
+	// The flood was absorbed into lastSeen: a quiet second later the
+	// full rate is back (and the cap bounds it).
+	clock.Advance(time.Second)
+	s.refill()
+	s.mu.Lock()
+	tokens = s.tokens
+	s.mu.Unlock()
+	if tokens != 100 {
+		t.Fatalf("tokens after traffic subsided = %v, want 100", tokens)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerBudgetTokensGauge verifies the live budget gauge: it
+// starts at the burst cap, goes negative when a job overdraws the
+// bucket (debt is visible, not clamped), and recovers with refill.
+func TestSchedulerBudgetTokensGauge(t *testing.T) {
+	ctx := context.Background()
+	w, s, clock := schedWorld(t, SchedulerOptions{RequestsPerSec: 1})
+
+	if got := s.Registry().Snapshot().Gauge("ingest.budget_tokens"); got != 1 {
+		t.Fatalf("initial budget_tokens = %d, want the 1-token burst", got)
+	}
+	ingestRows(t, ctx, w, "g", 4)
+	if worked, err := s.Step(ctx); err != nil || !worked {
+		t.Fatalf("index step: worked=%v err=%v", worked, err)
+	}
+	debt := s.Registry().Snapshot().Gauge("ingest.budget_tokens")
+	if debt >= 0 {
+		t.Fatalf("budget_tokens after an overdrawing job = %d, want negative debt", debt)
+	}
+	// Refill recovers the debt (the step's own Status reads register as
+	// foreground, so the rate may run at the floor — loop virtual time).
+	for i := 0; i < 100; i++ {
+		clock.Advance(10 * time.Second)
+		s.refill()
+		if s.Registry().Snapshot().Gauge("ingest.budget_tokens") == 1 {
+			break
+		}
+	}
+	if got := s.Registry().Snapshot().Gauge("ingest.budget_tokens"); got != 1 {
+		t.Fatalf("budget_tokens after refill = %d, want back at the cap", got)
+	}
+	if err := w.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSchedulerJobPriorities verifies index > compact > vacuum: churn
 // fragments the index until compaction triggers, whose redundant
 // entries then vacuum away, all through scheduled steps.

@@ -1,0 +1,290 @@
+package ivfpq
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rottnest/internal/component"
+	"rottnest/internal/postings"
+)
+
+// RefineOptions tune progressive refinement of an opened index.
+type RefineOptions struct {
+	// SplitFactor is how many sub-centroids each refined (hot) cell is
+	// re-clustered into. Defaults to 4.
+	SplitFactor int
+	// MaxCells bounds how many cells one refine pass splits.
+	// Defaults to 8.
+	MaxCells int
+	// KMeansIters bounds Lloyd iterations per split. Defaults to 8.
+	KMeansIters int
+	// TargetComponentBytes bounds each rewritten list component's
+	// size. Defaults to 256 KiB.
+	TargetComponentBytes int
+	// Seed makes re-clustering deterministic.
+	Seed int64
+}
+
+func (o RefineOptions) withDefaults() RefineOptions {
+	if o.SplitFactor <= 1 {
+		o.SplitFactor = 4
+	}
+	if o.MaxCells <= 0 {
+		o.MaxCells = 8
+	}
+	if o.KMeansIters <= 0 {
+		o.KMeansIters = 8
+	}
+	if o.TargetComponentBytes <= 0 {
+		o.TargetComponentBytes = 256 << 10
+	}
+	return o
+}
+
+// NearestLists returns the nprobe list indices a query for q would
+// probe, nearest centroid first, with a deterministic tie-break.
+func (ix *Index) NearestLists(q []float32, nprobe int) []int {
+	if len(q) != ix.dim || len(ix.lists) == 0 {
+		return nil
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.lists) {
+		nprobe = len(ix.lists)
+	}
+	type cd struct {
+		list int
+		dist float32
+	}
+	cds := make([]cd, len(ix.centroids))
+	for i, c := range ix.centroids {
+		cds[i] = cd{list: i, dist: l2sq(c, q)}
+	}
+	sort.Slice(cds, func(a, b int) bool {
+		if cds[a].dist != cds[b].dist {
+			return cds[a].dist < cds[b].dist
+		}
+		return cds[a].list < cds[b].list
+	})
+	out := make([]int, nprobe)
+	for i := range out {
+		out[i] = cds[i].list
+	}
+	return out
+}
+
+// HotCells ranks the index's cells by how often the observed probe
+// traffic would touch them and returns the up-to-max hottest non-empty
+// ones, hottest first (ties broken by list index, ascending).
+func HotCells(ix *Index, probes [][]float32, nprobe, max int) []int {
+	if max <= 0 || len(probes) == 0 {
+		return nil
+	}
+	hits := make(map[int]int)
+	for _, q := range probes {
+		for _, li := range ix.NearestLists(q, nprobe) {
+			hits[li]++
+		}
+	}
+	type hc struct{ list, n int }
+	ranked := make([]hc, 0, len(hits))
+	for li, n := range hits {
+		if ix.lists[li].Count > 1 { // splitting a 0/1-member cell is a no-op
+			ranked = append(ranked, hc{list: li, n: n})
+		}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].n != ranked[b].n {
+			return ranked[a].n > ranked[b].n
+		}
+		return ranked[a].list < ranked[b].list
+	})
+	if len(ranked) > max {
+		ranked = ranked[:max]
+	}
+	out := make([]int, len(ranked))
+	for i, h := range ranked {
+		out[i] = h.list
+	}
+	return out
+}
+
+// listMember is one decoded inverted-list entry: its row ref plus its
+// PQ code string.
+type listMember struct {
+	ref  postings.RowRef
+	code []byte
+}
+
+// decodeList decodes every member of list li.
+func (ix *Index) decodeList(ctx context.Context, li int) ([]listMember, error) {
+	d := ix.lists[li]
+	if d.Count == 0 {
+		return nil, nil
+	}
+	data, err := ix.r.Component(ctx, d.ComponentID)
+	if err != nil {
+		return nil, err
+	}
+	listData, err := listBytes(data, d)
+	if err != nil {
+		return nil, err
+	}
+	count, n := binary.Uvarint(listData)
+	if n <= 0 || int(count) != d.Count {
+		return nil, fmt.Errorf("ivfpq: corrupt list %d header", li)
+	}
+	lpos := n
+	members := make([]listMember, 0, d.Count)
+	for i := 0; i < d.Count; i++ {
+		file, n := binary.Uvarint(listData[lpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+		}
+		lpos += n
+		row, n := binary.Varint(listData[lpos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("ivfpq: corrupt list %d", li)
+		}
+		lpos += n
+		if lpos+ix.m > len(listData) {
+			return nil, fmt.Errorf("ivfpq: corrupt list %d codes", li)
+		}
+		code := append([]byte(nil), listData[lpos:lpos+ix.m]...)
+		lpos += ix.m
+		members = append(members, listMember{ref: postings.RowRef{File: uint32(file), Row: row}, code: code})
+	}
+	return members, nil
+}
+
+// reconstruct returns the member's approximate vector: its cell
+// centroid plus the PQ-decoded residual.
+func (ix *Index) reconstruct(li int, code []byte) []float32 {
+	v := append([]float32(nil), ix.centroids[li]...)
+	for m := 0; m < ix.m; m++ {
+		cw := ix.codebooks[m][code[m]]
+		for j, x := range cw {
+			v[m*ix.subdim+j] += x
+		}
+	}
+	return v
+}
+
+// RefineInto rewrites ix with the cells in split re-clustered into
+// SplitFactor sub-cells each, appending the refined index's components
+// (root last) to b. The PQ codebooks are retained; only the coarse
+// partition changes, so splitting sharpens the residuals ADC scores
+// are computed from. Recall for queries landing in a split cell
+// improves at equal nprobe because each probe now covers a tighter
+// region. Cells not in split are carried over unchanged.
+func RefineInto(ctx context.Context, b *component.Builder, ix *Index, split []int, opts RefineOptions) error {
+	opts = opts.withDefaults()
+	splitSet := make(map[int]bool, len(split))
+	for _, li := range split {
+		if li < 0 || li >= len(ix.lists) {
+			return fmt.Errorf("ivfpq: split cell %d out of range [0,%d)", li, len(ix.lists))
+		}
+		splitSet[li] = true
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// New coarse partition: walk lists in order; unsplit cells carry
+	// over verbatim, split cells fan out into sub-centroids trained on
+	// their members' reconstructed vectors, with residual codes
+	// recomputed against the new centers using the existing codebooks.
+	var centroids [][]float32
+	var newLists [][]listMember
+	total := 0
+	for li := range ix.lists {
+		members, err := ix.decodeList(ctx, li)
+		if err != nil {
+			return err
+		}
+		total += len(members)
+		if !splitSet[li] || len(members) < 2 {
+			centroids = append(centroids, ix.centroids[li])
+			newLists = append(newLists, members)
+			continue
+		}
+		approx := make([][]float32, len(members))
+		for i, mb := range members {
+			approx[i] = ix.reconstruct(li, mb.code)
+		}
+		subCents := kmeans(approx, opts.SplitFactor, opts.KMeansIters, rng)
+		if len(subCents) == 0 {
+			centroids = append(centroids, ix.centroids[li])
+			newLists = append(newLists, members)
+			continue
+		}
+		subMembers := make([][]listMember, len(subCents))
+		res := make([]float32, ix.dim)
+		for i, mb := range members {
+			c, _ := nearest(subCents, approx[i])
+			for j := range res {
+				res[j] = approx[i][j] - subCents[c][j]
+			}
+			code := make([]byte, ix.m)
+			for m := 0; m < ix.m; m++ {
+				cw, _ := nearest(ix.codebooks[m], res[m*ix.subdim:(m+1)*ix.subdim])
+				code[m] = byte(cw)
+			}
+			subMembers[c] = append(subMembers[c], listMember{ref: mb.ref, code: code})
+		}
+		for c := range subCents {
+			centroids = append(centroids, subCents[c])
+			newLists = append(newLists, subMembers[c])
+		}
+	}
+
+	// Serialize with the same layout rules as BuildInto: per-list
+	// payloads grouped into components under the flush threshold, then
+	// the root.
+	nlist := len(newLists)
+	listBufs := make([][]byte, nlist)
+	for li, members := range newLists {
+		buf := binary.AppendUvarint(nil, uint64(len(members)))
+		for _, mb := range members {
+			buf = binary.AppendUvarint(buf, uint64(mb.ref.File))
+			buf = binary.AppendVarint(buf, mb.ref.Row)
+			buf = append(buf, mb.code...)
+		}
+		listBufs[li] = buf
+	}
+	descs := make([]listDesc, nlist)
+	type group struct{ first, end int }
+	var groups []group
+	var payloads [][]byte
+	curFirst, curLen := 0, 0
+	closeGroup := func(end int) {
+		if end == curFirst {
+			return
+		}
+		payload := make([]byte, 0, curLen)
+		for li := curFirst; li < end; li++ {
+			payload = append(payload, listBufs[li]...)
+		}
+		groups = append(groups, group{first: curFirst, end: end})
+		payloads = append(payloads, payload)
+		curFirst, curLen = end, 0
+	}
+	for li := 0; li < nlist; li++ {
+		descs[li] = listDesc{ByteOffset: curLen, ByteLen: len(listBufs[li]), Count: len(newLists[li])}
+		curLen += len(listBufs[li])
+		if curLen >= opts.TargetComponentBytes {
+			closeGroup(li + 1)
+		}
+	}
+	closeGroup(nlist)
+	firstID := b.AddAll(payloads)
+	for gi, g := range groups {
+		for li := g.first; li < g.end; li++ {
+			descs[li].ComponentID = firstID + gi
+		}
+	}
+	b.Add(encodeRoot(ix.dim, ix.m, ix.subdim, centroids, ix.codebooks, descs, total))
+	return nil
+}

@@ -1,0 +1,177 @@
+package ivfpq
+
+import (
+	"context"
+	"testing"
+
+	"rottnest/internal/component"
+	"rottnest/internal/objectstore"
+	"rottnest/internal/postings"
+	"rottnest/internal/workload"
+)
+
+// refineAndOpen runs RefineInto over ix and opens the result.
+func refineAndOpen(t *testing.T, store objectstore.Store, key string, ix *Index, cells []int, opts RefineOptions) *Index {
+	t.Helper()
+	ctx := context.Background()
+	b := component.NewBuilder(component.KindIVFPQ)
+	if err := RefineInto(ctx, b, ix, cells, opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := component.Open(ctx, store, key, component.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Open(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// refSet collects every ref in the index as a set.
+func refSet(t *testing.T, ix *Index) map[postings.RowRef]bool {
+	t.Helper()
+	refs, err := ix.Entries(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[postings.RowRef]bool, len(refs))
+	for _, r := range refs {
+		set[r] = true
+	}
+	return set
+}
+
+// TestRefinePreservesMembership pins that refinement is a pure
+// re-partition: every indexed ref survives, none duplicate, and the
+// split cells fan out into more lists.
+func TestRefinePreservesMembership(t *testing.T) {
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 7, Dim: 16, Clusters: 16, Spread: 0.3})
+	const n = 4000
+	vecs := gen.Batch(n)
+	ix := buildAndOpen(t, store, "v.index", vecs, seqRefs(n), BuildOptions{NList: 16, M: 8, Seed: 5})
+
+	split := []int{0, 3}
+	refined := refineAndOpen(t, store, "r.index", ix, split, RefineOptions{SplitFactor: 4, Seed: 9})
+	wantLists := ix.NumLists()
+	for _, li := range split {
+		if ix.lists[li].Count >= 2 {
+			wantLists += 3 // 1 list became up to 4
+		}
+	}
+	if refined.NumLists() > wantLists || refined.NumLists() <= ix.NumLists() {
+		t.Fatalf("refined lists = %d, original %d, want in (%d, %d]",
+			refined.NumLists(), ix.NumLists(), ix.NumLists(), wantLists)
+	}
+	if refined.NumVectors() != n {
+		t.Fatalf("refined total = %d, want %d", refined.NumVectors(), n)
+	}
+	before, after := refSet(t, ix), refSet(t, refined)
+	if len(before) != n || len(after) != n {
+		t.Fatalf("ref sets %d/%d, want %d (duplicates or losses)", len(before), len(after), n)
+	}
+	for r := range before {
+		if !after[r] {
+			t.Fatalf("ref %v lost by refinement", r)
+		}
+	}
+}
+
+// TestRefineKeepsRecall verifies a refined index still answers: recall
+// of exact top-k against brute force does not collapse after
+// splitting the hottest cells, and searches return the same count.
+func TestRefineKeepsRecall(t *testing.T) {
+	ctx := context.Background()
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 11, Dim: 32, Clusters: 32, Spread: 0.2})
+	const n, k, queries = 6000, 10, 40
+	vecs := gen.Batch(n)
+	ix := buildAndOpen(t, store, "v.index", vecs, seqRefs(n), BuildOptions{NList: 64, M: 8, Seed: 3})
+
+	probes := gen.Batch(queries)
+	cells := HotCells(ix, probes, 8, 8)
+	if len(cells) == 0 {
+		t.Fatal("no hot cells from probe traffic")
+	}
+	refined := refineAndOpen(t, store, "r.index", ix, cells, RefineOptions{SplitFactor: 4, Seed: 13})
+
+	recall := func(target *Index, nprobe int) float64 {
+		hits, want := 0, 0
+		for _, q := range probes {
+			cands, err := target.Search(ctx, q, nprobe, 4*k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[int64]bool)
+			for _, c := range cands {
+				got[c.Ref.Row] = true
+			}
+			exact := exactTopK(vecs, q, k)
+			for _, row := range exact {
+				want++
+				if got[row] {
+					hits++
+				}
+			}
+		}
+		return float64(hits) / float64(want)
+	}
+	base, ref := recall(ix, 8), recall(refined, 8)
+	if ref < base-0.1 {
+		t.Fatalf("refined recall %.3f fell more than 0.1 below base %.3f", ref, base)
+	}
+}
+
+// exactTopK brute-forces the k nearest rows.
+func exactTopK(vecs [][]float32, q []float32, k int) []int64 {
+	type rd struct {
+		row  int64
+		dist float32
+	}
+	all := make([]rd, len(vecs))
+	for i, v := range vecs {
+		all[i] = rd{row: int64(i), dist: l2sq(q, v)}
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && (all[j].dist < all[j-1].dist ||
+			(all[j].dist == all[j-1].dist && all[j].row < all[j-1].row)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	out := make([]int64, 0, k)
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].row)
+	}
+	return out
+}
+
+// TestHotCellsDeterministic pins ordering and the tie-break.
+func TestHotCellsDeterministic(t *testing.T) {
+	store := objectstore.NewMemStore(nil)
+	gen := workload.NewVectorGen(workload.VectorConfig{Seed: 21, Dim: 16, Clusters: 8, Spread: 0.2})
+	const n = 2000
+	ix := buildAndOpen(t, store, "v.index", gen.Batch(n), seqRefs(n), BuildOptions{NList: 16, M: 8, Seed: 5})
+	probes := gen.Batch(16)
+	a := HotCells(ix, probes, 4, 6)
+	b := HotCells(ix, probes, 4, 6)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("HotCells lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("HotCells not deterministic: %v vs %v", a, b)
+		}
+	}
+	if got := HotCells(ix, nil, 4, 6); got != nil {
+		t.Fatal("HotCells with no probes should be empty")
+	}
+}

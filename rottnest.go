@@ -51,6 +51,7 @@ import (
 	"context"
 	"io"
 
+	"rottnest/internal/adaptive"
 	"rottnest/internal/component"
 	"rottnest/internal/core"
 	"rottnest/internal/ingest"
@@ -514,4 +515,53 @@ func NewWriter(table *Table, opts WriterOptions) *Writer {
 // indexing. Drive it with Run (daemon) or Step/Quiesce (manual).
 func NewScheduler(table *Table, opts SchedulerOptions) *Scheduler {
 	return ingest.NewScheduler(table, opts)
+}
+
+// Workload-adaptive maintenance types: a decayed query-heat ledger, a
+// live TCO autopilot, and the scheduler policy that joins them (see
+// internal/adaptive and DESIGN.md §17).
+type (
+	// HeatObserver receives per-(column, file) query observations; a
+	// Client tap installed with Client.SetHeatObserver feeds one.
+	HeatObserver = core.HeatObserver
+	// HeatLedger is the decayed per-(column, file) query-heat ledger.
+	HeatLedger = adaptive.Ledger
+	// HeatLedgerOptions tune a HeatLedger (half-life, capacity).
+	HeatLedgerOptions = adaptive.LedgerOptions
+	// Autopilot evaluates the TCO phase diagram per column from live
+	// measurements and exposes index/scan/deep verdicts.
+	Autopilot = adaptive.Autopilot
+	// AutopilotOptions tune an Autopilot (pricing, horizon, refresh
+	// cadence, scale factor).
+	AutopilotOptions = adaptive.AutopilotOptions
+	// AdaptivePolicy plugs a HeatLedger and an Autopilot into a
+	// Scheduler via SchedulerOptions.Adaptive: hot files are indexed
+	// first, never-queried columns are demoted to the scan path, and
+	// vector indexes refine progressively under probe traffic.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptivePolicyOptions wire an AdaptivePolicy (ledger, autopilot,
+	// client, hot-subset bounds).
+	AdaptivePolicyOptions = adaptive.PolicyOptions
+)
+
+// NewHeatLedger returns a decayed query-heat ledger. Install it with
+// Client.SetHeatObserver so searches feed it, then hand it to
+// NewAdaptivePolicy.
+func NewHeatLedger(opts HeatLedgerOptions) *HeatLedger {
+	return adaptive.NewLedger(opts)
+}
+
+// NewAutopilot returns a live TCO autopilot deciding over the given
+// specs' columns: each refresh feeds measured sizes and the ledger's
+// observed query rates into the phase diagram (tco.Params.Best) and
+// records an index, scan, or deep verdict per column.
+func NewAutopilot(client *Client, ledger *HeatLedger, specs []IndexSpec, opts AutopilotOptions) *Autopilot {
+	return adaptive.NewAutopilot(client, ledger, specs, opts)
+}
+
+// NewAdaptivePolicy returns the scheduler policy that turns heat and
+// TCO verdicts into maintenance decisions. Set it as
+// SchedulerOptions.Adaptive.
+func NewAdaptivePolicy(opts AdaptivePolicyOptions) *AdaptivePolicy {
+	return adaptive.NewPolicy(opts)
 }
